@@ -1,0 +1,75 @@
+//! Engine-level operation microbenchmarks: SIAS vs the SI baseline on
+//! zero-latency storage, isolating algorithmic CPU cost (the virtual
+//! device time of the experiments is deliberately absent here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sias_core::SiasDb;
+use sias_si::SiDb;
+use sias_storage::StorageConfig;
+use sias_txn::MvccEngine;
+use std::hint::black_box;
+
+fn bench_engine<E: MvccEngine>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, db: &E) {
+    let name = db.name();
+    let rel = db.create_relation("bench");
+    let t = db.begin();
+    for k in 0..10_000u64 {
+        db.insert(&t, rel, k, &[0u8; 128]).unwrap();
+    }
+    db.commit(t).unwrap();
+
+    // The counter lives outside the bencher closure: criterion invokes
+    // the closure several times (warmup + sampling) and keys must never
+    // repeat.
+    let next_key = std::sync::atomic::AtomicU64::new(1_000_000);
+    g.bench_function(format!("{name}/insert"), |b| {
+        b.iter(|| {
+            let k = next_key.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let t = db.begin();
+            db.insert(&t, rel, k, &[0u8; 128]).unwrap();
+            db.commit(t).unwrap();
+        });
+    });
+    g.bench_function(format!("{name}/get"), |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 10_000;
+            let t = db.begin();
+            let r = black_box(db.get(&t, rel, k).unwrap());
+            db.commit(t).unwrap();
+            r
+        });
+    });
+    g.bench_function(format!("{name}/update"), |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 10_000;
+            let t = db.begin();
+            db.update(&t, rel, k, &[1u8; 128]).unwrap();
+            db.commit(t).unwrap();
+        });
+    });
+    g.bench_function(format!("{name}/scan_range_100"), |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 997) % 9_000;
+            let t = db.begin();
+            let r = black_box(db.scan_range(&t, rel, k, k + 100).unwrap().len());
+            db.commit(t).unwrap();
+            r
+        });
+    });
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_ops");
+    g.sample_size(20);
+    let sias = SiasDb::open(StorageConfig::in_memory());
+    bench_engine(&mut g, &sias);
+    let si = SiDb::open(StorageConfig::in_memory());
+    bench_engine(&mut g, &si);
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation A5 — garbage collection (§6 *Space Reclamation*).
+//!
+//! Measures vacuum throughput as a function of the dead-version ratio:
+//! mostly-dead relations reclaim fast (pages drop wholesale); mixed pages
+//! pay relocation appends for their live versions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sias_core::SiasDb;
+use sias_storage::StorageConfig;
+use sias_txn::MvccEngine;
+use std::hint::black_box;
+
+/// Builds a relation where each of `items` rows has `versions` versions
+/// (1 live + versions-1 dead once quiescent).
+fn build(items: u64, versions: u32) -> (SiasDb, sias_common::RelId) {
+    let db = SiasDb::open(StorageConfig::in_memory());
+    let rel = db.create_relation("t");
+    let t = db.begin();
+    for k in 0..items {
+        db.insert(&t, rel, k, &[0u8; 256]).unwrap();
+    }
+    db.commit(t).unwrap();
+    for round in 1..versions {
+        let t = db.begin();
+        for k in 0..items {
+            db.update(&t, rel, k, &[round as u8; 256]).unwrap();
+        }
+        db.commit(t).unwrap();
+    }
+    (db, rel)
+}
+
+fn bench_vacuum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vacuum");
+    g.sample_size(10);
+    for versions in [2u32, 5, 20] {
+        g.bench_with_input(
+            BenchmarkId::new("versions_per_item", versions),
+            &versions,
+            |b, &versions| {
+                b.iter_with_setup(
+                    || build(1_000, versions),
+                    |(db, rel)| {
+                        let stats = db.vacuum_relation(rel).unwrap();
+                        black_box(stats)
+                    },
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_vacuum_threshold(c: &mut Criterion) {
+    // Lower thresholds relocate more aggressively.
+    let mut g = c.benchmark_group("vacuum_threshold");
+    g.sample_size(10);
+    for thr in [25u32, 50, 90] {
+        g.bench_with_input(BenchmarkId::from_parameter(thr), &thr, |b, &thr| {
+            b.iter_with_setup(
+                || build(1_000, 3),
+                |(db, rel)| {
+                    black_box(
+                        db.vacuum_relation_with_threshold(rel, thr as f64 / 100.0).unwrap(),
+                    )
+                },
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vacuum, bench_vacuum_threshold);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Ablation A4 — index maintenance (§4.3).
+//!
+//! SIAS indexes ⟨key, VID⟩ once per *data item*: a non-key update never
+//! touches the B+-tree. The SI baseline indexes ⟨key, TID⟩ once per
+//! *version*: every update inserts a record. These benchmarks measure
+//! (i) raw B+-tree operations and (ii) the end-to-end update cost and
+//! index growth difference between the engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sias_common::RelId;
+use sias_index::BPlusTree;
+use sias_si::SiDb;
+use sias_core::SiasDb;
+use sias_storage::{BufferPool, StorageConfig, Tablespace};
+use sias_storage::device::MemDevice;
+use sias_txn::MvccEngine;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn tree() -> BPlusTree {
+    let dev = Arc::new(MemDevice::standalone(1 << 20));
+    let space = Arc::new(Tablespace::new(1 << 20));
+    let pool = Arc::new(BufferPool::new(4096, dev, space));
+    BPlusTree::create(pool, RelId(7)).unwrap()
+}
+
+fn bench_btree_raw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+    for n in [10_000u64, 100_000] {
+        let t = tree();
+        for k in 0..n {
+            t.insert(k, k).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("lookup", n), &n, |b, &n| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7919) % n;
+                black_box(t.lookup_one(k).unwrap())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("range100", n), &n, |b, &n| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7919) % (n - 100);
+                black_box(t.range(k, k + 100).unwrap().len())
+            });
+        });
+    }
+    let t = tree();
+    let next = std::sync::atomic::AtomicU64::new(0);
+    g.bench_function("insert_sequential", |b| {
+        b.iter(|| {
+            let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            t.insert(k, k).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_update_index_cost(c: &mut Criterion) {
+    // End-to-end non-key update on both engines: SIAS appends a version
+    // and swings the VID map; SI additionally stamps xmax in place and
+    // inserts a new index record.
+    let mut g = c.benchmark_group("nonkey_update");
+    g.sample_size(20);
+    {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let rel = db.create_relation("t");
+        let t = db.begin();
+        for k in 0..5_000u64 {
+            db.insert(&t, rel, k, &[0u8; 64]).unwrap();
+        }
+        db.commit(t).unwrap();
+        g.bench_function("sias", |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 37) % 5_000;
+                let t = db.begin();
+                db.update(&t, rel, k, &[1u8; 64]).unwrap();
+                db.commit(t).unwrap();
+            });
+        });
+        let h = db.relation_handle(rel).unwrap();
+        assert_eq!(h.index.len(), 5_000, "SIAS index must not grow on updates");
+    }
+    {
+        let db = SiDb::open(StorageConfig::in_memory());
+        let rel = db.create_relation("t");
+        let t = db.begin();
+        for k in 0..5_000u64 {
+            db.insert(&t, rel, k, &[0u8; 64]).unwrap();
+        }
+        db.commit(t).unwrap();
+        g.bench_function("si", |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 37) % 5_000;
+                let t = db.begin();
+                db.update(&t, rel, k, &[1u8; 64]).unwrap();
+                db.commit(t).unwrap();
+            });
+        });
+        let h = db.relation_handle(rel).unwrap();
+        assert!(h.index.len() > 5_000, "SI index grows one record per version");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_btree_raw, bench_update_index_cost);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! **Ablation A8** — write reduction vs. update share.
+//!
+//! §5.2 ties SIAS's write reduction to the update intensity of the
+//! workload ("standard update-intensive workload"). This ablation leaves
+//! TPC-C aside and drives a plain key-value microworkload — N items,
+//! uniform point operations, a configurable update fraction — measuring
+//! device write volume per million operations for both engines. At 0 %
+//! updates the engines converge (nothing to invalidate); as the update
+//! share grows, SI pays in-place stamps + scattered placements + index
+//! records per update while SIAS pays one append, so the gap widens
+//! toward the Table-1 ratio.
+//!
+//! ```text
+//! cargo run --release -p sias-bench --bin ablation_update_ratio [-- --items 20000 --ops 200000]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sias_bench::{arg_value, build, write_results, EngineKind, Testbed};
+use sias_txn::MvccEngine;
+
+/// Runs `ops` point operations with the given update share; returns the
+/// data-device write volume (MiB) of the measured phase.
+fn run(kind: EngineKind, items: u64, ops: u64, update_pct: u32) -> f64 {
+    let any = build(kind, Testbed::Ssd, 1024);
+    let engine = any.engine();
+    let rel = engine.create_relation("kv");
+    let payload = [0x5Au8; 200];
+    let t = engine.begin();
+    for k in 0..items {
+        engine.insert(&t, rel, k, &payload).unwrap();
+    }
+    engine.commit(t).unwrap();
+    engine.maintenance(true);
+    let stack = any.stack();
+    stack.data.reset_stats();
+    let mut rng = StdRng::seed_from_u64(7 + update_pct as u64);
+    let mut since_tick = 0u64;
+    for _ in 0..ops {
+        let k = rng.random_range(0..items);
+        let t = engine.begin();
+        if rng.random_range(0..100) < update_pct {
+            engine.update(&t, rel, k, &payload).unwrap();
+        } else {
+            let _ = engine.get(&t, rel, k).unwrap();
+        }
+        engine.commit(t).unwrap();
+        since_tick += 1;
+        if since_tick == 500 {
+            // Emulate the 200 ms background-writer cadence relative to a
+            // ~2.5 kops/s client.
+            engine.maintenance(false);
+            since_tick = 0;
+        }
+    }
+    engine.maintenance(true);
+    stack.data.stats().host_write_mb()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let items: u64 = arg_value(&args, "--items").and_then(|v| v.parse().ok()).unwrap_or(20_000);
+    let ops: u64 = arg_value(&args, "--ops").and_then(|v| v.parse().ok()).unwrap_or(200_000);
+
+    println!("Ablation: device writes vs. update share ({items} items, {ops} uniform point ops)\n");
+    println!(
+        "{:>9} {:>12} {:>12} {:>10}",
+        "updates", "SI (MB)", "SIAS (MB)", "reduction"
+    );
+    let mut csv = String::from("update_pct,si_write_mb,sias_write_mb,reduction_pct\n");
+    for pct in [0u32, 5, 20, 50, 80, 100] {
+        let si = run(EngineKind::Si, items, ops, pct);
+        let sias = run(EngineKind::SiasT2, items, ops, pct);
+        let red = if si > 0.0 { 100.0 * (1.0 - sias / si) } else { 0.0 };
+        println!("{:>8}% {:>12.1} {:>12.1} {:>9.0}%", pct, si, sias, red);
+        csv.push_str(&format!("{pct},{si:.2},{sias:.2},{red:.1}\n"));
+    }
+    let path = write_results("ablation_update_ratio.csv", &csv);
+    println!("\nwrote {}", path.display());
+}

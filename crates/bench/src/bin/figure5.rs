@@ -1,0 +1,65 @@
+//! **Figure 5** — TPC-C throughput and response time on a two-SSD RAID-0.
+//!
+//! Paper setup: warehouse sweep on the Core2Duo box with a software
+//! stripe of two X25-E SSDs; SIAS sustains ~30 % higher NOTPM and lower
+//! response times, with its advantage growing at higher warehouse counts.
+//!
+//! ```text
+//! cargo run --release -p sias-bench --bin figure5 [-- --whs 10,25,50,100,150,200 --duration 120]
+//! ```
+
+use sias_bench::{arg_value, run_cell, write_results, EngineKind, Testbed, EXPERIMENT_POOL_FRAMES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let whs: Vec<u32> = arg_value(&args, "--whs")
+        .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![25, 50, 100, 200, 300, 400, 500]);
+    let duration: u64 = arg_value(&args, "--duration").and_then(|v| v.parse().ok()).unwrap_or(120);
+    let pool: usize =
+        arg_value(&args, "--pool").and_then(|v| v.parse().ok()).unwrap_or(EXPERIMENT_POOL_FRAMES);
+
+    println!("Figure 5: TPC-C on a two-SSD RAID-0 (throughput in NOTPM, response time in s)\n");
+    println!(
+        "{:>5} {:>12} {:>12} {:>8} {:>12} {:>12} {:>10}",
+        "WH", "SI NOTPM", "SIAS NOTPM", "gain", "SI resp(s)", "SIAS resp(s)", "SI/SIAS"
+    );
+    let mut csv =
+        String::from("warehouses,si_notpm,sias_notpm,si_resp_s,sias_resp_s,si_p90_s,sias_p90_s\n");
+    for &wh in &whs {
+        let si = run_cell(EngineKind::Si, Testbed::SsdRaid2, wh, duration, pool);
+        let sias = run_cell(EngineKind::SiasT2, Testbed::SsdRaid2, wh, duration, pool);
+        assert_eq!(si.violations + sias.violations, 0);
+        let gain = if si.bench.notpm > 0.0 {
+            100.0 * (sias.bench.notpm / si.bench.notpm - 1.0)
+        } else {
+            0.0
+        };
+        let ratio = if sias.bench.avg_response_s > 0.0 {
+            si.bench.avg_response_s / sias.bench.avg_response_s
+        } else {
+            0.0
+        };
+        println!(
+            "{:>5} {:>12.0} {:>12.0} {:>7.0}% {:>12.3} {:>12.3} {:>9.1}x",
+            wh,
+            si.bench.notpm,
+            sias.bench.notpm,
+            gain,
+            si.bench.avg_response_s,
+            sias.bench.avg_response_s,
+            ratio
+        );
+        csv.push_str(&format!(
+            "{wh},{:.1},{:.1},{:.4},{:.4},{:.4},{:.4}\n",
+            si.bench.notpm,
+            sias.bench.notpm,
+            si.bench.avg_response_s,
+            sias.bench.avg_response_s,
+            si.bench.p90_response_s,
+            sias.bench.p90_response_s
+        ));
+    }
+    let path = write_results("figure5.csv", &csv);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,34 @@
+//! Global configuration constants.
+//!
+//! The values mirror the prototype configuration reported in §4.1.2 of the
+//! paper: 8 KiB pages, 1024 VID-map entries per bucket (even though 1365
+//! six-byte TIDs would fit, the prototype caps a bucket at 1024 entries so
+//! that bucket number and slot fall out of a shift/mask).
+
+/// Database page size in bytes (PostgreSQL default, used by the prototype).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Number of TID slots per VID-map bucket (§4.1.3).
+///
+/// `bucket = vid / VIDMAP_SLOTS_PER_BUCKET`, `slot = vid %
+/// VIDMAP_SLOTS_PER_BUCKET`; because VIDs are assigned sequentially there
+/// are never overflow buckets.
+pub const VIDMAP_SLOTS_PER_BUCKET: usize = 1024;
+
+/// Maximum number of TIDs that *would* fit into an 8 KiB bucket page
+/// exclusive header (§4.1.2 item iii); kept for documentation/tests.
+pub const VIDMAP_MAX_TIDS_PER_PAGE: usize = 1365;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn bucket_capacity_is_power_of_two_and_fits_page() {
+        assert!(VIDMAP_SLOTS_PER_BUCKET.is_power_of_two(), "shift/mask bucket math");
+        assert!(VIDMAP_SLOTS_PER_BUCKET <= VIDMAP_MAX_TIDS_PER_PAGE);
+        // 1365 six-byte TIDs ≈ 8190 bytes: the paper's arithmetic.
+        assert_eq!(PAGE_SIZE / 6, VIDMAP_MAX_TIDS_PER_PAGE);
+    }
+}

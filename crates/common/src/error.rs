@@ -1,0 +1,113 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+use crate::ids::{RelId, Tid, Vid, Xid};
+
+/// Convenience alias used by every fallible public API in the workspace.
+pub type SiasResult<T> = Result<T, SiasError>;
+
+/// Errors surfaced by the storage manager.
+///
+/// Hand-rolled (no `thiserror`) to stay within the approved dependency
+/// set; implements [`std::error::Error`] so it composes with `?` and
+/// `Box<dyn Error>` in examples and binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiasError {
+    /// A tuple version did not fit into a page.
+    TupleTooLarge {
+        /// Size of the serialized tuple version.
+        size: usize,
+        /// Maximum size a page can hold.
+        max: usize,
+    },
+    /// Page-level corruption or an out-of-range slot access.
+    BadSlot {
+        /// The offending TID.
+        tid: Tid,
+    },
+    /// The requested relation does not exist.
+    UnknownRelation(RelId),
+    /// The requested data item does not exist (VID never assigned, or its
+    /// map slot was reclaimed).
+    UnknownVid(Vid),
+    /// No visible data item carries this key (key-addressed engine API).
+    KeyNotFound(u64),
+    /// Write-write conflict: the first-updater-wins rule forces the caller
+    /// to abort (§4.2.2).
+    WriteConflict {
+        /// The data item under contention.
+        vid: Vid,
+        /// Transaction that won the conflict (holds or held the lock).
+        winner: Xid,
+    },
+    /// The transaction was already terminated (committed or aborted).
+    TxnNotActive(Xid),
+    /// The update target is not the entrypoint or is not visible to the
+    /// updater (Algorithm 3 line 4 forces a rollback).
+    StaleUpdate {
+        /// Data item being updated.
+        vid: Vid,
+    },
+    /// Device-level failure (simulated media error, out of capacity).
+    Device(String),
+    /// Write-ahead-log failure.
+    Wal(String),
+    /// Index structural error.
+    Index(String),
+    /// Attempted operation on a deleted data item (tombstone entrypoint).
+    Deleted(Vid),
+    /// Serializable-SI (SSI) detected a dangerous structure; the
+    /// transaction must abort and retry.
+    SerializationFailure(Xid),
+}
+
+impl fmt::Display for SiasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiasError::TupleTooLarge { size, max } => {
+                write!(f, "tuple version of {size} bytes exceeds page capacity {max}")
+            }
+            SiasError::BadSlot { tid } => write!(f, "bad slot reference {tid}"),
+            SiasError::UnknownRelation(rel) => write!(f, "unknown relation {rel}"),
+            SiasError::UnknownVid(vid) => write!(f, "unknown data item vid={vid}"),
+            SiasError::KeyNotFound(key) => write!(f, "no visible data item with key {key}"),
+            SiasError::WriteConflict { vid, winner } => {
+                write!(f, "write-write conflict on vid={vid}, first updater {winner} wins")
+            }
+            SiasError::TxnNotActive(xid) => write!(f, "transaction {xid} is not active"),
+            SiasError::StaleUpdate { vid } => {
+                write!(f, "stale update: non-entrypoint or invisible version of vid={vid}")
+            }
+            SiasError::Device(msg) => write!(f, "device error: {msg}"),
+            SiasError::Wal(msg) => write!(f, "wal error: {msg}"),
+            SiasError::Index(msg) => write!(f, "index error: {msg}"),
+            SiasError::Deleted(vid) => write!(f, "data item vid={vid} is deleted"),
+            SiasError::SerializationFailure(xid) => {
+                write!(f, "serialization failure: transaction {xid} is a dangerous-structure pivot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SiasError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = SiasError::WriteConflict { vid: Vid(5), winner: Xid(9) };
+        assert!(e.to_string().contains("vid=5"));
+        assert!(e.to_string().contains("9"));
+        let e = SiasError::TupleTooLarge { size: 9000, max: 8100 };
+        assert!(e.to_string().contains("9000"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&SiasError::UnknownVid(Vid(1)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper (§4.1.1, §4.1.2) distinguishes three kinds of identity:
+//!
+//! * the **transaction id** ([`Xid`]) doubles as the creation timestamp of
+//!   a tuple version (transactional time, not wall-clock time);
+//! * the **virtual id** ([`Vid`]) names a *data item* — it is identical
+//!   across all tuple versions of that item and is the search key of the
+//!   VID map;
+//! * the **tuple id** ([`Tid`]) names one *physical* tuple version: a
+//!   database block number plus a slot offset within the page, exactly the
+//!   6-byte PostgreSQL `ItemPointer` layout the prototype used
+//!   (32-bit block, 16-bit offset).
+
+use std::fmt;
+
+/// Transaction identifier, also used as the transactional timestamp
+/// (creation timestamp of tuple versions).
+///
+/// Xids are allocated from a monotonically increasing counter; `Xid(0)` is
+/// reserved as "invalid" (used e.g. for "never invalidated").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Xid(pub u64);
+
+impl Xid {
+    /// The invalid transaction id; never allocated to a real transaction.
+    pub const INVALID: Xid = Xid(0);
+
+    /// Returns true unless this is [`Xid::INVALID`].
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Debug for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Xid({})", self.0)
+    }
+}
+
+impl fmt::Display for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Virtual identifier of a data item (§4.1.2).
+///
+/// All tuple versions of one data item carry the same VID. VIDs are
+/// ascending positive integers assigned at insertion, which is what makes
+/// the bucketed VID map work without overflow chains: the bucket number is
+/// `vid / slots_per_bucket` and the slot is `vid % slots_per_bucket`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vid(pub u64);
+
+impl Vid {
+    /// First VID handed out by a fresh relation.
+    pub const FIRST: Vid = Vid(0);
+}
+
+impl fmt::Debug for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vid({})", self.0)
+    }
+}
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Database block (page) number within a relation, 32 bits as in
+/// PostgreSQL.
+pub type BlockId = u32;
+
+/// Relation (table) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RelId(pub u32);
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel{}", self.0)
+    }
+}
+
+/// Physical tuple-version identifier: block number + slot within the page.
+///
+/// Matches the prototype's 6-byte TID (§4.1.2: "One TID (in PostgreSQL)
+/// has the size of 6 Bytes and comprises the DB BlockID (32bit) and an
+/// offset to the tuple version (16 bit)").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid {
+    /// Block number within the relation.
+    pub block: BlockId,
+    /// Slot index within the page's line-pointer array.
+    pub slot: u16,
+}
+
+impl Tid {
+    /// Creates a TID from block and slot.
+    #[inline]
+    pub const fn new(block: BlockId, slot: u16) -> Self {
+        Tid { block, slot }
+    }
+
+    /// Packs this TID into a single `u64` (high 32 bits block, low 16 bits
+    /// slot). Used by the VID map, whose slots are single atomic words.
+    ///
+    /// The packed form reserves bit 63 as a "present" marker so that a
+    /// zeroed slot is distinguishable from `Tid::new(0, 0)`.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        (1u64 << 63) | ((self.block as u64) << 16) | self.slot as u64
+    }
+
+    /// Reverses [`Tid::pack`]; returns `None` when the word does not carry
+    /// a TID (slot never written).
+    #[inline]
+    pub fn unpack(word: u64) -> Option<Self> {
+        if word & (1 << 63) == 0 {
+            return None;
+        }
+        Some(Tid {
+            block: ((word >> 16) & 0xFFFF_FFFF) as u32,
+            slot: (word & 0xFFFF) as u16,
+        })
+    }
+}
+
+impl fmt::Debug for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tid({},{})", self.block, self.slot)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.block, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xid_validity() {
+        assert!(!Xid::INVALID.is_valid());
+        assert!(Xid(1).is_valid());
+        assert!(Xid(u64::MAX).is_valid());
+    }
+
+    #[test]
+    fn xid_ordering_is_numeric() {
+        assert!(Xid(3) < Xid(10));
+        assert!(Xid(10) <= Xid(10));
+    }
+
+    #[test]
+    fn tid_pack_roundtrip() {
+        for (b, s) in [(0u32, 0u16), (1, 2), (u32::MAX, u16::MAX), (12345, 678)] {
+            let t = Tid::new(b, s);
+            assert_eq!(Tid::unpack(t.pack()), Some(t));
+        }
+    }
+
+    #[test]
+    fn tid_unpack_empty_word() {
+        assert_eq!(Tid::unpack(0), None);
+        // Any word without the presence bit is "empty".
+        assert_eq!(Tid::unpack(0x1234_5678), None);
+    }
+
+    #[test]
+    fn tid_pack_distinguishes_zero_tid_from_empty() {
+        let zero = Tid::new(0, 0);
+        assert_ne!(zero.pack(), 0);
+        assert_eq!(Tid::unpack(zero.pack()), Some(zero));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Xid(7).to_string(), "7");
+        assert_eq!(Vid(9).to_string(), "9");
+        assert_eq!(Tid::new(4, 2).to_string(), "(4,2)");
+        assert_eq!(RelId(3).to_string(), "rel3");
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared primitives for the SIAS storage manager.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * strongly-typed identifiers ([`Xid`], [`Vid`], [`Tid`], [`RelId`],
+//!   [`BlockId`]) — see [`ids`];
+//! * the error type [`SiasError`] shared across the workspace — see
+//!   [`error`];
+//! * the virtual clock that the storage device models advance — see
+//!   [`sim`];
+//! * global configuration constants (page size, VID-map bucket geometry)
+//!   mirroring the prototype configuration of the paper — see [`config`].
+//!
+//! The paper reproduced here is *SIAS: Snapshot Isolation Append Storage*
+//! (Gottstein et al.; demonstrated at EDBT 2014 as "SIAS-V in Action",
+//! described in full as "SIAS-Chains"). Section references in doc comments
+//! throughout the workspace point into that text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod sim;
+
+pub use config::PAGE_SIZE;
+pub use error::{SiasError, SiasResult};
+pub use ids::{BlockId, RelId, Tid, Vid, Xid};
+pub use sim::VirtualClock;

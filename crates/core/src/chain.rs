@@ -1,0 +1,215 @@
+//! Version-chain traversal.
+//!
+//! All versions of a data item form a backwards singly-linked list from
+//! the entrypoint (§4.1): the scan/read path fetches the entrypoint and
+//! follows `*ptr` until the first version visible to the snapshot
+//! (Algorithm 1, lines 3–14). Versions are immutable once appended, so
+//! traversal needs no tuple locks — only the page latch taken per fetch.
+
+use sias_common::{RelId, SiasResult, Tid, Xid};
+use sias_storage::BufferPool;
+use sias_txn::{Clog, Snapshot, TxnStatus};
+
+use crate::version::TupleVersion;
+
+/// Fetches and decodes one tuple version.
+pub fn fetch_version(pool: &BufferPool, rel: RelId, tid: Tid) -> SiasResult<TupleVersion> {
+    let bytes = pool.with_page(rel, tid.block, |p| p.item(tid.slot).map(<[u8]>::to_vec))??;
+    TupleVersion::decode(&bytes)
+}
+
+/// Walks the chain from `entry` and returns the first version visible to
+/// the snapshot, with its TID (Algorithm 1). Returns `Ok(None)` when no
+/// version in the chain is visible. Tombstones are returned like any
+/// other version — interpreting them is the caller's business (a visible
+/// tombstone means "the item is deleted in your snapshot").
+pub fn visible_version(
+    pool: &BufferPool,
+    rel: RelId,
+    entry: Tid,
+    snapshot: &Snapshot,
+    clog: &Clog,
+) -> SiasResult<Option<(Tid, TupleVersion)>> {
+    let mut tid = entry;
+    loop {
+        let v = fetch_version(pool, rel, tid)?;
+        if snapshot.sees(v.create, clog) {
+            return Ok(Some((tid, v)));
+        }
+        match v.pred {
+            Some(pred) => tid = pred,
+            None => return Ok(None),
+        }
+    }
+}
+
+/// Collects the *reachable* prefix of a chain, newest first: every
+/// version from the entrypoint down to (and including) the **anchor** —
+/// the first committed version with `create < horizon`. Versions below
+/// the anchor can never be returned by any visibility walk of a snapshot
+/// at or past the horizon, so garbage collection may reclaim their pages;
+/// consequently, walking *past* the anchor is unsound after a vacuum and
+/// this bounded walk is what GC and diagnostics must use.
+pub fn collect_reachable(
+    pool: &BufferPool,
+    rel: RelId,
+    entry: Tid,
+    horizon: Xid,
+    clog: &Clog,
+) -> SiasResult<Vec<(Tid, TupleVersion)>> {
+    let mut out = Vec::new();
+    let mut tid = Some(entry);
+    while let Some(t) = tid {
+        let v = fetch_version(pool, rel, t)?;
+        tid = v.pred;
+        let committed = clog.status(v.create) == TxnStatus::Committed;
+        let create = v.create;
+        out.push((t, v));
+        if committed && create < horizon {
+            break; // anchor reached
+        }
+    }
+    Ok(out)
+}
+
+/// Collects the whole chain from the entrypoint, newest first.
+///
+/// **Unbounded**: only sound before any vacuum has reclaimed pages of
+/// this relation (tests, freshly-loaded data). Production paths use
+/// [`collect_reachable`] or [`visible_version`].
+pub fn collect_chain(
+    pool: &BufferPool,
+    rel: RelId,
+    entry: Tid,
+) -> SiasResult<Vec<(Tid, TupleVersion)>> {
+    let mut out = Vec::new();
+    let mut tid = Some(entry);
+    while let Some(t) = tid {
+        let v = fetch_version(pool, rel, t)?;
+        tid = v.pred;
+        out.push((t, v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::TupleVersion;
+    use sias_common::{Vid, Xid};
+    use sias_storage::device::MemDevice;
+    use sias_storage::Tablespace;
+    use std::sync::Arc;
+
+    const REL: RelId = RelId(1);
+
+    fn pool() -> BufferPool {
+        let dev = Arc::new(MemDevice::standalone(1 << 14));
+        let space = Arc::new(Tablespace::new(1 << 14));
+        space.create_relation(REL);
+        BufferPool::new(32, dev, space)
+    }
+
+    fn put(pool: &BufferPool, block: u32, v: &TupleVersion) -> Tid {
+        while pool.space().relation_blocks(REL) <= block {
+            pool.allocate_block(REL).unwrap();
+        }
+        let slot =
+            pool.with_page_mut(REL, block, |p| p.add_item(&v.encode())).unwrap().unwrap().unwrap();
+        Tid::new(block, slot)
+    }
+
+    /// Builds the paper's Figure 1 history: X0 (T1), X1 (T2), X2 (T3).
+    fn figure1(pool: &BufferPool, clog: &Clog) -> (Tid, Tid, Tid) {
+        let x0 = TupleVersion::initial(Xid(1), Vid(0), &b"X0"[..]);
+        let t0 = put(pool, 0, &x0);
+        let x1 = TupleVersion::successor(Xid(2), Vid(0), t0, Xid(1), &b"X1"[..]);
+        let t1 = put(pool, 0, &x1);
+        let x2 = TupleVersion::successor(Xid(3), Vid(0), t1, Xid(2), &b"X2"[..]);
+        let t2 = put(pool, 1, &x2);
+        clog.commit(Xid(1));
+        clog.commit(Xid(2));
+        clog.commit(Xid(3));
+        (t0, t1, t2)
+    }
+
+    #[test]
+    fn fetch_roundtrip() {
+        let p = pool();
+        let v = TupleVersion::initial(Xid(5), Vid(9), &b"abc"[..]);
+        let tid = put(&p, 0, &v);
+        assert_eq!(fetch_version(&p, REL, tid).unwrap(), v);
+    }
+
+    #[test]
+    fn newest_visible_version_wins() {
+        let p = pool();
+        let clog = Clog::new();
+        let (_t0, _t1, t2) = figure1(&p, &clog);
+        // A transaction starting after T3: sees X2 at the entrypoint.
+        let snap = Snapshot::new(Xid(10), vec![]);
+        let (tid, v) = visible_version(&p, REL, t2, &snap, &clog).unwrap().unwrap();
+        assert_eq!(tid, t2);
+        assert_eq!(v.payload.as_ref(), b"X2");
+    }
+
+    #[test]
+    fn old_snapshot_walks_back_the_chain() {
+        // "if a transaction is old enough to not see X1 but young enough
+        // to see X0, the reference pointer on X1 is used to fetch the
+        // previous version" (§4.3 Example 1) — here with X2/X1/X0.
+        let p = pool();
+        let clog = Clog::new();
+        let (t0, t1, t2) = figure1(&p, &clog);
+        // Snapshot concurrent with T3: sees X1.
+        let snap = Snapshot::new(Xid(4), vec![Xid(3)]);
+        let (tid, v) = visible_version(&p, REL, t2, &snap, &clog).unwrap().unwrap();
+        assert_eq!(tid, t1);
+        assert_eq!(v.payload.as_ref(), b"X1");
+        // Snapshot concurrent with T2 and T3: sees X0.
+        let snap = Snapshot::new(Xid(4), vec![Xid(2), Xid(3)]);
+        let (tid, v) = visible_version(&p, REL, t2, &snap, &clog).unwrap().unwrap();
+        assert_eq!(tid, t0);
+        assert_eq!(v.payload.as_ref(), b"X0");
+    }
+
+    #[test]
+    fn nothing_visible_returns_none() {
+        let p = pool();
+        let clog = Clog::new();
+        let (_t0, _t1, t2) = figure1(&p, &clog);
+        // Snapshot older than every version.
+        let snap = Snapshot::new(Xid(4), vec![Xid(1), Xid(2), Xid(3)]);
+        assert!(visible_version(&p, REL, t2, &snap, &clog).unwrap().is_none());
+    }
+
+    #[test]
+    fn aborted_versions_are_skipped() {
+        let p = pool();
+        let clog = Clog::new();
+        let x0 = TupleVersion::initial(Xid(1), Vid(0), &b"good"[..]);
+        let t0 = put(&p, 0, &x0);
+        let x1 = TupleVersion::successor(Xid(2), Vid(0), t0, Xid(1), &b"rolled back"[..]);
+        let t1 = put(&p, 0, &x1);
+        clog.commit(Xid(1));
+        clog.abort(Xid(2));
+        let snap = Snapshot::new(Xid(5), vec![]);
+        let (tid, v) = visible_version(&p, REL, t1, &snap, &clog).unwrap().unwrap();
+        assert_eq!(tid, t0);
+        assert_eq!(v.payload.as_ref(), b"good");
+    }
+
+    #[test]
+    fn collect_chain_is_newest_first() {
+        let p = pool();
+        let clog = Clog::new();
+        let (t0, t1, t2) = figure1(&p, &clog);
+        let chain = collect_chain(&p, REL, t2).unwrap();
+        let tids: Vec<Tid> = chain.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tids, vec![t2, t1, t0]);
+        // Implicit invalidation: each version's create equals its
+        // predecessor's recorded pred_create on the successor.
+        assert_eq!(chain[0].1.pred_create, chain[1].1.create);
+        assert_eq!(chain[1].1.pred_create, chain[2].1.create);
+    }
+}

@@ -1,0 +1,478 @@
+//! Space reclamation — the paper's garbage collection (§6).
+//!
+//! "The basic concept in MV-DBMSs is to reclaim space on the append
+//! storage using a garbage collection (GC) mechanism which: (i) finds a
+//! victim page that is chosen to be garbage collected, (ii) re-inserts
+//! live (visible) tuple versions and (iii) discards dead (invisible)
+//! tuple versions of that page."
+//!
+//! The vacuum pass below does exactly that, page by page:
+//!
+//! * a version is **dead** when its transaction aborted (or crashed), or
+//!   when a *newer committed* version of the same data item exists with a
+//!   creation timestamp below the GC horizon — no current or future
+//!   snapshot can ever return it;
+//! * a page qualifies as a **victim** when its dead fraction reaches the
+//!   vacuum threshold (pages of pure dead space are reclaimed outright);
+//! * live versions residing on a victim are **re-inserted** through the
+//!   ordinary append path (GC work is appends too — no in-place
+//!   rewriting), with chain pointers rebuilt and dead interior versions
+//!   spliced out;
+//! * reclaimed pages are recycled into the relation's append region, and
+//!   data items whose newest committed version is an old tombstone are
+//!   erased from the VID map (their ⟨key, VID⟩ index record dropped when
+//!   the tombstone recorded the key).
+//!
+//! Vacuum requires a quiescent system (no active transactions) — the
+//! paper's prototype likewise integrates GC as a deterministic process
+//! "triggered by the MV-DBMS", not a concurrent one.
+
+use std::collections::BTreeSet;
+
+use sias_common::{RelId, SiasError, SiasResult, Tid, Vid, Xid};
+use sias_txn::TxnStatus;
+
+use crate::chain::collect_reachable;
+use crate::engine::{SiasDb, SiasRelation};
+use crate::version::TupleVersion;
+
+/// Default dead-space fraction that makes a page a GC victim.
+pub const DEFAULT_VACUUM_THRESHOLD: f64 = 0.5;
+
+/// Outcome counters of one vacuum pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GcStats {
+    /// Pages inspected.
+    pub pages_examined: u64,
+    /// Pages fully reclaimed and recycled.
+    pub pages_reclaimed: u64,
+    /// Dead versions discarded.
+    pub versions_discarded: u64,
+    /// Live versions re-inserted (relocated appends).
+    pub versions_relocated: u64,
+    /// Data items whose chain aged out entirely (VID map slot cleared).
+    pub items_cleared: u64,
+}
+
+/// Per-item chain classification used inside one vacuum pass.
+struct ItemChains {
+    vid: Vid,
+    /// Entrypoint at classification time.
+    entry: Tid,
+    /// Reachable prefix (entrypoint down to the anchor, inclusive).
+    reach: Vec<(Tid, TupleVersion)>,
+    /// Committed subset of `reach` — what relocation re-inserts.
+    keep: Vec<(Tid, TupleVersion)>,
+}
+
+impl GcStats {
+    /// Accumulates another pass's counters.
+    pub fn merge(&mut self, other: GcStats) {
+        self.pages_examined += other.pages_examined;
+        self.pages_reclaimed += other.pages_reclaimed;
+        self.versions_discarded += other.versions_discarded;
+        self.versions_relocated += other.versions_relocated;
+        self.items_cleared += other.items_cleared;
+    }
+}
+
+impl SiasDb {
+    /// Vacuums every relation with the default victim threshold.
+    pub fn vacuum_all(&self) -> SiasResult<GcStats> {
+        let mut total = GcStats::default();
+        for r in self.relation_handles() {
+            total.merge(self.vacuum_relation(r.rel)?);
+        }
+        Ok(total)
+    }
+
+    /// Vacuums one relation with the default victim threshold.
+    pub fn vacuum_relation(&self, rel: RelId) -> SiasResult<GcStats> {
+        self.vacuum_relation_with_threshold(rel, DEFAULT_VACUUM_THRESHOLD)
+    }
+
+    /// Vacuums one relation; pages whose dead fraction is at least
+    /// `threshold` become victims. Errors unless the system is quiescent.
+    pub fn vacuum_relation_with_threshold(
+        &self,
+        rel: RelId,
+        threshold: f64,
+    ) -> SiasResult<GcStats> {
+        if self.txm.active_count() != 0 {
+            return Err(SiasError::Device(
+                "vacuum requires a quiescent system (no active transactions)".into(),
+            ));
+        }
+        let r = self.relation_handle(rel)?;
+        let horizon = self.txm.horizon();
+        let mut stats = GcStats::default();
+        let nblocks = self.stack.space.relation_blocks(rel);
+        for block in 0..nblocks {
+            if r.append.open_block() == Some(block) || r.append.is_free(block) {
+                continue; // never touch the open append page or reclaimed blocks
+            }
+            stats.pages_examined += 1;
+            let versions: Vec<(u16, Vec<u8>)> = self.stack.pool.with_page(rel, block, |p| {
+                p.live_slots().map(|s| (s, p.item(s).expect("live").to_vec())).collect()
+            })?;
+            if versions.is_empty() {
+                continue;
+            }
+            // Classify: compute the keep-chain of every data item present
+            // on this block (clearing fully-dead items as a side effect).
+            let mut vids = BTreeSet::new();
+            for (_, bytes) in &versions {
+                vids.insert(TupleVersion::decode(bytes)?.vid);
+            }
+            let mut items: Vec<ItemChains> = Vec::new();
+            for vid in vids {
+                if let Some(item) = self.classify_item(&r, rel, vid, horizon, &mut stats)? {
+                    items.push(item);
+                }
+            }
+            // A version is *reachable* when a chain walk from the
+            // entrypoint can still pass through it (anything down to the
+            // anchor, aborted interior versions included).
+            let reach_tids: BTreeSet<Tid> =
+                items.iter().flat_map(|i| i.reach.iter().map(|(t, _)| *t)).collect();
+            let live_here = versions
+                .iter()
+                .filter(|(slot, _)| reach_tids.contains(&Tid::new(block, *slot)))
+                .count();
+            let dead_here = versions.len() - live_here;
+            if live_here == 0 {
+                r.append.recycle(block);
+                stats.pages_reclaimed += 1;
+                stats.versions_discarded += dead_here as u64;
+                continue;
+            }
+            if (dead_here as f64) / (versions.len() as f64) < threshold {
+                continue; // not a victim yet
+            }
+            // Victim with reachable versions: re-insert the keep-chains of
+            // the items that still reach into this block, then recycle.
+            let mut ok = true;
+            for item in &items {
+                if item.reach.iter().all(|(t, _)| t.block != block) {
+                    continue; // this item's reachable versions live elsewhere
+                }
+                if !self.relocate_chain(&r, item.vid, item.entry, &item.keep, &mut stats)? {
+                    ok = false;
+                }
+            }
+            if ok {
+                r.append.recycle(block);
+                stats.pages_reclaimed += 1;
+                stats.versions_discarded += dead_here as u64;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Computes the reachable prefix and keep-chain of a data item. The
+    /// *reach* is every version a chain walk can still pass through
+    /// (entrypoint down to the anchor); the *keep* is its committed
+    /// subset, which relocation re-inserts (splicing out aborted interior
+    /// versions). Items that turn out fully dead (aged tombstone,
+    /// aborted-only chain) are erased here and `None` is returned.
+    fn classify_item(
+        &self,
+        r: &SiasRelation,
+        rel: RelId,
+        vid: Vid,
+        horizon: Xid,
+        stats: &mut GcStats,
+    ) -> SiasResult<Option<ItemChains>> {
+        let Some(entry) = r.vidmap.get(vid) else {
+            return Ok(None); // already cleared: residue is orphaned/dead
+        };
+        let reach = collect_reachable(&self.stack.pool, rel, entry, horizon, &self.txm.clog)?;
+        let keep: Vec<(Tid, TupleVersion)> = reach
+            .iter()
+            .filter(|(_, v)| self.txm.clog.status(v.create) == TxnStatus::Committed)
+            .cloned()
+            .collect();
+        let anchored = reach
+            .last()
+            .map(|(_, v)| {
+                self.txm.clog.status(v.create) == TxnStatus::Committed && v.create < horizon
+            })
+            .unwrap_or(false);
+        // Aged tombstone: the only version any snapshot can see says
+        // "deleted" — the whole item is reclaimable.
+        if anchored && keep.len() == 1 && keep[0].1.tombstone {
+            let t = &keep[0].1;
+            if t.payload.len() == 8 {
+                let key = u64::from_le_bytes(t.payload.as_ref().try_into().unwrap());
+                let _ = r.index.remove(key, vid.0)?;
+            }
+            r.vidmap.remove(vid);
+            stats.items_cleared += 1;
+            return Ok(None);
+        }
+        if keep.is_empty() {
+            // Whole chain aborted/crashed: the item never existed.
+            r.vidmap.remove(vid);
+            stats.items_cleared += 1;
+            return Ok(None);
+        }
+        Ok(Some(ItemChains { vid, entry, reach, keep }))
+    }
+
+    /// Re-inserts a keep-chain (oldest first), rebuilding predecessor
+    /// pointers, and swings the VID map to the relocated entrypoint.
+    fn relocate_chain(
+        &self,
+        r: &SiasRelation,
+        vid: Vid,
+        entry: Tid,
+        keep: &[(Tid, TupleVersion)],
+        stats: &mut GcStats,
+    ) -> SiasResult<bool> {
+        let mut new_pred: Option<(Tid, Xid)> = None;
+        let mut new_entry = None;
+        for (_, v) in keep.iter().rev() {
+            let rebuilt = TupleVersion {
+                create: v.create,
+                vid,
+                pred: new_pred.map(|(t, _)| t),
+                pred_create: new_pred.map(|(_, c)| c).unwrap_or(Xid::INVALID),
+                tombstone: v.tombstone,
+                payload: v.payload.clone(),
+            };
+            let tid = r.append.append(&rebuilt.encode())?;
+            stats.versions_relocated += 1;
+            new_pred = Some((tid, v.create));
+            new_entry = Some(tid);
+        }
+        let new_entry = new_entry.expect("non-empty keep chain");
+        if !r.vidmap.compare_and_set(vid, Some(entry), new_entry) {
+            return Err(SiasError::Device(format!(
+                "vidmap entry of {vid} moved during quiescent vacuum"
+            )));
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::append::FlushPolicy;
+    use sias_storage::StorageConfig;
+    use sias_txn::MvccEngine;
+
+    fn db() -> (SiasDb, RelId) {
+        let db = SiasDb::open_with_policy(StorageConfig::in_memory(), FlushPolicy::T2);
+        let rel = db.create_relation("t");
+        (db, rel)
+    }
+
+    #[test]
+    fn vacuum_requires_quiescence() {
+        let (db, _rel) = db();
+        let t = db.begin();
+        assert!(db.vacuum_all().is_err());
+        db.commit(t).unwrap();
+        assert!(db.vacuum_all().is_ok());
+    }
+
+    #[test]
+    fn updates_then_vacuum_reclaims_old_versions() {
+        let (db, rel) = db();
+        let t = db.begin();
+        let vid = db.insert_item(&t, rel, &[0u8; 512]).unwrap();
+        db.commit(t).unwrap();
+        // 200 updates: chain of 201 versions over many pages.
+        for i in 1..=200u8 {
+            let t = db.begin();
+            db.update_item(&t, rel, vid, &[i; 512]).unwrap();
+            db.commit(t).unwrap();
+        }
+        let s = db.vacuum_relation(rel).unwrap();
+        assert!(s.pages_reclaimed > 5, "stats: {s:?}");
+        assert!(s.versions_discarded >= 190, "stats: {s:?}");
+        // The item survives with its newest value.
+        let t = db.begin();
+        assert_eq!(db.read_item(&t, rel, vid).unwrap().unwrap().as_ref(), &[200u8; 512]);
+        db.commit(t).unwrap();
+        // The reachable chain has been truncated to the visible suffix.
+        let r = db.relation_handle(rel).unwrap();
+        let entry = r.vidmap.get(vid).unwrap();
+        let reach =
+            collect_reachable(&db.stack.pool, rel, entry, db.txm.horizon(), &db.txm.clog)
+                .unwrap();
+        assert!(reach.len() <= 2, "reachable chain still {} long", reach.len());
+    }
+
+    #[test]
+    fn vacuum_preserves_scan_results() {
+        let (db, rel) = db();
+        let t = db.begin();
+        for k in 0..50u64 {
+            db.insert(&t, rel, k, format!("v0-{k}").as_bytes()).unwrap();
+        }
+        db.commit(t).unwrap();
+        for round in 1..=5u32 {
+            let t = db.begin();
+            for k in (0..50u64).step_by(3) {
+                db.update(&t, rel, k, format!("v{round}-{k}").as_bytes()).unwrap();
+            }
+            db.commit(t).unwrap();
+        }
+        let t = db.begin();
+        let before = db.scan_all(&t, rel).unwrap();
+        db.commit(t).unwrap();
+        db.vacuum_relation(rel).unwrap();
+        let t = db.begin();
+        let after = db.scan_all(&t, rel).unwrap();
+        db.commit(t).unwrap();
+        assert_eq!(before, after, "vacuum must not change visible state");
+        // And both scan paths agree post-vacuum.
+        let t = db.begin();
+        let vm = db.scan_vidmap(&t, rel).unwrap();
+        let trad = db.scan_traditional(&t, rel).unwrap();
+        db.commit(t).unwrap();
+        assert_eq!(vm, trad);
+    }
+
+    #[test]
+    fn old_tombstones_clear_items_and_index_records() {
+        let (db, rel) = db();
+        let t = db.begin();
+        for k in 0..10u64 {
+            // Payload large enough that deletes land on sealed pages.
+            db.insert(&t, rel, k, &[7u8; 1500]).unwrap();
+        }
+        db.commit(t).unwrap();
+        let t = db.begin();
+        for k in 0..5u64 {
+            db.delete(&t, rel, k).unwrap();
+        }
+        db.commit(t).unwrap();
+        let s = db.vacuum_relation(rel).unwrap();
+        assert_eq!(s.items_cleared, 5, "stats: {s:?}");
+        let r = db.relation_handle(rel).unwrap();
+        assert_eq!(r.vidmap.occupied(), 5);
+        // Index records of the erased items are gone too.
+        for k in 0..5u64 {
+            assert_eq!(r.index.lookup(k).unwrap(), Vec::<u64>::new(), "key {k}");
+        }
+        let t = db.begin();
+        assert_eq!(db.scan_all(&t, rel).unwrap().len(), 5);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn aborted_only_chains_are_erased() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, &[1u8; 3000]).unwrap();
+        db.abort(t);
+        // Seal the open page so vacuum can look at it.
+        let t = db.begin();
+        for k in 10..20u64 {
+            db.insert(&t, rel, k, &[2u8; 3000]).unwrap();
+        }
+        db.commit(t).unwrap();
+        let s = db.vacuum_relation(rel).unwrap();
+        assert!(s.items_cleared >= 1, "stats: {s:?}");
+        let t = db.begin();
+        assert_eq!(db.get(&t, rel, 1).unwrap(), None);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn recycled_pages_are_reused_by_new_appends() {
+        let (db, rel) = db();
+        let t = db.begin();
+        let vid = db.insert_item(&t, rel, &[1u8; 2000]).unwrap();
+        db.commit(t).unwrap();
+        for i in 0..20u8 {
+            let t = db.begin();
+            db.update_item(&t, rel, vid, &[i; 2000]).unwrap();
+            db.commit(t).unwrap();
+        }
+        let blocks_before = db.stack.space.relation_blocks(rel);
+        db.vacuum_relation(rel).unwrap();
+        let r = db.relation_handle(rel).unwrap();
+        assert!(r.append.free_blocks() > 0);
+        // New traffic reuses reclaimed blocks instead of growing the file.
+        for i in 0..20u8 {
+            let t = db.begin();
+            db.update_item(&t, rel, vid, &[i; 2000]).unwrap();
+            db.commit(t).unwrap();
+        }
+        let blocks_after = db.stack.space.relation_blocks(rel);
+        assert!(
+            blocks_after <= blocks_before + 2,
+            "relation should not regrow: {blocks_before} -> {blocks_after}"
+        );
+    }
+
+    #[test]
+    fn vacuum_leaves_mostly_live_pages_alone() {
+        let (db, rel) = db();
+        // Insert-only workload: everything is live; vacuum must be a no-op.
+        let t = db.begin();
+        for k in 0..200u64 {
+            db.insert(&t, rel, k, &[3u8; 500]).unwrap();
+        }
+        db.commit(t).unwrap();
+        let s = db.vacuum_relation(rel).unwrap();
+        assert_eq!(s.pages_reclaimed, 0, "stats: {s:?}");
+        assert_eq!(s.versions_relocated, 0);
+        assert_eq!(s.versions_discarded, 0);
+    }
+
+    #[test]
+    fn vacuum_trims_reclaimed_pages_on_flash() {
+        use sias_storage::{Media, FlashConfig};
+        let storage = sias_storage::StorageConfig {
+            media: Media::SsdRaid { members: 1, flash: FlashConfig::default() },
+            pool_frames: 256,
+            capacity_pages: 1 << 14,
+        };
+        let db = SiasDb::open_with_policy(storage, FlushPolicy::T2);
+        let rel = db.create_relation("t");
+        let t = db.begin();
+        let vid = db.insert_item(&t, rel, &[0u8; 1024]).unwrap();
+        db.commit(t).unwrap();
+        for i in 0..100u8 {
+            let t = db.begin();
+            db.update_item(&t, rel, vid, &[i; 1024]).unwrap();
+            db.commit(t).unwrap();
+        }
+        let s = db.vacuum_relation(rel).unwrap();
+        assert!(s.pages_reclaimed > 0);
+        let dev = db.stack().data.stats();
+        assert!(
+            dev.trims >= s.pages_reclaimed,
+            "every reclaimed page must be TRIMmed: {} trims, {} reclaimed",
+            dev.trims,
+            s.pages_reclaimed
+        );
+    }
+
+    #[test]
+    fn vacuum_is_idempotent() {
+        let (db, rel) = db();
+        let t = db.begin();
+        for k in 0..20u64 {
+            db.insert(&t, rel, k, &[4u8; 700]).unwrap();
+        }
+        db.commit(t).unwrap();
+        for _ in 0..3 {
+            let t = db.begin();
+            for k in 0..20u64 {
+                db.update(&t, rel, k, &[5u8; 700]).unwrap();
+            }
+            db.commit(t).unwrap();
+        }
+        db.vacuum_relation(rel).unwrap();
+        let second = db.vacuum_relation(rel).unwrap();
+        assert_eq!(second.versions_discarded, 0, "second pass finds nothing: {second:?}");
+        assert_eq!(second.versions_relocated, 0);
+        assert_eq!(second.pages_reclaimed, 0);
+    }
+}

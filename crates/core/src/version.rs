@@ -1,0 +1,204 @@
+//! Tuple versions and their on-tuple information (§4.1.1).
+//!
+//! A SIAS tuple version carries:
+//!
+//! 1. the **creation timestamp** (inserting transaction's id);
+//! 2. the **VID**, equal among all versions of the data item;
+//! 3. the **predecessor pointer** `*ptr` — a physical TID, or NULL for
+//!    the first version — plus the predecessor's creation timestamp
+//!    (Algorithm 3 line 10, `X_n.pred.create = X_e.create`), which lets
+//!    SIAS derive the paper's "implicit invalidation timestamp" of the
+//!    predecessor without ever touching it;
+//! 4. the attribute payload.
+//!
+//! There is **explicitly no invalidation timestamp** on a version — "the
+//! chained structure of the data item's tuple versions *codes* this
+//! information along the version chain". Versions are immutable once
+//! appended, which is why SIAS reads need no latches on tuple data.
+//!
+//! A deletion appends a **tombstone** version (§4.2.2), flagged here.
+
+use bytes::Bytes;
+use sias_common::{SiasError, SiasResult, Tid, Vid, Xid};
+
+const FLAG_HAS_PRED: u8 = 0b01;
+const FLAG_TOMBSTONE: u8 = 0b10;
+
+/// Fixed-size header portion of a serialized version.
+pub const VERSION_HEADER_SIZE: usize = 8 + 8 + 1 + 4 + 2 + 8 + 4;
+
+/// One immutable tuple version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TupleVersion {
+    /// Creation timestamp = inserting transaction id.
+    pub create: Xid,
+    /// Data-item identity, equal across the whole chain.
+    pub vid: Vid,
+    /// Physical location of the predecessor version (`*ptr`), if any.
+    pub pred: Option<Tid>,
+    /// Creation timestamp of the predecessor (meaningful iff `pred` is
+    /// set); the predecessor's implicit invalidation timestamp equals
+    /// `self.create`.
+    pub pred_create: Xid,
+    /// True for delete markers.
+    pub tombstone: bool,
+    /// Attribute payload.
+    pub payload: Bytes,
+}
+
+impl TupleVersion {
+    /// First version of a new data item (Algorithm 2: `*ptr = null`).
+    pub fn initial(create: Xid, vid: Vid, payload: impl Into<Bytes>) -> Self {
+        TupleVersion {
+            create,
+            vid,
+            pred: None,
+            pred_create: Xid::INVALID,
+            tombstone: false,
+            payload: payload.into(),
+        }
+    }
+
+    /// Successor version chained to its predecessor (Algorithm 3).
+    pub fn successor(
+        create: Xid,
+        vid: Vid,
+        pred: Tid,
+        pred_create: Xid,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        TupleVersion {
+            create,
+            vid,
+            pred: Some(pred),
+            pred_create,
+            tombstone: false,
+            payload: payload.into(),
+        }
+    }
+
+    /// Tombstone marking the data item deleted (§4.2.2).
+    pub fn tombstone(create: Xid, vid: Vid, pred: Tid, pred_create: Xid) -> Self {
+        TupleVersion {
+            create,
+            vid,
+            pred: Some(pred),
+            pred_create,
+            tombstone: true,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        VERSION_HEADER_SIZE + self.payload.len()
+    }
+
+    /// Serializes into a page item.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.create.0.to_le_bytes());
+        out.extend_from_slice(&self.vid.0.to_le_bytes());
+        let mut flags = 0u8;
+        if self.pred.is_some() {
+            flags |= FLAG_HAS_PRED;
+        }
+        if self.tombstone {
+            flags |= FLAG_TOMBSTONE;
+        }
+        out.push(flags);
+        let pred = self.pred.unwrap_or(Tid::new(0, 0));
+        out.extend_from_slice(&pred.block.to_le_bytes());
+        out.extend_from_slice(&pred.slot.to_le_bytes());
+        out.extend_from_slice(&self.pred_create.0.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserializes a page item.
+    pub fn decode(buf: &[u8]) -> SiasResult<TupleVersion> {
+        if buf.len() < VERSION_HEADER_SIZE {
+            return Err(SiasError::Device("truncated tuple version".into()));
+        }
+        let create = Xid(u64::from_le_bytes(buf[0..8].try_into().unwrap()));
+        let vid = Vid(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+        let flags = buf[16];
+        let block = u32::from_le_bytes(buf[17..21].try_into().unwrap());
+        let slot = u16::from_le_bytes(buf[21..23].try_into().unwrap());
+        let pred_create = Xid(u64::from_le_bytes(buf[23..31].try_into().unwrap()));
+        let plen = u32::from_le_bytes(buf[31..35].try_into().unwrap()) as usize;
+        if buf.len() < VERSION_HEADER_SIZE + plen {
+            return Err(SiasError::Device("truncated tuple payload".into()));
+        }
+        Ok(TupleVersion {
+            create,
+            vid,
+            pred: if flags & FLAG_HAS_PRED != 0 { Some(Tid::new(block, slot)) } else { None },
+            pred_create,
+            tombstone: flags & FLAG_TOMBSTONE != 0,
+            payload: Bytes::copy_from_slice(&buf[VERSION_HEADER_SIZE..VERSION_HEADER_SIZE + plen]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_version_has_no_pred() {
+        let v = TupleVersion::initial(Xid(3), Vid(7), &b"data"[..]);
+        assert_eq!(v.pred, None);
+        assert!(!v.tombstone);
+        assert_eq!(v.payload.as_ref(), b"data");
+    }
+
+    #[test]
+    fn roundtrip_initial() {
+        let v = TupleVersion::initial(Xid(3), Vid(7), &b"hello world"[..]);
+        let got = TupleVersion::decode(&v.encode()).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn roundtrip_successor() {
+        let v = TupleVersion::successor(Xid(9), Vid(7), Tid::new(12, 3), Xid(3), &b"v2"[..]);
+        let got = TupleVersion::decode(&v.encode()).unwrap();
+        assert_eq!(got, v);
+        assert_eq!(got.pred, Some(Tid::new(12, 3)));
+        assert_eq!(got.pred_create, Xid(3));
+    }
+
+    #[test]
+    fn roundtrip_tombstone() {
+        let v = TupleVersion::tombstone(Xid(11), Vid(7), Tid::new(12, 3), Xid(9));
+        let got = TupleVersion::decode(&v.encode()).unwrap();
+        assert!(got.tombstone);
+        assert!(got.payload.is_empty());
+    }
+
+    #[test]
+    fn pred_zero_tid_distinct_from_none() {
+        // A predecessor at block 0 slot 0 must not decode as "no pred".
+        let v = TupleVersion::successor(Xid(2), Vid(1), Tid::new(0, 0), Xid(1), &b"x"[..]);
+        let got = TupleVersion::decode(&v.encode()).unwrap();
+        assert_eq!(got.pred, Some(Tid::new(0, 0)));
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let v = TupleVersion::initial(Xid(1), Vid(0), Bytes::new());
+        let got = TupleVersion::decode(&v.encode()).unwrap();
+        assert_eq!(got, v);
+        assert_eq!(v.encoded_len(), VERSION_HEADER_SIZE);
+    }
+
+    #[test]
+    fn truncated_buffers_rejected() {
+        let v = TupleVersion::initial(Xid(1), Vid(0), &b"abc"[..]);
+        let enc = v.encode();
+        assert!(TupleVersion::decode(&enc[..10]).is_err());
+        assert!(TupleVersion::decode(&enc[..enc.len() - 1]).is_err());
+    }
+}

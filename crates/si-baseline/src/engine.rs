@@ -1,0 +1,656 @@
+//! The SI baseline engine — "the traditional (SI) approach" of Figure 1.
+//!
+//! Mirrors how vanilla PostgreSQL executes the same workload:
+//!
+//! * an **update** fetches the page of the old version and stamps its
+//!   `xmax` *in place* (dirtying that page), then writes the new version
+//!   to *"any (arbitrary) page that contains enough free space"* chosen
+//!   through the free-space map (dirtying a second, unrelated page), and
+//!   finally inserts a fresh ⟨key, TID⟩ index record — three scattered
+//!   writes per logical update where SIAS performs one append;
+//! * a **delete** is just an in-place `xmax` stamp;
+//! * **visibility** follows SI: a version is visible when its `xmin` is
+//!   visible to the snapshot and its `xmax` is absent, aborted, or not
+//!   visible to the snapshot;
+//! * the **background writer** flushes dirty pages on every maintenance
+//!   tick (the "default setting of the PostgreSQL background writer
+//!   process"), so the scattered dirtying above turns into scattered
+//!   device writes — the Figure 4 blocktrace.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use sias_common::{RelId, SiasError, SiasResult, Tid, Vid, Xid};
+use sias_index::BPlusTree;
+use sias_storage::{FreeSpaceMap, StorageConfig, StorageStack, WalRecord};
+use sias_txn::{MvccEngine, Snapshot, TransactionManager, Txn, TxnStatus};
+
+use crate::tuple::HeapTuple;
+
+/// One SI-managed relation: heap + FSM + per-version ⟨key, TID⟩ index.
+pub struct SiRelation {
+    /// Heap relation id.
+    pub rel: RelId,
+    /// Primary-key index; one record **per tuple version**.
+    pub index: BPlusTree,
+    next_row: AtomicU64,
+}
+
+/// The SI baseline engine over one storage stack.
+pub struct SiDb {
+    stack: StorageStack,
+    txm: Arc<TransactionManager>,
+    catalog: RwLock<HashMap<String, RelId>>,
+    rels: RwLock<HashMap<RelId, Arc<SiRelation>>>,
+    fsm: FreeSpaceMap,
+    next_rel: AtomicU32,
+    bgwriter_budget: usize,
+}
+
+impl SiDb {
+    /// Opens an SI database.
+    pub fn open(cfg: StorageConfig) -> Self {
+        SiDb {
+            stack: StorageStack::new(&cfg),
+            txm: TransactionManager::new_shared(),
+            catalog: RwLock::new(HashMap::new()),
+            rels: RwLock::new(HashMap::new()),
+            fsm: FreeSpaceMap::new(),
+            next_rel: AtomicU32::new(1),
+            bgwriter_budget: 128,
+        }
+    }
+
+    /// The underlying storage stack.
+    pub fn stack(&self) -> &StorageStack {
+        &self.stack
+    }
+
+    /// The transaction manager.
+    pub fn txm(&self) -> &Arc<TransactionManager> {
+        &self.txm
+    }
+
+    /// Handle to a relation.
+    pub fn relation_handle(&self, rel: RelId) -> SiasResult<Arc<SiRelation>> {
+        self.rels.read().get(&rel).cloned().ok_or(SiasError::UnknownRelation(rel))
+    }
+
+    /// SI visibility: `xmin` visible and `xmax` absent / aborted / not
+    /// visible (§3).
+    fn tuple_visible(&self, snapshot: &Snapshot, t: &HeapTuple) -> bool {
+        if !snapshot.sees(t.xmin, &self.txm.clog) {
+            return false;
+        }
+        if !t.xmax.is_valid() {
+            return true;
+        }
+        // A version stamped by an aborted transaction is still live.
+        if self.txm.clog.status(t.xmax) == TxnStatus::Aborted && !self.txm.is_active(t.xmax) {
+            return true;
+        }
+        !snapshot.sees(t.xmax, &self.txm.clog)
+    }
+
+    fn fetch_tuple(&self, rel: RelId, tid: Tid) -> SiasResult<HeapTuple> {
+        let bytes =
+            self.stack.pool.with_page(rel, tid.block, |p| p.item(tid.slot).map(<[u8]>::to_vec))??;
+        HeapTuple::decode(&bytes)
+    }
+
+    /// Places a tuple image on a page with enough free space (FSM), or
+    /// extends the relation. Returns the TID. Dirties the chosen page.
+    fn place_tuple(&self, rel: RelId, image: &[u8]) -> SiasResult<Tid> {
+        // FSM-guided arbitrary placement first.
+        for _attempt in 0..4 {
+            let Some(block) = self.fsm.find(rel, image.len() + 8) else { break };
+            let placed = self.stack.pool.with_page_mut(rel, block, |p| {
+                let slot = p.add_item(image);
+                let free = p.free_space();
+                (slot, free)
+            })?;
+            let (slot, free) = placed;
+            self.fsm.note(rel, block, free);
+            if let Some(slot) = slot? {
+                return Ok(Tid::new(block, slot));
+            }
+            // FSM was stale; it has been corrected — retry.
+        }
+        // Extend the heap.
+        let block = self.stack.pool.allocate_block(rel)?;
+        let (slot, free) = self.stack.pool.with_page_mut(rel, block, |p| {
+            let slot = p.add_item(image);
+            let free = p.free_space();
+            (slot, free)
+        })?;
+        self.fsm.note(rel, block, free);
+        let slot = slot?.ok_or(SiasError::TupleTooLarge {
+            size: image.len(),
+            max: sias_common::PAGE_SIZE,
+        })?;
+        Ok(Tid::new(block, slot))
+    }
+
+    /// Stamps `xmax` on an existing version **in place** — the small
+    /// update SIAS eliminates. Dirties the old version's page.
+    fn invalidate_in_place(&self, rel: RelId, tid: Tid, xmax: Xid) -> SiasResult<()> {
+        self.stack.pool.with_page_mut(rel, tid.block, |p| {
+            let mut image = p.item(tid.slot)?.to_vec();
+            HeapTuple::stamp_xmax(&mut image, xmax);
+            p.overwrite_item(tid.slot, &image)
+        })??;
+        self.stack.wal.append(&WalRecord::Invalidate { xid: xmax, rel, tid });
+        Ok(())
+    }
+
+    /// Locates the visible version of `key` via the per-version index.
+    fn visible_by_key(
+        &self,
+        txn: &Txn,
+        r: &SiRelation,
+        key: u64,
+    ) -> SiasResult<Option<(Tid, HeapTuple)>> {
+        // Newest version first: index entries of a key accumulate one
+        // per version and later versions pack to larger TIDs, so probing
+        // in reverse finds the (unique) visible version almost
+        // immediately instead of wading through dead ones.
+        for packed in r.index.lookup(key)?.into_iter().rev() {
+            let Some(tid) = Tid::unpack(packed) else { continue };
+            let t = self.fetch_tuple(r.rel, tid)?;
+            if t.key == key && self.tuple_visible(&txn.snapshot, &t) {
+                return Ok(Some((tid, t)));
+            }
+        }
+        Ok(None)
+    }
+
+
+    /// SSI read hook (no-op unless serializable mode is on).
+    fn ssi_read(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
+        if self.txm.ssi.is_enabled()
+            && self.txm.ssi.on_read(txn.xid, rel, key, None) == sias_txn::SsiVerdict::MustAbort
+        {
+            return Err(SiasError::SerializationFailure(txn.xid));
+        }
+        Ok(())
+    }
+
+    /// SSI write hook: flags rw-antidependencies from concurrent readers
+    /// of `key`; aborts the writer when it becomes a pivot.
+    fn ssi_write(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
+        if self.txm.ssi.is_enabled() {
+            let txm = &self.txm;
+            let verdict = txm.ssi.on_write(txn.xid, rel, key, |r| {
+                txm.is_active(r) || txn.snapshot.is_concurrent(r) || r > txn.xid
+            });
+            if verdict == sias_txn::SsiVerdict::MustAbort {
+                return Err(SiasError::SerializationFailure(txn.xid));
+            }
+        }
+        Ok(())
+    }
+
+    /// Full-relation scan applying SI visibility — the only scan SI has.
+    pub fn scan_heap(&self, txn: &Txn, rel: RelId) -> SiasResult<Vec<(u64, Bytes)>> {
+        let nblocks = self.stack.space.relation_blocks(rel);
+        let mut out = Vec::new();
+        for block in 0..nblocks {
+            let items: Vec<Vec<u8>> = self.stack.pool.with_page(rel, block, |p| {
+                p.live_slots().map(|s| p.item(s).expect("live").to_vec()).collect()
+            })?;
+            for bytes in items {
+                let t = HeapTuple::decode(&bytes)?;
+                if self.tuple_visible(&txn.snapshot, &t) {
+                    out.push((t.key, t.payload));
+                }
+            }
+        }
+        out.sort_by_key(|(k, _)| *k);
+        Ok(out)
+    }
+}
+
+impl MvccEngine for SiDb {
+    fn name(&self) -> &'static str {
+        "si"
+    }
+
+    fn create_relation(&self, name: &str) -> RelId {
+        if let Some(&rel) = self.catalog.read().get(name) {
+            return rel;
+        }
+        let mut catalog = self.catalog.write();
+        if let Some(&rel) = catalog.get(name) {
+            return rel;
+        }
+        let base = self.next_rel.fetch_add(2, Ordering::Relaxed);
+        let rel = RelId(base);
+        let index_rel = RelId(base + 1);
+        self.stack.space.create_relation(rel);
+        let index = BPlusTree::create(Arc::clone(&self.stack.pool), index_rel)
+            .expect("index creation on fresh relation");
+        self.rels
+            .write()
+            .insert(rel, Arc::new(SiRelation { rel, index, next_row: AtomicU64::new(0) }));
+        catalog.insert(name.to_string(), rel);
+        self.stack.wal.append(&WalRecord::CreateRelation { rel, name: name.to_string() });
+        rel
+    }
+
+    fn relation(&self, name: &str) -> Option<RelId> {
+        self.catalog.read().get(name).copied()
+    }
+
+    fn begin(&self) -> Txn {
+        let txn = self.txm.begin();
+        self.stack.wal.append(&WalRecord::Begin(txn.xid));
+        txn
+    }
+
+    fn commit(&self, txn: Txn) -> SiasResult<()> {
+        self.stack.wal.append(&WalRecord::Commit(txn.xid));
+        self.stack.wal.force();
+        self.txm.commit(txn)
+    }
+
+    fn abort(&self, txn: Txn) {
+        self.stack.wal.append(&WalRecord::Abort(txn.xid));
+        self.txm.abort(txn);
+    }
+
+    fn insert(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
+        let r = self.relation_handle(rel)?;
+        if self.visible_by_key(txn, &r, key)?.is_some() {
+            return Err(SiasError::Index(format!("duplicate key {key}")));
+        }
+        self.ssi_write(txn, rel, key)?;
+        let row = r.next_row.fetch_add(1, Ordering::Relaxed);
+        self.txm.locks.try_lock(rel, Vid(row), txn.xid);
+        let t = HeapTuple::new(txn.xid, row, key, Bytes::copy_from_slice(payload));
+        let image = t.encode();
+        let tid = self.place_tuple(rel, &image)?;
+        self.stack.wal.append(&WalRecord::Insert {
+            xid: txn.xid,
+            rel,
+            tid,
+            vid: Vid(row),
+            payload: image,
+        });
+        self.stack.wal.append(&WalRecord::IndexInsert {
+            xid: txn.xid,
+            rel,
+            key,
+            value: tid.pack(),
+        });
+        r.index.insert(key, tid.pack())
+    }
+
+    fn update(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
+        let r = self.relation_handle(rel)?;
+        let (tid, old) =
+            self.visible_by_key(txn, &r, key)?.ok_or(SiasError::KeyNotFound(key))?;
+        self.ssi_write(txn, rel, key)?;
+        // First-updater-wins via the row lock, as in PostgreSQL.
+        self.txm.locks.lock(rel, Vid(old.row), txn.xid)?;
+        // Re-validate under the lock: a concurrent winner may have
+        // committed a newer version.
+        let current = self.fetch_tuple(rel, tid)?;
+        if current.xmax.is_valid()
+            && self.txm.clog.status(current.xmax) != TxnStatus::Aborted
+            && current.xmax != txn.xid
+        {
+            return Err(SiasError::WriteConflict { vid: Vid(old.row), winner: current.xmax });
+        }
+        // (1) In-place invalidation of the old version.
+        self.invalidate_in_place(rel, tid, txn.xid)?;
+        // (2) New version on an arbitrary page with space.
+        let newt = HeapTuple::new(txn.xid, old.row, key, Bytes::copy_from_slice(payload));
+        let image = newt.encode();
+        let new_tid = self.place_tuple(rel, &image)?;
+        self.stack.wal.append(&WalRecord::Insert {
+            xid: txn.xid,
+            rel,
+            tid: new_tid,
+            vid: Vid(old.row),
+            payload: image,
+        });
+        // (3) A fresh index record for the new version — even though the
+        // key did not change.
+        self.stack.wal.append(&WalRecord::IndexInsert {
+            xid: txn.xid,
+            rel,
+            key,
+            value: new_tid.pack(),
+        });
+        r.index.insert(key, new_tid.pack())
+    }
+
+    fn delete(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
+        let r = self.relation_handle(rel)?;
+        let (tid, old) =
+            self.visible_by_key(txn, &r, key)?.ok_or(SiasError::KeyNotFound(key))?;
+        self.ssi_write(txn, rel, key)?;
+        self.txm.locks.lock(rel, Vid(old.row), txn.xid)?;
+        let current = self.fetch_tuple(rel, tid)?;
+        if current.xmax.is_valid()
+            && self.txm.clog.status(current.xmax) != TxnStatus::Aborted
+            && current.xmax != txn.xid
+        {
+            return Err(SiasError::WriteConflict { vid: Vid(old.row), winner: current.xmax });
+        }
+        self.invalidate_in_place(rel, tid, txn.xid)
+    }
+
+    fn get(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<Option<Bytes>> {
+        let r = self.relation_handle(rel)?;
+        self.ssi_read(txn, rel, key)?;
+        Ok(self.visible_by_key(txn, &r, key)?.map(|(_, t)| t.payload))
+    }
+
+    fn scan_range(
+        &self,
+        txn: &Txn,
+        rel: RelId,
+        lo: u64,
+        hi: u64,
+    ) -> SiasResult<Vec<(u64, Bytes)>> {
+        let r = self.relation_handle(rel)?;
+        let mut out: Vec<(u64, Bytes)> = Vec::new();
+        for (key, packed) in r.index.range(lo, hi)? {
+            // Several index records may exist per key (one per version):
+            // keep the visible one, once.
+            if out.last().map(|(k, _)| *k) == Some(key) {
+                continue;
+            }
+            let Some(tid) = Tid::unpack(packed) else { continue };
+            let t = self.fetch_tuple(rel, tid)?;
+            if t.key == key && self.tuple_visible(&txn.snapshot, &t) {
+                self.ssi_read(txn, rel, key)?;
+                out.push((key, t.payload));
+            }
+        }
+        Ok(out)
+    }
+
+    fn maintenance(&self, checkpoint: bool) {
+        // Vanilla PostgreSQL configuration: the background writer runs
+        // every tick, persisting scattered dirty pages.
+        self.stack.pool.bgwriter_round(self.bgwriter_budget);
+        if checkpoint {
+            self.stack.wal.append(&WalRecord::Checkpoint);
+            self.stack.wal.force();
+            self.stack.pool.flush_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> (SiDb, RelId) {
+        let db = SiDb::open(StorageConfig::in_memory());
+        let rel = db.create_relation("t");
+        (db, rel)
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"one").unwrap();
+        assert_eq!(db.get(&t, rel, 1).unwrap().unwrap().as_ref(), b"one");
+        db.update(&t, rel, 1, b"uno").unwrap();
+        assert_eq!(db.get(&t, rel, 1).unwrap().unwrap().as_ref(), b"uno");
+        db.delete(&t, rel, 1).unwrap();
+        assert_eq!(db.get(&t, rel, 1).unwrap(), None);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn snapshot_isolation_semantics() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"v1").unwrap();
+        db.commit(t).unwrap();
+        let reader = db.begin();
+        let writer = db.begin();
+        db.update(&writer, rel, 1, b"v2").unwrap();
+        db.commit(writer).unwrap();
+        assert_eq!(db.get(&reader, rel, 1).unwrap().unwrap().as_ref(), b"v1");
+        db.commit(reader).unwrap();
+        let t = db.begin();
+        assert_eq!(db.get(&t, rel, 1).unwrap().unwrap().as_ref(), b"v2");
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn update_dirties_the_old_versions_page() {
+        // The defining behaviour of the baseline: invalidation stamps the
+        // OLD page. After one update there are two versions: the old one
+        // with xmax set (same page as before), the new one elsewhere.
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"v1").unwrap();
+        db.commit(t).unwrap();
+        let r = db.relation_handle(rel).unwrap();
+        let old_tid = Tid::unpack(r.index.lookup(1).unwrap()[0]).unwrap();
+        let t = db.begin();
+        let xid = t.xid;
+        db.update(&t, rel, 1, b"v2").unwrap();
+        db.commit(t).unwrap();
+        let old = db.fetch_tuple(rel, old_tid).unwrap();
+        assert_eq!(old.xmax, xid, "old version stamped in place");
+        assert_eq!(old.payload.as_ref(), b"v1", "payload untouched");
+        // Two index records now exist for key 1.
+        assert_eq!(r.index.lookup(1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn aborted_update_leaves_item_live() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"v1").unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin();
+        db.update(&t, rel, 1, b"doomed").unwrap();
+        db.abort(t);
+        let t = db.begin();
+        assert_eq!(db.get(&t, rel, 1).unwrap().unwrap().as_ref(), b"v1");
+        // Updatable again despite the stale xmax stamp.
+        db.update(&t, rel, 1, b"v2").unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin();
+        assert_eq!(db.get(&t, rel, 1).unwrap().unwrap().as_ref(), b"v2");
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn first_updater_wins() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"base").unwrap();
+        db.commit(t).unwrap();
+        let a = db.begin();
+        let b = db.begin();
+        db.update(&a, rel, 1, b"a").unwrap();
+        db.commit(a).unwrap();
+        let err = db.update(&b, rel, 1, b"b").unwrap_err();
+        assert!(matches!(err, SiasError::WriteConflict { .. }), "got {err:?}");
+        db.abort(b);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 5, b"x").unwrap();
+        assert!(db.insert(&t, rel, 5, b"y").is_err());
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn scans_heap_and_index_agree() {
+        let (db, rel) = db();
+        let t = db.begin();
+        for k in 0..40u64 {
+            db.insert(&t, rel, k, format!("r{k}").as_bytes()).unwrap();
+        }
+        db.commit(t).unwrap();
+        let t = db.begin();
+        for k in (0..40u64).step_by(4) {
+            db.update(&t, rel, k, b"upd").unwrap();
+        }
+        db.delete(&t, rel, 39).unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin();
+        let via_index = db.scan_all(&t, rel).unwrap();
+        let via_heap = db.scan_heap(&t, rel).unwrap();
+        assert_eq!(via_index.len(), 39);
+        assert_eq!(via_index, via_heap);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn invalidation_stamps_scatter_writes_across_the_relation() {
+        // The Figure 4 effect: updating rows that live all over the heap
+        // dirties (and, after a background-writer round, writes) pages
+        // all over the relation, because every update stamps the OLD
+        // version's page in place.
+        let (db, rel) = db();
+        let t = db.begin();
+        for k in 0..60u64 {
+            db.insert(&t, rel, k, &[7u8; 700]).unwrap(); // ~11/page
+        }
+        db.commit(t).unwrap();
+        db.maintenance(true); // flush the load phase
+        db.stack.trace.clear();
+        db.stack.trace.enable();
+        let t = db.begin();
+        for k in (0..60u64).step_by(11) {
+            db.update(&t, rel, k, &[8u8; 700]).unwrap();
+        }
+        db.commit(t).unwrap();
+        db.maintenance(false); // background-writer round
+        db.stack.trace.disable();
+        let written: std::collections::BTreeSet<u64> = db
+            .stack
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.dir == sias_storage::IoDir::Write)
+            .map(|e| e.lba)
+            .collect();
+        assert!(
+            written.len() >= 4,
+            "in-place stamps must scatter writes over several pages, got {written:?}"
+        );
+    }
+
+    #[test]
+    fn wal_records_invalidations() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"x").unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin();
+        db.update(&t, rel, 1, b"y").unwrap();
+        db.commit(t).unwrap();
+        let records = db.stack.wal.durable_records().unwrap();
+        assert!(records.iter().any(|r| matches!(r, WalRecord::Invalidate { .. })));
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_key() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 7, b"first").unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin();
+        db.delete(&t, rel, 7).unwrap();
+        db.insert(&t, rel, 7, b"second").unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin();
+        assert_eq!(db.get(&t, rel, 7).unwrap().unwrap().as_ref(), b"second");
+        assert_eq!(db.scan_range(&t, rel, 7, 7).unwrap().len(), 1);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let (db, rel) = db();
+        let t = db.begin();
+        assert!(matches!(
+            db.insert(&t, rel, 1, &vec![0u8; 9000]).unwrap_err(),
+            SiasError::TupleTooLarge { .. }
+        ));
+        db.insert(&t, rel, 1, &vec![0u8; 4000]).unwrap();
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn own_delete_then_get_sees_nothing() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"x").unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin();
+        db.delete(&t, rel, 1).unwrap();
+        assert_eq!(db.get(&t, rel, 1).unwrap(), None, "own delete visible to self");
+        db.abort(t);
+        let t = db.begin();
+        assert!(db.get(&t, rel, 1).unwrap().is_some(), "abort restored the row");
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn relations_are_isolated() {
+        let db = SiDb::open(StorageConfig::in_memory());
+        let a = db.create_relation("a");
+        let b = db.create_relation("b");
+        let t = db.begin();
+        db.insert(&t, a, 1, b"in a").unwrap();
+        db.insert(&t, b, 1, b"in b").unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin();
+        assert_eq!(db.get(&t, a, 1).unwrap().unwrap().as_ref(), b"in a");
+        assert_eq!(db.scan_heap(&t, b).unwrap().len(), 1);
+        db.commit(t).unwrap();
+        assert_eq!(db.create_relation("a"), a);
+    }
+
+    #[test]
+    fn concurrent_threads_consistent() {
+        let db = Arc::new(SiDb::open(StorageConfig::in_memory()));
+        let rel = db.create_relation("t");
+        let t = db.begin();
+        for k in 0..16u64 {
+            db.insert(&t, rel, k, b"0").unwrap();
+        }
+        db.commit(t).unwrap();
+        let mut handles = vec![];
+        for tno in 0..8u64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let t = db.begin();
+                    let key = (tno * 31 + i) % 16;
+                    match db.update(&t, rel, key, format!("{tno}:{i}").as_bytes()) {
+                        Ok(()) => db.commit(t).unwrap(),
+                        Err(_) => db.abort(t),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Exactly 16 visible rows remain.
+        let t = db.begin();
+        assert_eq!(db.scan_heap(&t, rel).unwrap().len(), 16);
+        db.commit(t).unwrap();
+    }
+}

@@ -1,0 +1,22 @@
+//! PostgreSQL-style Snapshot Isolation baseline.
+//!
+//! The comparison system of the paper's evaluation: the "traditional (SI)
+//! approach" of Figure 1, with on-tuple `xmin`/`xmax` timestamps,
+//! **in-place invalidation** of superseded versions, free-space-map
+//! placement of new versions on arbitrary pages, and one ⟨key, TID⟩
+//! index record per tuple version.
+//!
+//! Shares everything that is not the point of the comparison with the
+//! SIAS engine: the same pages, buffer pool, device models, WAL,
+//! transaction manager and B+-tree — so measured differences are due to
+//! the invalidation/placement scheme, not incidental implementation
+//! divergence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod tuple;
+
+pub use engine::{SiDb, SiRelation};
+pub use tuple::HeapTuple;

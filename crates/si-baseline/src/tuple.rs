@@ -1,0 +1,129 @@
+//! SI heap tuples.
+//!
+//! The traditional representation the paper compares against (§3): every
+//! tuple version carries **two** timestamps — `xmin` (creation) and
+//! `xmax` (invalidation). An update stamps `xmax` on the old version *in
+//! place* and writes the new version elsewhere; both pages are dirtied.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! [xmin u64][xmax u64][row u64][key u64][len u32][payload …]
+//! ```
+//!
+//! `xmax` sits at a fixed offset so the invalidation stamp is a small
+//! in-place patch of an existing item — exactly the write SIAS
+//! eliminates. `row` is the logical row identity (used for tuple locks),
+//! `key` the primary-key value (kept on the tuple so vacuum can drop
+//! index records).
+
+use bytes::Bytes;
+use sias_common::{SiasError, SiasResult, Xid};
+
+/// Fixed header length of a serialized heap tuple.
+pub const HEAP_HEADER_SIZE: usize = 8 + 8 + 8 + 8 + 4;
+
+/// Byte offset of the `xmax` field within a serialized tuple.
+pub const XMAX_OFFSET: usize = 8;
+
+/// One SI heap tuple version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeapTuple {
+    /// Creation timestamp (inserting transaction).
+    pub xmin: Xid,
+    /// Invalidation timestamp; [`Xid::INVALID`] while live.
+    pub xmax: Xid,
+    /// Logical row identity (lock key; constant across versions).
+    pub row: u64,
+    /// Primary-key value.
+    pub key: u64,
+    /// Attribute payload.
+    pub payload: Bytes,
+}
+
+impl HeapTuple {
+    /// A fresh, live tuple version.
+    pub fn new(xmin: Xid, row: u64, key: u64, payload: impl Into<Bytes>) -> Self {
+        HeapTuple { xmin, xmax: Xid::INVALID, row, key, payload: payload.into() }
+    }
+
+    /// Serialized length.
+    pub fn encoded_len(&self) -> usize {
+        HEAP_HEADER_SIZE + self.payload.len()
+    }
+
+    /// Serializes the tuple.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.xmin.0.to_le_bytes());
+        out.extend_from_slice(&self.xmax.0.to_le_bytes());
+        out.extend_from_slice(&self.row.to_le_bytes());
+        out.extend_from_slice(&self.key.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserializes a tuple.
+    pub fn decode(buf: &[u8]) -> SiasResult<HeapTuple> {
+        if buf.len() < HEAP_HEADER_SIZE {
+            return Err(SiasError::Device("truncated heap tuple".into()));
+        }
+        let rd = |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        let plen = u32::from_le_bytes(buf[32..36].try_into().unwrap()) as usize;
+        if buf.len() < HEAP_HEADER_SIZE + plen {
+            return Err(SiasError::Device("truncated heap tuple payload".into()));
+        }
+        Ok(HeapTuple {
+            xmin: Xid(rd(0)),
+            xmax: Xid(rd(8)),
+            row: rd(16),
+            key: rd(24),
+            payload: Bytes::copy_from_slice(&buf[HEAP_HEADER_SIZE..HEAP_HEADER_SIZE + plen]),
+        })
+    }
+
+    /// Patches the `xmax` field inside an already-serialized tuple image —
+    /// the 8-byte in-place invalidation stamp of §3.
+    pub fn stamp_xmax(image: &mut [u8], xmax: Xid) {
+        image[XMAX_OFFSET..XMAX_OFFSET + 8].copy_from_slice(&xmax.0.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = HeapTuple::new(Xid(3), 7, 99, &b"row data"[..]);
+        let got = HeapTuple::decode(&t.encode()).unwrap();
+        assert_eq!(got, t);
+        assert_eq!(got.xmax, Xid::INVALID);
+    }
+
+    #[test]
+    fn stamp_xmax_patches_in_place() {
+        let t = HeapTuple::new(Xid(3), 7, 99, &b"row data"[..]);
+        let mut img = t.encode();
+        HeapTuple::stamp_xmax(&mut img, Xid(12));
+        let got = HeapTuple::decode(&img).unwrap();
+        assert_eq!(got.xmax, Xid(12));
+        assert_eq!(got.payload, t.payload, "only the stamp changed");
+        assert_eq!(img.len(), t.encode().len(), "same length: a true in-place update");
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let t = HeapTuple::new(Xid(1), 1, 1, &b"abc"[..]);
+        let enc = t.encode();
+        assert!(HeapTuple::decode(&enc[..20]).is_err());
+        assert!(HeapTuple::decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let t = HeapTuple::new(Xid(1), 1, 1, Bytes::new());
+        assert_eq!(HeapTuple::decode(&t.encode()).unwrap(), t);
+    }
+}

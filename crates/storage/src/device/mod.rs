@@ -1,0 +1,187 @@
+//! Storage device models.
+//!
+//! The paper evaluates SIAS on enterprise SLC Flash SSDs (Intel X25-E,
+//! single drives and 2-/6-drive software RAID-0) and on a 7200 rpm SATA
+//! HDD. The reproduction cannot assume that hardware, so this module
+//! provides discrete-event device models that expose exactly the
+//! properties the paper's analysis relies on:
+//!
+//! * **Flash** ([`flash::FlashDevice`]): fast reads, slower page
+//!   programs, no in-place overwrite — a page-mapping FTL redirects every
+//!   write to a clean page and garbage-collects erase blocks, so random
+//!   overwrites cause relocation traffic and erases (write amplification,
+//!   endurance wear). Multiple channels serve requests in parallel.
+//! * **HDD** ([`hdd::HddDevice`]): a single head with symmetric random
+//!   access cost (seek + rotational latency) and cheap sequential access.
+//! * **RAID-0** ([`raid::Raid0`]): page-granular striping over N devices,
+//!   as in the paper's 2- and 6-SSD software stripe sets.
+//! * **In-memory** ([`mem::MemDevice`]): zero-latency backing store for
+//!   pure-logic unit tests.
+//!
+//! Every device stores real page images (the buffer pool evicts to and
+//! re-reads from them), charges virtual time on the shared
+//! [`VirtualClock`], and records host I/Os in a [`TraceCollector`].
+//! Synchronous operations advance the clock (the "host" blocks);
+//! asynchronous writes (background writer, checkpointer) only occupy
+//! device channels.
+
+pub mod flash;
+pub mod hdd;
+pub mod mem;
+pub mod raid;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use flash::{FlashConfig, FlashDevice};
+pub use hdd::{HddConfig, HddDevice};
+pub use mem::MemDevice;
+pub use raid::Raid0;
+
+use sias_common::VirtualClock;
+
+use crate::trace::TraceCollector;
+
+/// Shared handle to any device model.
+pub type DeviceRef = Arc<dyn Device>;
+
+/// A block device addressed in [`sias_common::PAGE_SIZE`]-byte pages.
+pub trait Device: Send + Sync {
+    /// Synchronously reads one page into `buf` (exactly `PAGE_SIZE`
+    /// bytes), advancing the virtual clock by the access latency.
+    fn read_page(&self, lba: u64, buf: &mut [u8]);
+
+    /// Writes one page. When `sync` the host blocks (clock advances);
+    /// otherwise the write only occupies device time in the background.
+    fn write_page(&self, lba: u64, data: &[u8], sync: bool);
+
+    /// Total logical capacity in pages.
+    fn capacity_pages(&self) -> u64;
+
+    /// Declares a logical page's contents dead (TRIM/discard). Flash
+    /// devices drop the FTL mapping so garbage collection never relocates
+    /// the page again — the §6 integration of database GC with the
+    /// device ("transfers yet more control over the Flash storage into
+    /// the MV-DBMS", as in the NoFTL line of work the paper cites).
+    /// Default: no-op (HDDs, memory).
+    fn trim(&self, lba: u64) {
+        let _ = lba;
+    }
+
+    /// Snapshot of the device counters.
+    fn stats(&self) -> DeviceStats;
+
+    /// Resets the counters (used between benchmark phases, e.g. after
+    /// TPC-C load and before the measured interval).
+    fn reset_stats(&self);
+}
+
+/// Monotonic device counters.
+///
+/// `host_*` counts I/O the database issued; `internal_write_pages` and
+/// `erases` count FTL garbage-collection work — the difference is the
+/// write amplification the paper's endurance discussion (§6) is about.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Pages read by the host.
+    pub host_read_pages: u64,
+    /// Pages written by the host.
+    pub host_write_pages: u64,
+    /// Pages relocated internally by FTL garbage collection.
+    pub internal_write_pages: u64,
+    /// Erase-block erases performed.
+    pub erases: u64,
+    /// TRIM commands received.
+    pub trims: u64,
+}
+
+impl DeviceStats {
+    /// Host write volume in MiB.
+    pub fn host_write_mb(&self) -> f64 {
+        self.host_write_pages as f64 * sias_common::PAGE_SIZE as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Host read volume in MiB.
+    pub fn host_read_mb(&self) -> f64 {
+        self.host_read_pages as f64 * sias_common::PAGE_SIZE as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Write amplification factor: physical page programs per host page
+    /// write (1.0 = no amplification).
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_write_pages == 0 {
+            return 1.0;
+        }
+        (self.host_write_pages + self.internal_write_pages) as f64 / self.host_write_pages as f64
+    }
+}
+
+/// Counter cell shared by the device implementations.
+#[derive(Debug, Default)]
+pub(crate) struct StatCell {
+    pub host_read_pages: AtomicU64,
+    pub host_write_pages: AtomicU64,
+    pub internal_write_pages: AtomicU64,
+    pub erases: AtomicU64,
+    pub trims: AtomicU64,
+}
+
+impl StatCell {
+    pub fn snapshot(&self) -> DeviceStats {
+        DeviceStats {
+            host_read_pages: self.host_read_pages.load(Ordering::Relaxed),
+            host_write_pages: self.host_write_pages.load(Ordering::Relaxed),
+            internal_write_pages: self.internal_write_pages.load(Ordering::Relaxed),
+            erases: self.erases.load(Ordering::Relaxed),
+            trims: self.trims.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.host_read_pages.store(0, Ordering::Relaxed);
+        self.host_write_pages.store(0, Ordering::Relaxed);
+        self.internal_write_pages.store(0, Ordering::Relaxed);
+        self.erases.store(0, Ordering::Relaxed);
+        self.trims.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Everything a device needs from its environment.
+#[derive(Clone)]
+pub struct DeviceEnv {
+    /// The shared virtual clock.
+    pub clock: Arc<VirtualClock>,
+    /// The shared trace collector.
+    pub trace: Arc<TraceCollector>,
+    /// Trace/device id (distinguishes RAID members).
+    pub device_id: u16,
+}
+
+impl DeviceEnv {
+    /// Environment with a fresh clock and trace (tests, standalone use).
+    pub fn fresh() -> Self {
+        DeviceEnv { clock: VirtualClock::new(), trace: TraceCollector::new(), device_id: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_math() {
+        let s = DeviceStats {
+            host_write_pages: 100,
+            internal_write_pages: 50,
+            ..Default::default()
+        };
+        assert!((s.write_amplification() - 1.5).abs() < 1e-9);
+        assert_eq!(DeviceStats::default().write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn mb_conversion() {
+        let s = DeviceStats { host_write_pages: 128, ..Default::default() };
+        assert!((s.host_write_mb() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,419 @@
+//! Slotted database page.
+//!
+//! An 8 KiB page with the classic PostgreSQL-style layout the prototype
+//! inherited:
+//!
+//! ```text
+//! +--------+-----------------+......................+--------------+
+//! | header | line pointers → |      free space      | ← tuple data |
+//! +--------+-----------------+......................+--------------+
+//! 0        24                lower                  upper       8192
+//! ```
+//!
+//! * the **header** stores `lower`/`upper` free-space bounds, an LSN for
+//!   WAL ordering, and an item count;
+//! * **line pointers** (4 bytes each: 15-bit offset, 15-bit length,
+//!   2 flag bits) grow from the left;
+//! * **tuple data** grows from the right.
+//!
+//! Items can be *overwritten in place* when the replacement has the same
+//! length ([`Page::overwrite_item`]) — that is exactly the small in-place
+//! update SI performs to stamp an invalidation timestamp (§3), and the
+//! operation SIAS eliminates.
+
+use sias_common::{PAGE_SIZE, SiasError, SiasResult, Tid};
+
+/// Byte size of the fixed page header.
+pub const PAGE_HEADER_SIZE: usize = 24;
+/// Byte size of one line pointer.
+pub const LINE_POINTER_SIZE: usize = 4;
+/// Largest item a page can store (single item, fresh page).
+pub const MAX_ITEM_SIZE: usize = PAGE_SIZE - PAGE_HEADER_SIZE - LINE_POINTER_SIZE;
+
+const OFF_LSN: usize = 0; // u64
+const OFF_LOWER: usize = 8; // u16
+const OFF_UPPER: usize = 10; // u16
+const OFF_NSLOTS: usize = 12; // u16
+const OFF_FLAGS: usize = 14; // u16
+// bytes 16..24 reserved
+
+/// Line-pointer flag: slot is live.
+const LP_USED: u32 = 0x8000_0000;
+/// Line-pointer flag: item logically dead (reclaimable by GC/vacuum).
+const LP_DEAD: u32 = 0x4000_0000;
+
+/// A single 8 KiB slotted page, owned in memory.
+#[derive(Clone)]
+pub struct Page {
+    buf: Box<[u8]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("slots", &self.slot_count())
+            .field("free", &self.free_space())
+            .field("lsn", &self.lsn())
+            .finish()
+    }
+}
+
+impl Page {
+    /// Creates an empty, initialized page.
+    pub fn new() -> Self {
+        let mut p = Page { buf: vec![0u8; PAGE_SIZE].into_boxed_slice() };
+        p.set_u16(OFF_LOWER, PAGE_HEADER_SIZE as u16);
+        p.set_u16(OFF_UPPER, PAGE_SIZE as u16);
+        p
+    }
+
+    /// Reconstructs a page from raw bytes (device read); the buffer must
+    /// be exactly [`PAGE_SIZE`] long.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), PAGE_SIZE, "page buffer must be PAGE_SIZE");
+        Page { buf: bytes.to_vec().into_boxed_slice() }
+    }
+
+    /// Raw page image (for device writes and WAL full-page images).
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    #[inline]
+    fn u16_at(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+
+    #[inline]
+    fn set_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn u32_at(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.buf[off..off + 4].try_into().unwrap())
+    }
+
+    #[inline]
+    fn set_u32(&mut self, off: usize, v: u32) {
+        self.buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Page LSN (last WAL record that touched the page).
+    pub fn lsn(&self) -> u64 {
+        u64::from_le_bytes(self.buf[OFF_LSN..OFF_LSN + 8].try_into().unwrap())
+    }
+
+    /// Sets the page LSN.
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.buf[OFF_LSN..OFF_LSN + 8].copy_from_slice(&lsn.to_le_bytes());
+    }
+
+    /// User flag word (engines stamp page kinds here).
+    pub fn flags(&self) -> u16 {
+        self.u16_at(OFF_FLAGS)
+    }
+
+    /// Sets the user flag word.
+    pub fn set_flags(&mut self, flags: u16) {
+        self.set_u16(OFF_FLAGS, flags);
+    }
+
+    /// Number of line-pointer slots ever allocated on this page (live and
+    /// dead).
+    pub fn slot_count(&self) -> u16 {
+        self.u16_at(OFF_NSLOTS)
+    }
+
+    fn lower(&self) -> usize {
+        self.u16_at(OFF_LOWER) as usize
+    }
+
+    fn upper(&self) -> usize {
+        self.u16_at(OFF_UPPER) as usize
+    }
+
+    /// Contiguous free space available for one more item (including its
+    /// line pointer).
+    pub fn free_space(&self) -> usize {
+        self.upper().saturating_sub(self.lower())
+    }
+
+    /// True when an item of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + LINE_POINTER_SIZE
+    }
+
+    /// Fraction of the data area currently occupied by items, in `0..=1`.
+    /// This is the page "filling degree" the append-flush thresholds of
+    /// §5.2 are defined over.
+    pub fn fill_fraction(&self) -> f64 {
+        let usable = (PAGE_SIZE - PAGE_HEADER_SIZE) as f64;
+        (usable - self.free_space() as f64) / usable
+    }
+
+    fn lp_offset(slot: u16) -> usize {
+        PAGE_HEADER_SIZE + slot as usize * LINE_POINTER_SIZE
+    }
+
+    fn line_pointer(&self, slot: u16) -> u32 {
+        self.u32_at(Self::lp_offset(slot))
+    }
+
+    fn set_line_pointer(&mut self, slot: u16, lp: u32) {
+        self.set_u32(Self::lp_offset(slot), lp);
+    }
+
+    /// Adds an item, returning its slot index.
+    ///
+    /// Fails with [`SiasError::TupleTooLarge`] when the item can never fit
+    /// a page, and returns `Ok(None)` when it merely does not fit *this*
+    /// page (caller moves on to another page).
+    pub fn add_item(&mut self, item: &[u8]) -> SiasResult<Option<u16>> {
+        if item.len() > MAX_ITEM_SIZE || item.len() > 0x7FFF {
+            return Err(SiasError::TupleTooLarge { size: item.len(), max: MAX_ITEM_SIZE.min(0x7FFF) });
+        }
+        if !self.fits(item.len()) {
+            return Ok(None);
+        }
+        let slot = self.slot_count();
+        let new_upper = self.upper() - item.len();
+        self.buf[new_upper..new_upper + item.len()].copy_from_slice(item);
+        let lp = LP_USED | ((new_upper as u32) << 15) | item.len() as u32;
+        self.set_line_pointer(slot, lp);
+        self.set_u16(OFF_NSLOTS, slot + 1);
+        self.set_u16(OFF_LOWER, (Self::lp_offset(slot + 1)) as u16);
+        self.set_u16(OFF_UPPER, new_upper as u16);
+        Ok(Some(slot))
+    }
+
+    fn decode_lp(lp: u32) -> (usize, usize) {
+        let off = ((lp >> 15) & 0x7FFF) as usize;
+        let len = (lp & 0x7FFF) as usize;
+        (off, len)
+    }
+
+    /// Returns the bytes of the item in `slot`, or an error for invalid /
+    /// dead slots.
+    pub fn item(&self, slot: u16) -> SiasResult<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
+        }
+        let lp = self.line_pointer(slot);
+        if lp & LP_USED == 0 || lp & LP_DEAD != 0 {
+            return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
+        }
+        let (off, len) = Self::decode_lp(lp);
+        Ok(&self.buf[off..off + len])
+    }
+
+    /// Overwrites the item in `slot` *in place*. The replacement must have
+    /// exactly the original length — this models SI's invalidation stamp,
+    /// which rewrites a fixed-width header field of an existing tuple
+    /// version (§3: "the invalidation results in a small in-place update
+    /// of the visibility information that is stored on the tuple version
+    /// itself").
+    pub fn overwrite_item(&mut self, slot: u16, item: &[u8]) -> SiasResult<()> {
+        if slot >= self.slot_count() {
+            return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
+        }
+        let lp = self.line_pointer(slot);
+        if lp & LP_USED == 0 || lp & LP_DEAD != 0 {
+            return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
+        }
+        let (off, len) = Self::decode_lp(lp);
+        if item.len() != len {
+            return Err(SiasError::TupleTooLarge { size: item.len(), max: len });
+        }
+        self.buf[off..off + len].copy_from_slice(item);
+        Ok(())
+    }
+
+    /// Marks a slot dead (logically deleted; space reclaimed by
+    /// [`Page::compact`]).
+    pub fn mark_dead(&mut self, slot: u16) -> SiasResult<()> {
+        if slot >= self.slot_count() {
+            return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
+        }
+        let lp = self.line_pointer(slot);
+        if lp & LP_USED == 0 {
+            return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
+        }
+        self.set_line_pointer(slot, lp | LP_DEAD);
+        Ok(())
+    }
+
+    /// True when the slot exists and is live.
+    pub fn slot_is_live(&self, slot: u16) -> bool {
+        slot < self.slot_count() && {
+            let lp = self.line_pointer(slot);
+            lp & LP_USED != 0 && lp & LP_DEAD == 0
+        }
+    }
+
+    /// Iterates live slots.
+    pub fn live_slots(&self) -> impl Iterator<Item = u16> + '_ {
+        (0..self.slot_count()).filter(move |&s| self.slot_is_live(s))
+    }
+
+    /// Number of live items.
+    pub fn live_count(&self) -> usize {
+        self.live_slots().count()
+    }
+
+    /// Raw access to the page body after the common header. Components
+    /// that manage their own fixed layout (the B+-tree node format, the
+    /// VID-map bucket pages) use this instead of the slotted-item API;
+    /// the two styles must not be mixed on one page.
+    pub fn body(&self) -> &[u8] {
+        &self.buf[PAGE_HEADER_SIZE..]
+    }
+
+    /// Mutable raw access to the page body (see [`Page::body`]).
+    pub fn body_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[PAGE_HEADER_SIZE..]
+    }
+
+    /// Rewrites the page keeping only live items. Slot indices are *not*
+    /// preserved — callers that track TIDs must re-map them (as the GC in
+    /// `sias-core` does by re-inserting versions). Returns the number of
+    /// items dropped.
+    pub fn compact(&mut self) -> usize {
+        let live: Vec<Vec<u8>> =
+            self.live_slots().map(|s| self.item(s).expect("live item").to_vec()).collect();
+        let dropped = self.slot_count() as usize - live.len();
+        let lsn = self.lsn();
+        let flags = self.flags();
+        let mut fresh = Page::new();
+        fresh.set_lsn(lsn);
+        fresh.set_flags(flags);
+        for item in &live {
+            fresh.add_item(item).expect("item fit before compaction").expect("space");
+        }
+        *self = fresh;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_empty() {
+        let p = Page::new();
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - PAGE_HEADER_SIZE);
+        assert_eq!(p.live_count(), 0);
+        assert!(p.fill_fraction() < 1e-9);
+    }
+
+    #[test]
+    fn add_and_read_items() {
+        let mut p = Page::new();
+        let s0 = p.add_item(b"hello").unwrap().unwrap();
+        let s1 = p.add_item(b"world!").unwrap().unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(p.item(0).unwrap(), b"hello");
+        assert_eq!(p.item(1).unwrap(), b"world!");
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn items_fill_until_full() {
+        let mut p = Page::new();
+        let item = [0xABu8; 100];
+        let mut n = 0;
+        while let Some(_slot) = p.add_item(&item).unwrap() {
+            n += 1;
+        }
+        // 104 bytes per item (100 + 4 lp) into 8168 usable.
+        assert_eq!(n, (PAGE_SIZE - PAGE_HEADER_SIZE) / (100 + LINE_POINTER_SIZE));
+        assert!(!p.fits(100));
+        assert!(p.fill_fraction() > 0.95);
+    }
+
+    #[test]
+    fn oversized_item_rejected() {
+        let mut p = Page::new();
+        let e = p.add_item(&vec![0u8; PAGE_SIZE]).unwrap_err();
+        assert!(matches!(e, SiasError::TupleTooLarge { .. }));
+    }
+
+    #[test]
+    fn overwrite_in_place_same_len() {
+        let mut p = Page::new();
+        p.add_item(b"aaaa").unwrap().unwrap();
+        p.overwrite_item(0, b"bbbb").unwrap();
+        assert_eq!(p.item(0).unwrap(), b"bbbb");
+        // Different length is rejected.
+        assert!(p.overwrite_item(0, b"ccc").is_err());
+    }
+
+    #[test]
+    fn mark_dead_and_compact() {
+        let mut p = Page::new();
+        for i in 0..10u8 {
+            p.add_item(&[i; 50]).unwrap().unwrap();
+        }
+        let free_before = p.free_space();
+        p.mark_dead(3).unwrap();
+        p.mark_dead(7).unwrap();
+        assert_eq!(p.live_count(), 8);
+        assert!(p.item(3).is_err());
+        let dropped = p.compact();
+        assert_eq!(dropped, 2);
+        assert_eq!(p.live_count(), 8);
+        assert_eq!(p.slot_count(), 8);
+        assert!(p.free_space() > free_before);
+        // Remaining items preserved in order.
+        assert_eq!(p.item(0).unwrap(), &[0u8; 50]);
+        assert_eq!(p.item(3).unwrap(), &[4u8; 50]); // slot 3 was dropped
+    }
+
+    #[test]
+    fn bad_slot_errors() {
+        let p = Page::new();
+        assert!(p.item(0).is_err());
+        let mut p = Page::new();
+        p.add_item(b"x").unwrap().unwrap();
+        p.mark_dead(0).unwrap();
+        assert!(p.item(0).is_err());
+        assert!(p.mark_dead(5).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut p = Page::new();
+        p.set_lsn(42);
+        p.set_flags(7);
+        p.add_item(b"persist me").unwrap().unwrap();
+        let q = Page::from_bytes(p.as_bytes());
+        assert_eq!(q.lsn(), 42);
+        assert_eq!(q.flags(), 7);
+        assert_eq!(q.item(0).unwrap(), b"persist me");
+    }
+
+    #[test]
+    fn zeroed_bytes_parse_as_uninitialized_page() {
+        // A freshly allocated block read back as zeroes must not panic.
+        let p = Page::from_bytes(&vec![0u8; PAGE_SIZE]);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.free_space(), 0); // lower == upper == 0: clearly "uninitialized"
+    }
+
+    #[test]
+    fn empty_item_allowed() {
+        let mut p = Page::new();
+        let s = p.add_item(b"").unwrap().unwrap();
+        assert_eq!(p.item(s).unwrap(), b"");
+    }
+}

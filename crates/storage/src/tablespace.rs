@@ -1,0 +1,163 @@
+//! Tablespace: maps relation blocks to device addresses.
+//!
+//! Each relation grows in contiguous *extents* so that different
+//! relations occupy different device regions — the paper points this out
+//! explicitly ("Tuples of different relations are not stored on the same
+//! page and pages that belong to different relations are placed at
+//! different location", §5.2), and it is what makes the per-relation
+//! append "swimlanes" visible in the Figure 3 blocktrace.
+
+use parking_lot::RwLock;
+use sias_common::{BlockId, RelId, SiasError, SiasResult};
+use std::collections::HashMap;
+
+/// Pages per extent (8 MiB at 8 KiB pages).
+pub const EXTENT_PAGES: u64 = 1024;
+
+#[derive(Default)]
+struct SpaceInner {
+    /// Extent start LBAs per relation, in block order.
+    extents: HashMap<RelId, Vec<u64>>,
+    /// Block high-water mark per relation (number of allocated blocks).
+    nblocks: HashMap<RelId, u32>,
+    /// Next unallocated device LBA.
+    frontier: u64,
+}
+
+/// Extent-based (relation, block) → LBA mapping.
+pub struct Tablespace {
+    capacity_pages: u64,
+    inner: RwLock<SpaceInner>,
+}
+
+impl Tablespace {
+    /// Creates a tablespace over a device of `capacity_pages` pages.
+    pub fn new(capacity_pages: u64) -> Self {
+        Tablespace { capacity_pages, inner: RwLock::new(SpaceInner::default()) }
+    }
+
+    /// Registers a relation (idempotent).
+    pub fn create_relation(&self, rel: RelId) {
+        let mut inner = self.inner.write();
+        inner.extents.entry(rel).or_default();
+        inner.nblocks.entry(rel).or_insert(0);
+    }
+
+    /// Number of blocks allocated to `rel`.
+    pub fn relation_blocks(&self, rel: RelId) -> u32 {
+        self.inner.read().nblocks.get(&rel).copied().unwrap_or(0)
+    }
+
+    /// All registered relations.
+    pub fn relations(&self) -> Vec<RelId> {
+        let mut v: Vec<RelId> = self.inner.read().extents.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Resolves an **allocated** block to its device LBA.
+    pub fn resolve(&self, rel: RelId, block: BlockId) -> SiasResult<u64> {
+        let inner = self.inner.read();
+        let n = *inner.nblocks.get(&rel).ok_or(SiasError::UnknownRelation(rel))?;
+        if block >= n {
+            return Err(SiasError::Device(format!(
+                "block {block} of {rel} not allocated (relation has {n} blocks)"
+            )));
+        }
+        let extents = &inner.extents[&rel];
+        let ext = (block as u64 / EXTENT_PAGES) as usize;
+        Ok(extents[ext] + block as u64 % EXTENT_PAGES)
+    }
+
+    /// Extends `rel` by one block, allocating a new extent when the
+    /// current one is full. Returns the new block id.
+    pub fn allocate_block(&self, rel: RelId) -> SiasResult<BlockId> {
+        let mut inner = self.inner.write();
+        if !inner.extents.contains_key(&rel) {
+            return Err(SiasError::UnknownRelation(rel));
+        }
+        let n = inner.nblocks[&rel];
+        if (n as u64).is_multiple_of(EXTENT_PAGES) {
+            // Need a fresh extent.
+            if inner.frontier + EXTENT_PAGES > self.capacity_pages {
+                return Err(SiasError::Device("tablespace full".into()));
+            }
+            let start = inner.frontier;
+            inner.frontier += EXTENT_PAGES;
+            inner.extents.get_mut(&rel).unwrap().push(start);
+        }
+        inner.nblocks.insert(rel, n + 1);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_and_resolution() {
+        let ts = Tablespace::new(1 << 20);
+        let rel = RelId(1);
+        ts.create_relation(rel);
+        assert_eq!(ts.relation_blocks(rel), 0);
+        let b0 = ts.allocate_block(rel).unwrap();
+        let b1 = ts.allocate_block(rel).unwrap();
+        assert_eq!((b0, b1), (0, 1));
+        let l0 = ts.resolve(rel, 0).unwrap();
+        let l1 = ts.resolve(rel, 1).unwrap();
+        assert_eq!(l1, l0 + 1);
+    }
+
+    #[test]
+    fn relations_get_disjoint_regions() {
+        let ts = Tablespace::new(1 << 20);
+        let (a, b) = (RelId(1), RelId(2));
+        ts.create_relation(a);
+        ts.create_relation(b);
+        ts.allocate_block(a).unwrap();
+        ts.allocate_block(b).unwrap();
+        ts.allocate_block(a).unwrap();
+        let la0 = ts.resolve(a, 0).unwrap();
+        let lb0 = ts.resolve(b, 0).unwrap();
+        let la1 = ts.resolve(a, 1).unwrap();
+        // Relation a's second block stays in a's extent, far from b's.
+        assert_eq!(la1, la0 + 1);
+        assert!(lb0 >= la0 + EXTENT_PAGES, "b must start in its own extent");
+    }
+
+    #[test]
+    fn extent_boundary_allocates_new_extent() {
+        let ts = Tablespace::new(1 << 20);
+        let rel = RelId(3);
+        ts.create_relation(rel);
+        for _ in 0..EXTENT_PAGES + 1 {
+            ts.allocate_block(rel).unwrap();
+        }
+        let last_in_first = ts.resolve(rel, (EXTENT_PAGES - 1) as u32).unwrap();
+        let first_in_second = ts.resolve(rel, EXTENT_PAGES as u32).unwrap();
+        // New extent is contiguous here only if nothing interleaved;
+        // at minimum it must be a fresh region, not an overlap.
+        assert_ne!(first_in_second, last_in_first);
+    }
+
+    #[test]
+    fn resolve_unallocated_block_fails() {
+        let ts = Tablespace::new(1 << 20);
+        let rel = RelId(9);
+        ts.create_relation(rel);
+        assert!(ts.resolve(rel, 0).is_err());
+        assert!(ts.resolve(RelId(404), 0).is_err());
+    }
+
+    #[test]
+    fn capacity_exhaustion_reported() {
+        let ts = Tablespace::new(EXTENT_PAGES); // room for exactly one extent
+        let (a, b) = (RelId(1), RelId(2));
+        ts.create_relation(a);
+        ts.create_relation(b);
+        ts.allocate_block(a).unwrap();
+        let err = ts.allocate_block(b).unwrap_err();
+        assert!(matches!(err, SiasError::Device(_)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Block-trace recording — the reproduction's `blktrace`/`blkparse`.
+//!
+//! The paper visualizes device behaviour by recording a block trace of a
+//! TPC-C run (Figures 3 and 4) and totals the write volume with
+//! `blkparse` (Table 1). Every host-visible I/O submitted to a device
+//! model is recorded here with its virtual timestamp, logical block
+//! address and direction, and can be exported as CSV for plotting or
+//! summarized in MB.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sias_common::PAGE_SIZE;
+
+/// Direction of a traced I/O.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoDir {
+    /// Host read.
+    Read,
+    /// Host write.
+    Write,
+}
+
+/// One traced host I/O.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Virtual time of submission, microseconds.
+    pub time_us: u64,
+    /// Device id within a RAID set (0 for single devices).
+    pub device: u16,
+    /// Logical block address in pages.
+    pub lba: u64,
+    /// Length in pages.
+    pub pages: u32,
+    /// Direction.
+    pub dir: IoDir,
+}
+
+/// Aggregate totals computed from a trace (the `blkparse` summary line).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Number of read requests.
+    pub read_ops: u64,
+    /// Number of write requests.
+    pub write_ops: u64,
+    /// Total read volume in MiB.
+    pub read_mb: f64,
+    /// Total write volume in MiB.
+    pub write_mb: f64,
+}
+
+/// Shared, optionally-enabled trace collector.
+///
+/// Tracing is off by default; the experiment binaries enable it around the
+/// measured interval exactly like `blktrace` is started around a benchmark
+/// run.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    enabled: AtomicBool,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceCollector {
+    /// Creates a disabled collector.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Starts recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording (events are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one event if enabled. Called by device models only.
+    pub fn record(&self, ev: TraceEvent) {
+        if self.is_enabled() {
+            self.events.lock().push(ev);
+        }
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Snapshot of the recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregates the trace like `blkparse`'s summary.
+    pub fn summary(&self) -> TraceSummary {
+        let events = self.events.lock();
+        let mut s = TraceSummary::default();
+        let page_mb = PAGE_SIZE as f64 / (1024.0 * 1024.0);
+        for ev in events.iter() {
+            match ev.dir {
+                IoDir::Read => {
+                    s.read_ops += 1;
+                    s.read_mb += ev.pages as f64 * page_mb;
+                }
+                IoDir::Write => {
+                    s.write_ops += 1;
+                    s.write_mb += ev.pages as f64 * page_mb;
+                }
+            }
+        }
+        s
+    }
+
+    /// Renders the trace as CSV (`time_s,device,lba,pages,dir`), sorted by
+    /// time — the input format of the Figure 3/4 scatter plots.
+    pub fn to_csv(&self) -> String {
+        let mut events = self.events();
+        events.sort_by_key(|e| e.time_us);
+        let mut out = String::with_capacity(events.len() * 32 + 32);
+        out.push_str("time_s,device,lba,pages,dir\n");
+        for e in &events {
+            let dir = match e.dir {
+                IoDir::Read => 'R',
+                IoDir::Write => 'W',
+            };
+            out.push_str(&format!(
+                "{:.6},{},{},{},{}\n",
+                e.time_us as f64 / 1e6,
+                e.device,
+                e.lba,
+                e.pages,
+                dir
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, lba: u64, dir: IoDir) -> TraceEvent {
+        TraceEvent { time_us: t, device: 0, lba, pages: 1, dir }
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = TraceCollector::new();
+        c.record(ev(1, 2, IoDir::Read));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn enabled_collector_records() {
+        let c = TraceCollector::new();
+        c.enable();
+        c.record(ev(1, 2, IoDir::Read));
+        c.record(ev(2, 3, IoDir::Write));
+        c.disable();
+        c.record(ev(3, 4, IoDir::Write));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn summary_totals() {
+        let c = TraceCollector::new();
+        c.enable();
+        for i in 0..128 {
+            c.record(ev(i, i, IoDir::Write));
+        }
+        c.record(TraceEvent { time_us: 200, device: 0, lba: 0, pages: 128, dir: IoDir::Read });
+        let s = c.summary();
+        assert_eq!(s.write_ops, 128);
+        assert_eq!(s.read_ops, 1);
+        // 128 pages of 8 KiB = 1 MiB either way.
+        assert!((s.write_mb - 1.0).abs() < 1e-9);
+        assert!((s.read_mb - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_sorted_and_formatted() {
+        let c = TraceCollector::new();
+        c.enable();
+        c.record(ev(2_000_000, 7, IoDir::Write));
+        c.record(ev(1_000_000, 9, IoDir::Read));
+        let csv = c.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,device,lba,pages,dir");
+        assert_eq!(lines[1], "1.000000,0,9,1,R");
+        assert_eq!(lines[2], "2.000000,0,7,1,W");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let c = TraceCollector::new();
+        c.enable();
+        c.record(ev(1, 1, IoDir::Read));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.summary(), TraceSummary::default());
+    }
+}

@@ -1,0 +1,73 @@
+//! The MVCC storage-engine interface.
+//!
+//! Both engines — SIAS (`sias-core`) and the PostgreSQL-style SI baseline
+//! (`sias-si`) — implement this trait, and the TPC-C workload driver is
+//! generic over it, so every experiment runs the *same* transaction logic
+//! against both, exactly like the paper ran the same DBT2 driver against
+//! patched and vanilla PostgreSQL.
+//!
+//! Rows are addressed by a 64-bit **key**, unique within a relation (the
+//! TPC-C schema packs its composite primary keys into one word). How a
+//! key reaches a tuple version differs per engine and *is the point of
+//! the paper*:
+//!
+//! * SIAS: B+-tree `⟨key, VID⟩` → VID map → entrypoint → chain walk
+//!   (§4.3);
+//! * SI: B+-tree `⟨key, TID⟩` with one entry **per version** → fetch each
+//!   candidate → visibility check on its xmin/xmax.
+
+use bytes::Bytes;
+use sias_common::{RelId, SiasResult};
+
+use crate::manager::Txn;
+
+/// A key-addressed multi-version storage engine under snapshot isolation.
+pub trait MvccEngine: Send + Sync {
+    /// Short engine name for reports ("sias", "si").
+    fn name(&self) -> &'static str;
+
+    /// Creates (or returns) a relation with a primary-key index.
+    fn create_relation(&self, name: &str) -> RelId;
+
+    /// Looks up a relation id by name.
+    fn relation(&self, name: &str) -> Option<RelId>;
+
+    /// Begins a transaction (takes an SI snapshot).
+    fn begin(&self) -> Txn;
+
+    /// Commits; forces the WAL.
+    fn commit(&self, txn: Txn) -> SiasResult<()>;
+
+    /// Aborts; releases locks. Versions written by the transaction become
+    /// permanently invisible via the commit log.
+    fn abort(&self, txn: Txn);
+
+    /// Inserts a new data item under `key`. The key must not be visible
+    /// yet.
+    fn insert(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()>;
+
+    /// Updates the data item under `key`, producing a new version.
+    /// Applies first-updater-wins on write-write conflicts.
+    fn update(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()>;
+
+    /// Deletes the data item under `key` (tombstone under SIAS, xmax
+    /// stamp under SI).
+    fn delete(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()>;
+
+    /// Returns the visible version of `key`, or `None`.
+    fn get(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<Option<Bytes>>;
+
+    /// Returns all visible items with `lo <= key <= hi`, ascending.
+    fn scan_range(&self, txn: &Txn, rel: RelId, lo: u64, hi: u64)
+        -> SiasResult<Vec<(u64, Bytes)>>;
+
+    /// Returns every visible item of the relation.
+    fn scan_all(&self, txn: &Txn, rel: RelId) -> SiasResult<Vec<(u64, Bytes)>> {
+        self.scan_range(txn, rel, 0, u64::MAX)
+    }
+
+    /// Runs one maintenance tick: background-writer round and/or
+    /// checkpoint, according to the engine's flush policy. `checkpoint`
+    /// requests a full checkpoint (the t2 boundary).
+    fn maintenance(&self, checkpoint: bool);
+}

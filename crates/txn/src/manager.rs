@@ -1,0 +1,244 @@
+//! Transaction lifecycle: begin / commit / abort.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sias_common::{SiasError, SiasResult, Xid};
+
+use crate::clog::Clog;
+use crate::locks::LockTable;
+use crate::snapshot::Snapshot;
+use crate::ssi::{SsiState, SsiVerdict};
+
+/// A live transaction handle: xid + snapshot.
+///
+/// Not `Clone` on purpose: exactly one owner may commit or abort it.
+#[derive(Debug)]
+pub struct Txn {
+    /// Transaction id (doubles as the SI timestamp).
+    pub xid: Xid,
+    /// The snapshot taken at begin.
+    pub snapshot: Snapshot,
+}
+
+/// Shared transaction manager: xid allocation, active set, commit log and
+/// the tuple lock table.
+pub struct TransactionManager {
+    next_xid: AtomicU64,
+    /// Active xid → snapshot xmin (oldest xid that snapshot might still
+    /// need to see), for the GC horizon.
+    active: Mutex<BTreeMap<Xid, Xid>>,
+    /// Commit log, consulted by visibility checks.
+    pub clog: Clog,
+    /// Tuple lock table (first-updater-wins support).
+    pub locks: LockTable,
+    /// Optional serializable-SI extension state (off by default).
+    pub ssi: SsiState,
+    /// Count of commits/aborts for reporting.
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl Default for TransactionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TransactionManager {
+    /// Creates a manager with xids starting at 1.
+    pub fn new() -> Self {
+        TransactionManager {
+            next_xid: AtomicU64::new(1),
+            active: Mutex::new(BTreeMap::new()),
+            clog: Clog::new(),
+            locks: LockTable::new(),
+            ssi: SsiState::default(),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    /// Shared-handle constructor.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Begins a transaction: allocates an xid and snapshots the active
+    /// set (the `tx_concurrent` structure of Algorithm 1).
+    pub fn begin(&self) -> Txn {
+        let mut active = self.active.lock();
+        let xid = Xid(self.next_xid.fetch_add(1, Ordering::Relaxed));
+        let concurrent: Vec<Xid> = active.keys().copied().collect();
+        let xmin = concurrent.first().copied().unwrap_or(xid);
+        active.insert(xid, xmin);
+        Txn { xid, snapshot: Snapshot::new(xid, concurrent) }
+    }
+
+    /// Upgrades the manager (and every engine sharing it) to
+    /// serializable snapshot isolation.
+    pub fn set_serializable(&self) {
+        self.ssi.enable();
+    }
+
+    /// Commits: marks the clog, leaves the active set, releases locks.
+    /// Under serializable mode, a dangerous-structure pivot aborts here
+    /// with [`SiasError::SerializationFailure`] instead.
+    pub fn commit(&self, txn: Txn) -> SiasResult<()> {
+        if self.ssi.is_enabled() && self.ssi.can_commit(txn.xid) == SsiVerdict::MustAbort {
+            let xid = txn.xid;
+            self.abort(txn);
+            return Err(SiasError::SerializationFailure(xid));
+        }
+        {
+            let mut active = self.active.lock();
+            if active.remove(&txn.xid).is_none() {
+                return Err(SiasError::TxnNotActive(txn.xid));
+            }
+            self.clog.commit(txn.xid);
+        }
+        self.locks.release_all(txn.xid);
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if self.ssi.is_enabled() {
+            self.ssi.collect_below(self.horizon());
+        }
+        Ok(())
+    }
+
+    /// Aborts: marks the clog, leaves the active set, releases locks.
+    pub fn abort(&self, txn: Txn) {
+        {
+            let mut active = self.active.lock();
+            if active.remove(&txn.xid).is_some() {
+                self.clog.abort(txn.xid);
+            }
+        }
+        self.locks.release_all(txn.xid);
+        self.ssi.forget(txn.xid);
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers a transaction recovered from the WAL as committed and
+    /// advances the xid allocator past it, so post-recovery snapshots see
+    /// its versions and fresh transactions get larger timestamps.
+    pub fn admit_recovered(&self, xid: Xid) {
+        self.clog.commit(xid);
+        self.next_xid.fetch_max(xid.0 + 1, Ordering::Relaxed);
+    }
+
+    /// True when `xid` is currently running.
+    pub fn is_active(&self, xid: Xid) -> bool {
+        self.active.lock().contains_key(&xid)
+    }
+
+    /// The garbage-collection horizon: no active (or future) snapshot can
+    /// see any version superseded by a committed version with
+    /// `create < horizon()`. With no active transactions this is the next
+    /// xid to be allocated.
+    pub fn horizon(&self) -> Xid {
+        let active = self.active.lock();
+        active
+            .values()
+            .copied()
+            .min()
+            .unwrap_or_else(|| Xid(self.next_xid.load(Ordering::Relaxed)))
+    }
+
+    /// Number of transactions currently running.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// (commits, aborts) so far.
+    pub fn outcome_counts(&self) -> (u64, u64) {
+        (self.commits.load(Ordering::Relaxed), self.aborts.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clog::TxnStatus;
+
+    #[test]
+    fn xids_are_monotonic() {
+        let m = TransactionManager::new();
+        let a = m.begin();
+        let b = m.begin();
+        assert!(b.xid > a.xid);
+        m.commit(a).unwrap();
+        m.commit(b).unwrap();
+    }
+
+    #[test]
+    fn snapshot_captures_concurrent_set() {
+        let m = TransactionManager::new();
+        let a = m.begin();
+        let b = m.begin();
+        assert!(b.snapshot.is_concurrent(a.xid));
+        assert!(!a.snapshot.is_concurrent(b.xid), "b started after a");
+        let c_before = m.begin();
+        m.commit(a).unwrap();
+        let c_after = m.begin();
+        assert!(c_before.snapshot.is_concurrent(Xid(1)));
+        assert!(!c_after.snapshot.is_concurrent(Xid(1)), "a finished before c_after began");
+        m.abort(b);
+        m.abort(c_before);
+        m.abort(c_after);
+    }
+
+    #[test]
+    fn commit_and_abort_update_clog() {
+        let m = TransactionManager::new();
+        let a = m.begin();
+        let b = m.begin();
+        let (xa, xb) = (a.xid, b.xid);
+        m.commit(a).unwrap();
+        m.abort(b);
+        assert_eq!(m.clog.status(xa), TxnStatus::Committed);
+        assert_eq!(m.clog.status(xb), TxnStatus::Aborted);
+        assert_eq!(m.outcome_counts(), (1, 1));
+    }
+
+    #[test]
+    fn double_commit_rejected() {
+        let m = TransactionManager::new();
+        let a = m.begin();
+        let fake = Txn { xid: a.xid, snapshot: a.snapshot.clone() };
+        m.commit(a).unwrap();
+        assert!(matches!(m.commit(fake), Err(SiasError::TxnNotActive(_))));
+    }
+
+    #[test]
+    fn active_tracking() {
+        let m = TransactionManager::new();
+        assert_eq!(m.active_count(), 0);
+        let a = m.begin();
+        assert!(m.is_active(a.xid));
+        assert_eq!(m.active_count(), 1);
+        m.commit(a).unwrap();
+        assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn many_threads_begin_commit() {
+        let m = TransactionManager::new_shared();
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let t = m.begin();
+                    m.commit(t).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.active_count(), 0);
+        assert_eq!(m.outcome_counts().0, 8 * 500);
+    }
+}

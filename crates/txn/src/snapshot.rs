@@ -1,0 +1,123 @@
+//! Transaction snapshots.
+//!
+//! Under SI every transaction operates against the database state as of
+//! its start. The paper's visibility predicate (Algorithm 1, line 19) is
+//!
+//! ```text
+//! isVisible(Xv, tx) = (Xv.create <= tx.id) && (Xv.create ∉ tx.concurrent)
+//! ```
+//!
+//! i.e. the version was created by a transaction that (a) started no
+//! later than us and (b) was not still running when we started. A real
+//! system needs the commit log as well — versions of *aborted*
+//! transactions are never visible — which [`Snapshot::sees`] folds in.
+
+use sias_common::Xid;
+
+use crate::clog::Clog;
+
+/// An SI snapshot: own xid + transactions running at start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// This transaction's id (and SI timestamp).
+    pub xid: Xid,
+    /// Sorted xids of transactions in progress when this one started
+    /// (`tx_concurrent`). Never contains `xid` itself.
+    pub concurrent: Vec<Xid>,
+}
+
+impl Snapshot {
+    /// Creates a snapshot; `concurrent` must be sorted.
+    pub fn new(xid: Xid, mut concurrent: Vec<Xid>) -> Self {
+        concurrent.sort_unstable();
+        concurrent.dedup();
+        concurrent.retain(|&x| x != xid);
+        Snapshot { xid, concurrent }
+    }
+
+    /// True when `create` is in the concurrent set.
+    #[inline]
+    pub fn is_concurrent(&self, create: Xid) -> bool {
+        self.concurrent.binary_search(&create).is_ok()
+    }
+
+    /// The paper's visibility predicate plus the commit-status check: a
+    /// tuple version created by `create` is visible to this snapshot iff
+    ///
+    /// * we created it ourselves (a transaction sees its own writes), or
+    /// * `create <= xid`, `create` was not concurrently running at our
+    ///   start, and `create` committed.
+    pub fn sees(&self, create: Xid, clog: &Clog) -> bool {
+        if create == self.xid {
+            return true;
+        }
+        create <= self.xid && !self.is_concurrent(create) && clog.is_committed(create)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clog_with_committed(xids: &[u64]) -> Clog {
+        let c = Clog::new();
+        for &x in xids {
+            c.commit(Xid(x));
+        }
+        c
+    }
+
+    #[test]
+    fn sees_committed_past_transactions() {
+        let clog = clog_with_committed(&[1, 2]);
+        let s = Snapshot::new(Xid(5), vec![]);
+        assert!(s.sees(Xid(1), &clog));
+        assert!(s.sees(Xid(2), &clog));
+    }
+
+    #[test]
+    fn never_sees_future_transactions() {
+        let clog = clog_with_committed(&[9]);
+        let s = Snapshot::new(Xid(5), vec![]);
+        assert!(!s.sees(Xid(9), &clog), "xid 9 started after us");
+    }
+
+    #[test]
+    fn never_sees_concurrent_transactions_even_after_their_commit() {
+        // The heart of SI: a transaction running at our start commits
+        // later; we still must not see its writes.
+        let clog = clog_with_committed(&[3]);
+        let s = Snapshot::new(Xid(5), vec![Xid(3)]);
+        assert!(!s.sees(Xid(3), &clog));
+    }
+
+    #[test]
+    fn never_sees_aborted_transactions() {
+        let clog = Clog::new();
+        clog.abort(Xid(2));
+        let s = Snapshot::new(Xid(5), vec![]);
+        assert!(!s.sees(Xid(2), &clog));
+    }
+
+    #[test]
+    fn never_sees_in_progress_transactions() {
+        let clog = Clog::new();
+        let s = Snapshot::new(Xid(5), vec![]);
+        assert!(!s.sees(Xid(2), &clog), "xid 2 never finished");
+    }
+
+    #[test]
+    fn sees_own_writes_before_commit() {
+        let clog = Clog::new();
+        let s = Snapshot::new(Xid(5), vec![]);
+        assert!(s.sees(Xid(5), &clog));
+    }
+
+    #[test]
+    fn constructor_normalizes_concurrent_set() {
+        let s = Snapshot::new(Xid(5), vec![Xid(7), Xid(3), Xid(5), Xid(3)]);
+        assert_eq!(s.concurrent, vec![Xid(3), Xid(7)]);
+        assert!(s.is_concurrent(Xid(3)));
+        assert!(!s.is_concurrent(Xid(5)));
+    }
+}

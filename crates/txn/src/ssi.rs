@@ -1,0 +1,304 @@
+//! Serializable Snapshot Isolation (SSI) — optional extension.
+//!
+//! §2 of the paper: "Standard SI does not provide serializability.
+//! Recently, serializable SI was proposed in [Cahill, Röhm, Fekete,
+//! SIGMOD'08], based on read/write dependency testing in serialization
+//! graphs. The PostgreSQL implementation of serializable SI is described
+//! in [Ports & Grittner, VLDB'12]." SIAS is orthogonal to the isolation
+//! upgrade, so this module implements the Cahill test once, shared by
+//! both engines.
+//!
+//! Mechanism (conservative, like the original): every transaction gets
+//! `in_conflict` / `out_conflict` flags. Readers take **SIREAD** marks on
+//! the keys they read; a writer that overwrites a key marked by a
+//! *concurrent* reader creates a rw-antidependency (reader → writer):
+//! the reader's `out` and the writer's `in` are flagged. A reader that
+//! reads a key already overwritten by a concurrent transaction gets its
+//! `out` flagged (and the writer's `in`). A transaction with **both**
+//! flags is a dangerous-structure pivot and must abort — spurious aborts
+//! are possible (flags, not full graphs), anomalies are not.
+//!
+//! SIREAD marks outlive commits: they are garbage-collected once no
+//! active transaction is concurrent with their owner (tracked via the
+//! transaction manager's horizon).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use sias_common::{RelId, Xid};
+
+/// Per-transaction conflict flags.
+#[derive(Clone, Copy, Debug, Default)]
+struct Flags {
+    /// Someone has a rw-antidependency *into* this transaction.
+    in_conflict: bool,
+    /// This transaction has a rw-antidependency *out* to someone.
+    out_conflict: bool,
+    /// Owner committed (flags kept for lingering edges).
+    committed: bool,
+}
+
+/// Shared SSI state. Disabled by default; zero overhead when off.
+#[derive(Default)]
+pub struct SsiState {
+    enabled: std::sync::atomic::AtomicBool,
+    inner: Mutex<SsiInner>,
+}
+
+#[derive(Default)]
+struct SsiInner {
+    flags: HashMap<Xid, Flags>,
+    /// SIREAD marks: key → reader xids (deduplicated, small).
+    sireads: HashMap<(RelId, u64), Vec<Xid>>,
+}
+
+/// Outcome of an SSI check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SsiVerdict {
+    /// Proceed.
+    Ok,
+    /// The transaction became a pivot and must abort.
+    MustAbort,
+}
+
+impl SsiState {
+    /// Turns serializable mode on (affects transactions from now on).
+    pub fn enable(&self) {
+        self.enabled.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// True when serializable mode is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Registers a read of `key`. `newer_writer` is the creator of a
+    /// *newer* version the reader skipped (when its snapshot returned an
+    /// older one) — that is a rw-antidependency reader → writer observed
+    /// at read time.
+    pub fn on_read(
+        &self,
+        reader: Xid,
+        rel: RelId,
+        key: u64,
+        newer_writer: Option<Xid>,
+    ) -> SsiVerdict {
+        if !self.is_enabled() {
+            return SsiVerdict::Ok;
+        }
+        let mut inner = self.inner.lock();
+        let marks = inner.sireads.entry((rel, key)).or_default();
+        if !marks.contains(&reader) {
+            marks.push(reader);
+        }
+        if let Some(w) = newer_writer {
+            if w != reader {
+                inner.flags.entry(w).or_default().in_conflict = true;
+                let f = inner.flags.entry(reader).or_default();
+                f.out_conflict = true;
+                if f.in_conflict {
+                    return SsiVerdict::MustAbort;
+                }
+            }
+        }
+        SsiVerdict::Ok
+    }
+
+    /// Registers a write of `key` by `writer`; flags rw-antidependencies
+    /// from every *other* transaction holding a SIREAD mark on the key.
+    /// `concurrent_with` decides whether an edge is relevant (the reader
+    /// is still active, or committed while overlapping the writer).
+    pub fn on_write(
+        &self,
+        writer: Xid,
+        rel: RelId,
+        key: u64,
+        concurrent_with: impl Fn(Xid) -> bool,
+    ) -> SsiVerdict {
+        if !self.is_enabled() {
+            return SsiVerdict::Ok;
+        }
+        let mut inner = self.inner.lock();
+        let readers: Vec<Xid> = inner
+            .sireads
+            .get(&(rel, key))
+            .map(|v| v.iter().copied().filter(|&r| r != writer && concurrent_with(r)).collect())
+            .unwrap_or_default();
+        let mut writer_must_abort = false;
+        // Track edges newly created by THIS write so they can be undone
+        // if the write is rejected — a rejected write never happened, so
+        // its antidependencies must not linger and doom the survivor.
+        let mut newly_set: Vec<(Xid, bool)> = Vec::new(); // (xid, was_out_edge)
+        for r in readers {
+            let rf = inner.flags.entry(r).or_default();
+            if !rf.out_conflict {
+                rf.out_conflict = true;
+                newly_set.push((r, true));
+            }
+            let wf = inner.flags.entry(writer).or_default();
+            if !wf.in_conflict {
+                wf.in_conflict = true;
+                newly_set.push((writer, false));
+            }
+            if wf.out_conflict {
+                writer_must_abort = true;
+            }
+        }
+        if writer_must_abort {
+            for (xid, was_out) in newly_set {
+                if let Some(f) = inner.flags.get_mut(&xid) {
+                    if was_out {
+                        f.out_conflict = false;
+                    } else {
+                        f.in_conflict = false;
+                    }
+                }
+            }
+            SsiVerdict::MustAbort
+        } else {
+            SsiVerdict::Ok
+        }
+    }
+
+    /// Commit-time check: a pivot (both flags) must abort instead.
+    pub fn can_commit(&self, xid: Xid) -> SsiVerdict {
+        if !self.is_enabled() {
+            return SsiVerdict::Ok;
+        }
+        let mut inner = self.inner.lock();
+        let f = inner.flags.entry(xid).or_default();
+        if f.in_conflict && f.out_conflict {
+            SsiVerdict::MustAbort
+        } else {
+            f.committed = true;
+            SsiVerdict::Ok
+        }
+    }
+
+    /// Drops all state belonging to `xid` after an abort.
+    pub fn forget(&self, xid: Xid) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.flags.remove(&xid);
+        for marks in inner.sireads.values_mut() {
+            marks.retain(|&r| r != xid);
+        }
+        inner.sireads.retain(|_, v| !v.is_empty());
+    }
+
+    /// Garbage-collects marks and flags of transactions no active
+    /// transaction is concurrent with (`horizon` from the manager).
+    pub fn collect_below(&self, horizon: Xid) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.flags.retain(|&x, f| !(f.committed && x < horizon));
+        for marks in inner.sireads.values_mut() {
+            marks.retain(|&r| r >= horizon);
+        }
+        inner.sireads.retain(|_, v| !v.is_empty());
+    }
+
+    /// Number of keys currently carrying SIREAD marks (diagnostics).
+    pub fn siread_keys(&self) -> usize {
+        self.inner.lock().sireads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: RelId = RelId(1);
+
+    fn enabled() -> SsiState {
+        let s = SsiState::default();
+        s.enable();
+        s
+    }
+
+    #[test]
+    fn disabled_state_is_inert() {
+        let s = SsiState::default();
+        assert_eq!(s.on_read(Xid(1), R, 5, Some(Xid(2))), SsiVerdict::Ok);
+        assert_eq!(s.on_write(Xid(2), R, 5, |_| true), SsiVerdict::Ok);
+        assert_eq!(s.can_commit(Xid(1)), SsiVerdict::Ok);
+        assert_eq!(s.siread_keys(), 0);
+    }
+
+    #[test]
+    fn write_skew_pattern_aborts_a_pivot() {
+        // T1 reads x, T2 reads y; T1 writes y, T2 writes x.
+        let s = enabled();
+        let (t1, t2) = (Xid(1), Xid(2));
+        assert_eq!(s.on_read(t1, R, 0, None), SsiVerdict::Ok); // T1 reads x
+        assert_eq!(s.on_read(t2, R, 1, None), SsiVerdict::Ok); // T2 reads y
+        // T1 writes y: edge T2 → T1.
+        assert_eq!(s.on_write(t1, R, 1, |_| true), SsiVerdict::Ok);
+        // T2 writes x: edge T1 → T2 would close the cycle; T2 (in from
+        // its own overwrite, out from T1's) is the pivot and aborts at
+        // the write. The rejected write's edges are rolled back, so the
+        // survivor T1 commits — exactly one victim.
+        assert_eq!(s.on_write(t2, R, 0, |_| true), SsiVerdict::MustAbort);
+        assert_eq!(s.can_commit(t1), SsiVerdict::Ok);
+    }
+
+    #[test]
+    fn plain_rw_conflict_alone_commits() {
+        // A single antidependency is harmless: T1 reads x, T2 writes x.
+        let s = enabled();
+        s.on_read(Xid(1), R, 0, None);
+        assert_eq!(s.on_write(Xid(2), R, 0, |_| true), SsiVerdict::Ok);
+        assert_eq!(s.can_commit(Xid(1)), SsiVerdict::Ok);
+        assert_eq!(s.can_commit(Xid(2)), SsiVerdict::Ok);
+    }
+
+    #[test]
+    fn read_of_stale_version_flags_out_edge() {
+        let s = enabled();
+        // T3 reads key 9 but a newer version by concurrent T4 exists.
+        s.on_read(Xid(3), R, 9, Some(Xid(4)));
+        // T3 also gets an in-edge: now a pivot at commit time.
+        s.on_write(Xid(3), R, 7, |_| false); // no readers → no edge
+        s.on_read(Xid(5), R, 7, None);
+        // Writing over T5's SIREAD gives T3 an IN edge (T5 → T3); with
+        // the OUT edge from the stale read T3 is a pivot — detected
+        // immediately at the write. The caller must abort T3 now (the
+        // engine surfaces this verdict as SerializationFailure).
+        assert_eq!(s.on_write(Xid(3), R, 7, |x| x == Xid(5)), SsiVerdict::MustAbort);
+    }
+
+    #[test]
+    fn own_reads_and_writes_do_not_self_conflict() {
+        let s = enabled();
+        s.on_read(Xid(1), R, 0, None);
+        assert_eq!(s.on_write(Xid(1), R, 0, |_| true), SsiVerdict::Ok);
+        assert_eq!(s.can_commit(Xid(1)), SsiVerdict::Ok);
+    }
+
+    #[test]
+    fn forget_clears_aborted_state() {
+        let s = enabled();
+        s.on_read(Xid(1), R, 0, None);
+        s.on_read(Xid(1), R, 1, None);
+        assert_eq!(s.siread_keys(), 2);
+        s.forget(Xid(1));
+        assert_eq!(s.siread_keys(), 0);
+        // A later writer sees no stale marks.
+        assert_eq!(s.on_write(Xid(2), R, 0, |_| true), SsiVerdict::Ok);
+        assert_eq!(s.can_commit(Xid(2)), SsiVerdict::Ok);
+    }
+
+    #[test]
+    fn collect_below_reclaims_old_marks() {
+        let s = enabled();
+        s.on_read(Xid(1), R, 0, None);
+        s.can_commit(Xid(1));
+        s.on_read(Xid(10), R, 1, None);
+        s.collect_below(Xid(5));
+        assert_eq!(s.siread_keys(), 1, "only the young mark survives");
+    }
+}

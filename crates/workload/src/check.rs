@@ -1,0 +1,237 @@
+//! TPC-C consistency conditions.
+//!
+//! A subset of the specification's §3.3.2 consistency requirements,
+//! checkable against any engine. The differential tests run them after
+//! benchmark activity to establish that both engines maintain a
+//! consistent database — which is what makes the performance comparison
+//! meaningful.
+
+use sias_common::SiasResult;
+use sias_txn::MvccEngine;
+
+use crate::config::{Tables, TpccConfig};
+use crate::keys;
+use crate::schema::*;
+
+/// A failed consistency condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which condition (e.g. "C1").
+    pub condition: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Runs the consistency conditions; returns all violations found.
+pub fn check_consistency<E: MvccEngine + ?Sized>(
+    engine: &E,
+    tables: &Tables,
+    cfg: &TpccConfig,
+) -> SiasResult<Vec<Violation>> {
+    let mut violations = Vec::new();
+    let t = engine.begin();
+
+    for w in 1..=cfg.warehouses {
+        let mut district_ytd_sum = 0i64;
+        for d in 1..=cfg.districts_per_warehouse {
+            let dk = keys::district(w, d);
+            let Some(bytes) = engine.get(&t, tables.district, dk)? else {
+                violations.push(Violation {
+                    condition: "C0",
+                    detail: format!("district ({w},{d}) missing"),
+                });
+                continue;
+            };
+            let dist = District::decode(&bytes)?;
+            district_ytd_sum += dist.ytd;
+
+            // C1: d_next_o_id − 1 == max(o_id) of the district.
+            let orders = engine.scan_range(
+                &t,
+                tables.orders,
+                keys::order(w, d, 0),
+                keys::order(w, d, u32::MAX >> 8),
+            )?;
+            let max_o = orders
+                .iter()
+                .map(|(_, b)| Order::decode(b).map(|o| o.o_id))
+                .collect::<SiasResult<Vec<_>>>()?
+                .into_iter()
+                .max()
+                .unwrap_or(0);
+            if dist.next_o_id != max_o + 1 {
+                violations.push(Violation {
+                    condition: "C1",
+                    detail: format!(
+                        "district ({w},{d}): next_o_id {} but max(o_id) {}",
+                        dist.next_o_id, max_o
+                    ),
+                });
+            }
+
+            // C2: every NEW_ORDER row refers to an existing, undelivered
+            // order.
+            let pending = engine.scan_range(
+                &t,
+                tables.new_order,
+                keys::order(w, d, 0),
+                keys::order(w, d, u32::MAX >> 8),
+            )?;
+            for (no_key, bytes) in &pending {
+                let no = NewOrderRow::decode(bytes)?;
+                match engine.get(&t, tables.orders, *no_key)? {
+                    Some(ob) => {
+                        let o = Order::decode(&ob)?;
+                        if o.carrier_id != 0 {
+                            violations.push(Violation {
+                                condition: "C2",
+                                detail: format!(
+                                    "new_order ({w},{d},{}) already delivered",
+                                    no.o_id
+                                ),
+                            });
+                        }
+                    }
+                    None => violations.push(Violation {
+                        condition: "C2",
+                        detail: format!("new_order ({w},{d},{}) has no order", no.o_id),
+                    }),
+                }
+            }
+
+            // C3: every order's ol_cnt equals its actual line count, and
+            // delivered orders have delivered lines.
+            for (okey, bytes) in &orders {
+                let o = Order::decode(bytes)?;
+                let lines = engine.scan_range(
+                    &t,
+                    tables.order_line,
+                    okey << 4,
+                    (okey << 4) | 15,
+                )?;
+                if lines.len() as u32 != o.ol_cnt {
+                    violations.push(Violation {
+                        condition: "C3",
+                        detail: format!(
+                            "order ({w},{d},{}): ol_cnt {} but {} lines",
+                            o.o_id,
+                            o.ol_cnt,
+                            lines.len()
+                        ),
+                    });
+                }
+                if o.carrier_id != 0 {
+                    for (_, lb) in &lines {
+                        if OrderLine::decode(lb)?.delivery_d == 0 {
+                            violations.push(Violation {
+                                condition: "C4",
+                                detail: format!(
+                                    "delivered order ({w},{d},{}) has undelivered line",
+                                    o.o_id
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // C5: warehouse ytd == sum of its districts' ytd (both start with
+        // matching constants and Payment adds to both).
+        let wk = keys::warehouse(w);
+        if let Some(bytes) = engine.get(&t, tables.warehouse, wk)? {
+            let wh = Warehouse::decode(&bytes)?;
+            if wh.ytd != district_ytd_sum {
+                violations.push(Violation {
+                    condition: "C5",
+                    detail: format!(
+                        "warehouse {w}: ytd {} != sum(district ytd) {}",
+                        wh.ytd, district_ytd_sum
+                    ),
+                });
+            }
+        }
+    }
+    engine.commit(t)?;
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_benchmark, DriverConfig};
+    use crate::loader::load;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sias_core::SiasDb;
+    use sias_si::SiDb;
+    use sias_storage::StorageConfig;
+
+    #[test]
+    fn fresh_load_is_consistent() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let cfg = TpccConfig::tiny();
+        let tables = load(&db, &cfg).unwrap();
+        let v = check_consistency(&db, &tables, &cfg).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn consistency_holds_after_benchmark_on_both_engines() {
+        let cfg = TpccConfig::tiny();
+        let dcfg = DriverConfig {
+            terminals: 4,
+            duration_secs: 5,
+            warmup_secs: 0,
+            cpu_cores: 2,
+            bgwriter_interval_ms: 300,
+            checkpoint_interval_secs: 2,
+            think_scale: 0.0,
+            seed: 11,
+        };
+        {
+            let db = SiasDb::open(StorageConfig::in_memory());
+            let tables = load(&db, &cfg).unwrap();
+            run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
+            let v = check_consistency(&db, &tables, &cfg).unwrap();
+            assert!(v.is_empty(), "sias violations: {v:?}");
+        }
+        {
+            let db = SiDb::open(StorageConfig::in_memory());
+            let tables = load(&db, &cfg).unwrap();
+            run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
+            let v = check_consistency(&db, &tables, &cfg).unwrap();
+            assert!(v.is_empty(), "si violations: {v:?}");
+        }
+    }
+
+    #[test]
+    fn detects_injected_inconsistency() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let cfg = TpccConfig::tiny();
+        let tables = load(&db, &cfg).unwrap();
+        // Corrupt a district's sequence.
+        let t = db.begin();
+        let dk = keys::district(1, 1);
+        let mut d = District::decode(&db.get(&t, tables.district, dk).unwrap().unwrap()).unwrap();
+        d.next_o_id += 17;
+        db.update(&t, tables.district, dk, &d.encode()).unwrap();
+        db.commit(t).unwrap();
+        let v = check_consistency(&db, &tables, &cfg).unwrap();
+        assert!(v.iter().any(|v| v.condition == "C1"), "{v:?}");
+    }
+
+    #[test]
+    fn consistency_survives_vacuum() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let cfg = TpccConfig::tiny();
+        let tables = load(&db, &cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..100u64 {
+            let kind = crate::txns::TxnKind::draw(&mut rng);
+            crate::txns::run_txn(&db, &tables, &cfg, &mut rng, kind, 1, i).unwrap();
+        }
+        db.vacuum_all().unwrap();
+        let v = check_consistency(&db, &tables, &cfg).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

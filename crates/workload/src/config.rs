@@ -1,0 +1,108 @@
+//! Workload scale configuration.
+
+use sias_common::RelId;
+use sias_txn::MvccEngine;
+
+/// TPC-C scale parameters.
+///
+/// Per-warehouse cardinalities are scaled down from the specification
+/// (3000 customers/district, 100 000 items) so that multi-hundred-
+/// warehouse simulated runs stay laptop-sized; the table-size *ratios*
+/// and the update profile of the transaction mix are preserved. The
+/// defaults give roughly 300 KiB of initial data per warehouse.
+#[derive(Clone, Debug)]
+pub struct TpccConfig {
+    /// Number of warehouses (the TPC-C scaling factor).
+    pub warehouses: u32,
+    /// Districts per warehouse (spec: 10).
+    pub districts_per_warehouse: u32,
+    /// Customers per district (spec: 3000; scaled default 60).
+    pub customers_per_district: u32,
+    /// Catalogue size (spec: 100 000; scaled default 1000).
+    pub items: u32,
+    /// Initial delivered+undelivered orders per district (spec: 3000;
+    /// scaled default 30).
+    pub initial_orders_per_district: u32,
+    /// C_DATA filler length per customer row.
+    pub customer_data_len: u32,
+    /// S_DATA + S_DIST filler length per stock row.
+    pub stock_data_len: u32,
+    /// Deterministic seed for loading and NURand constants.
+    pub seed: u64,
+}
+
+impl TpccConfig {
+    /// Scaled configuration with `warehouses` warehouses.
+    pub fn scaled(warehouses: u32) -> Self {
+        TpccConfig {
+            warehouses,
+            districts_per_warehouse: 10,
+            customers_per_district: 60,
+            items: 1000,
+            initial_orders_per_district: 30,
+            customer_data_len: 120,
+            stock_data_len: 80,
+            seed: 0x51A5_C41A,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 2,
+            customers_per_district: 10,
+            items: 50,
+            initial_orders_per_district: 5,
+            customer_data_len: 40,
+            stock_data_len: 30,
+            seed: 7,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Relation ids of the nine TPC-C tables in an engine.
+#[derive(Clone, Copy, Debug)]
+pub struct Tables {
+    /// WAREHOUSE.
+    pub warehouse: RelId,
+    /// DISTRICT.
+    pub district: RelId,
+    /// CUSTOMER.
+    pub customer: RelId,
+    /// HISTORY.
+    pub history: RelId,
+    /// NEW_ORDER.
+    pub new_order: RelId,
+    /// ORDERS.
+    pub orders: RelId,
+    /// ORDER_LINE.
+    pub order_line: RelId,
+    /// ITEM.
+    pub item: RelId,
+    /// STOCK.
+    pub stock: RelId,
+}
+
+impl Tables {
+    /// Creates (or resolves) all nine relations in an engine.
+    pub fn create<E: MvccEngine + ?Sized>(engine: &E) -> Tables {
+        Tables {
+            warehouse: engine.create_relation("warehouse"),
+            district: engine.create_relation("district"),
+            customer: engine.create_relation("customer"),
+            history: engine.create_relation("history"),
+            new_order: engine.create_relation("new_order"),
+            orders: engine.create_relation("orders"),
+            order_line: engine.create_relation("order_line"),
+            item: engine.create_relation("item"),
+            stock: engine.create_relation("stock"),
+        }
+    }
+}

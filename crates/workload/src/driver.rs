@@ -1,0 +1,368 @@
+//! Multi-terminal benchmark driver (the DBT2 client).
+//!
+//! Drives N terminals against an engine in a deterministic discrete-event
+//! loop over virtual time: each terminal issues back-to-back transactions
+//! (DBT2's zero-think-time mode), device models charge I/O latency on the
+//! shared [`VirtualClock`], a small CPU model with a fixed core count
+//! charges per-transaction compute, and maintenance ticks fire the
+//! background writer (the t1 path) and periodic checkpoints (the t2
+//! boundary).
+//!
+//! Reported metrics mirror the paper's: **NOTPM** (committed new-order
+//! transactions per virtual minute) and new-order **response times**.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sias_common::{SiasResult, VirtualClock};
+use sias_txn::MvccEngine;
+
+use crate::config::{Tables, TpccConfig};
+use crate::txns::{run_txn, Outcome, TxnKind};
+
+/// Driver parameters.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Concurrent terminals (DBT2 connections; the specification attaches
+    /// 10 per warehouse).
+    pub terminals: usize,
+    /// Measured virtual duration, seconds.
+    pub duration_secs: u64,
+    /// Warmup excluded from metrics, seconds.
+    pub warmup_secs: u64,
+    /// CPU cores of the modelled server.
+    pub cpu_cores: usize,
+    /// Background-writer tick interval (PostgreSQL `bgwriter_delay`), ms.
+    pub bgwriter_interval_ms: u64,
+    /// Checkpoint interval, seconds.
+    pub checkpoint_interval_secs: u64,
+    /// Scale factor on the spec's keying + think times. `1.0` = full
+    /// emulated users (≈ 12 NOTPM ceiling per warehouse, like DBT2 with
+    /// terminals); `0.0` = zero-think-time saturation mode.
+    pub think_scale: f64,
+    /// Driver rng seed.
+    pub seed: u64,
+}
+
+impl DriverConfig {
+    /// The specification-shaped default: 10 terminals per warehouse with
+    /// full keying + think times, 4 cores, 200 ms bgwriter, 30 s
+    /// checkpoints.
+    pub fn for_warehouses(warehouses: u32) -> Self {
+        DriverConfig {
+            terminals: (warehouses as usize * 10).clamp(4, 10_000),
+            duration_secs: 60,
+            warmup_secs: 10,
+            cpu_cores: 4,
+            bgwriter_interval_ms: 200,
+            checkpoint_interval_secs: 30,
+            think_scale: 1.0,
+            seed: 0xDB72,
+        }
+    }
+
+    /// Overrides the measured duration.
+    pub fn with_duration(mut self, secs: u64) -> Self {
+        self.duration_secs = secs;
+        self
+    }
+
+    /// Overrides the think-time scale.
+    pub fn with_think_scale(mut self, scale: f64) -> Self {
+        self.think_scale = scale;
+        self
+    }
+}
+
+/// Per-transaction CPU cost (µs) of the modelled server — calibrated to
+/// PostgreSQL-era per-transaction compute on the paper's Core2Duo/Xeon
+/// class hardware (milliseconds, not microseconds).
+pub fn cpu_cost_us(kind: TxnKind) -> u64 {
+    match kind {
+        TxnKind::NewOrder => 9_000,
+        TxnKind::Payment => 4_000,
+        TxnKind::OrderStatus => 4_000,
+        TxnKind::Delivery => 20_000,
+        TxnKind::StockLevel => 12_000,
+    }
+}
+
+/// Keying time (fixed) per transaction, µs (spec §5.2.5.7).
+pub fn keying_us(kind: TxnKind) -> u64 {
+    match kind {
+        TxnKind::NewOrder => 18_000_000,
+        TxnKind::Payment => 3_000_000,
+        TxnKind::OrderStatus => 2_000_000,
+        TxnKind::Delivery => 2_000_000,
+        TxnKind::StockLevel => 2_000_000,
+    }
+}
+
+/// Mean think time per transaction, µs (spec §5.2.5.7).
+pub fn think_mean_us(kind: TxnKind) -> u64 {
+    match kind {
+        TxnKind::NewOrder => 12_000_000,
+        TxnKind::Payment => 12_000_000,
+        TxnKind::OrderStatus => 10_000_000,
+        TxnKind::Delivery => 5_000_000,
+        TxnKind::StockLevel => 5_000_000,
+    }
+}
+
+/// Benchmark outcome.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Engine name ("sias" / "si").
+    pub engine: String,
+    /// Warehouse count of the run.
+    pub warehouses: u32,
+    /// Measured interval in virtual seconds (duration − warmup).
+    pub measured_secs: f64,
+    /// New-order transactions per minute — the paper's headline metric.
+    pub notpm: f64,
+    /// Committed new-order count in the measured interval.
+    pub new_order_commits: u64,
+    /// All commits in the measured interval.
+    pub commits: u64,
+    /// Intentional rollbacks (1 % rule).
+    pub rollbacks: u64,
+    /// First-updater-wins conflicts.
+    pub conflicts: u64,
+    /// Mean new-order response time, seconds.
+    pub avg_response_s: f64,
+    /// Median new-order response time, seconds.
+    pub p50_response_s: f64,
+    /// 90th-percentile new-order response time, seconds.
+    pub p90_response_s: f64,
+    /// 99th-percentile new-order response time, seconds.
+    pub p99_response_s: f64,
+    /// Worst new-order response time, seconds.
+    pub max_response_s: f64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx] as f64 / 1e6
+}
+
+/// Runs the TPC-C mix against `engine` for the configured virtual
+/// duration and reports NOTPM + response times.
+pub fn run_benchmark<E: MvccEngine + ?Sized>(
+    engine: &E,
+    tables: &Tables,
+    cfg: &TpccConfig,
+    dcfg: &DriverConfig,
+    clock: &VirtualClock,
+) -> SiasResult<BenchResult> {
+    let start = clock.now_us();
+    let warmup_end = start + dcfg.warmup_secs * 1_000_000;
+    let end = start + (dcfg.warmup_secs + dcfg.duration_secs) * 1_000_000;
+
+    // One rng per terminal, seeded from (driver seed, terminal id):
+    // every terminal issues an identical transaction sequence regardless
+    // of engine timing, so runs on different engines are paired — the
+    // offered work is byte-identical and throughput differences are
+    // purely the engine's doing.
+    let mut rngs: Vec<StdRng> = (0..dcfg.terminals)
+        .map(|i| StdRng::seed_from_u64(dcfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect();
+    // Event heap of (next-free-time, terminal id); terminals staggered so
+    // they do not stampede at t = 0.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..dcfg.terminals)
+        .map(|i| Reverse((start + i as u64 * 137, i)))
+        .collect();
+    let mut cores = vec![start; dcfg.cpu_cores.max(1)];
+    let mut next_bg = start + dcfg.bgwriter_interval_ms * 1000;
+    let mut next_ckpt = start + dcfg.checkpoint_interval_secs * 1_000_000;
+
+    let mut new_order_commits = 0u64;
+    let mut commits = 0u64;
+    let mut rollbacks = 0u64;
+    let mut conflicts = 0u64;
+    let mut responses_us: Vec<u64> = Vec::new();
+
+    while let Some(Reverse((t, term))) = heap.pop() {
+        if t >= end {
+            continue; // terminal finished
+        }
+        // Fire maintenance due before this event.
+        while next_bg <= t || next_ckpt <= t {
+            if next_bg <= next_ckpt {
+                clock.set_us(next_bg);
+                engine.maintenance(false);
+                next_bg += dcfg.bgwriter_interval_ms * 1000;
+            } else {
+                clock.set_us(next_ckpt);
+                engine.maintenance(true);
+                next_ckpt += dcfg.checkpoint_interval_secs * 1_000_000;
+            }
+        }
+        clock.set_us(t);
+        let rng = &mut rngs[term];
+        let kind = TxnKind::draw(rng);
+        let w = (term as u32 % cfg.warehouses) + 1;
+        let outcome = run_txn(engine, tables, cfg, rng, kind, w, t)?;
+        // Charge CPU on the least-loaded core.
+        let cost = cpu_cost_us(kind);
+        let core = cores.iter_mut().min().expect("at least one core");
+        let cpu_start = (*core).max(clock.now_us());
+        *core = cpu_start + cost;
+        clock.advance_to_us(cpu_start + cost);
+
+        let done = clock.now_us();
+        let measured = done >= warmup_end;
+        // Emulated-user pacing: keying before the next transaction plus
+        // an exponentially distributed think time after this one.
+        let pause = if dcfg.think_scale > 0.0 {
+            let think = -(think_mean_us(kind) as f64) * (1.0 - rng.random::<f64>()).ln();
+            ((keying_us(kind) as f64 + think) * dcfg.think_scale) as u64
+        } else {
+            0
+        };
+        if measured {
+            match outcome {
+                Outcome::Committed => {
+                    commits += 1;
+                    if kind == TxnKind::NewOrder {
+                        new_order_commits += 1;
+                        responses_us.push(done - t);
+                    }
+                }
+                Outcome::RolledBack => rollbacks += 1,
+                Outcome::Conflicted => conflicts += 1,
+            }
+        }
+        heap.push(Reverse((done + pause, term)));
+    }
+    clock.set_us(end);
+
+    responses_us.sort_unstable();
+    let measured_secs = dcfg.duration_secs as f64;
+    let avg = if responses_us.is_empty() {
+        0.0
+    } else {
+        responses_us.iter().sum::<u64>() as f64 / responses_us.len() as f64 / 1e6
+    };
+    Ok(BenchResult {
+        engine: engine.name().to_string(),
+        warehouses: cfg.warehouses,
+        measured_secs,
+        notpm: new_order_commits as f64 / (measured_secs / 60.0),
+        new_order_commits,
+        commits,
+        rollbacks,
+        conflicts,
+        avg_response_s: avg,
+        p50_response_s: percentile(&responses_us, 0.50),
+        p90_response_s: percentile(&responses_us, 0.90),
+        p99_response_s: percentile(&responses_us, 0.99),
+        max_response_s: percentile(&responses_us, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load;
+    use sias_core::SiasDb;
+    use sias_si::SiDb;
+    use sias_storage::StorageConfig;
+
+    #[test]
+    fn benchmark_runs_on_in_memory_sias() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let cfg = TpccConfig::tiny();
+        let tables = load(&db, &cfg).unwrap();
+        let dcfg = DriverConfig {
+            terminals: 4,
+            duration_secs: 5,
+            warmup_secs: 1,
+            cpu_cores: 2,
+            bgwriter_interval_ms: 200,
+            checkpoint_interval_secs: 3,
+            think_scale: 0.0,
+            seed: 1,
+        };
+        let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
+        assert!(res.notpm > 0.0, "{res:?}");
+        assert!(res.new_order_commits > 0);
+        assert!(res.avg_response_s >= 0.0);
+        assert!(res.p99_response_s >= res.p50_response_s);
+        // Virtual clock ended exactly at the configured horizon.
+        assert_eq!(db.stack().clock.now_us(), 6_000_000);
+    }
+
+    #[test]
+    fn benchmark_runs_on_ssd_si() {
+        let db = SiDb::open(StorageConfig::ssd().with_pool_frames(256).with_capacity_pages(1 << 15));
+        let cfg = TpccConfig::tiny();
+        let tables = load(&db, &cfg).unwrap();
+        let dcfg = DriverConfig {
+            terminals: 4,
+            duration_secs: 5,
+            warmup_secs: 1,
+            cpu_cores: 2,
+            bgwriter_interval_ms: 200,
+            checkpoint_interval_secs: 3,
+            think_scale: 0.0,
+            seed: 1,
+        };
+        let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
+        assert!(res.notpm > 0.0, "{res:?}");
+        // On a real device model the engine must have issued writes.
+        assert!(db.stack().data.stats().host_write_pages > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let db = SiasDb::open(StorageConfig::in_memory());
+            let cfg = TpccConfig::tiny();
+            let tables = load(&db, &cfg).unwrap();
+            let dcfg = DriverConfig {
+                terminals: 3,
+                duration_secs: 3,
+                warmup_secs: 0,
+                cpu_cores: 2,
+                bgwriter_interval_ms: 500,
+                checkpoint_interval_secs: 2,
+                think_scale: 0.0,
+                seed: 42,
+            };
+            run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.new_order_commits, b.new_order_commits);
+        assert_eq!(a.commits, b.commits);
+        assert!((a.notpm - b.notpm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_cap_bounds_throughput() {
+        // With zero-latency storage, throughput is CPU-bound: NOTPM can
+        // not exceed cores × (60s / avg cpu cost) × new-order share.
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let cfg = TpccConfig::tiny();
+        let tables = load(&db, &cfg).unwrap();
+        let dcfg = DriverConfig {
+            terminals: 16,
+            duration_secs: 10,
+            warmup_secs: 0,
+            cpu_cores: 1,
+            bgwriter_interval_ms: 1000,
+            checkpoint_interval_secs: 10,
+            think_scale: 0.0,
+            seed: 2,
+        };
+        let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
+        // 1 core, ~9 ms mean cost → ≤ ~7k txn/min; new-order ≈ 45 %.
+        assert!(res.notpm < 4_000.0, "CPU model must cap throughput: {res:?}");
+        assert!(res.notpm > 100.0, "but it should still do real work: {res:?}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Key packing for the TPC-C schema.
+//!
+//! The engines address rows by one `u64` key per relation; TPC-C's
+//! composite primary keys are bit-packed:
+//!
+//! ```text
+//! warehouse   ⟨w⟩                =  w
+//! district    ⟨w, d⟩             =  w·2⁸  | d
+//! customer    ⟨w, d, c⟩          =  district ·2¹⁶ | c
+//! order       ⟨w, d, o⟩          =  district ·2²⁴ | o
+//! new_order   ⟨w, d, o⟩          =  order key
+//! order_line  ⟨w, d, o, number⟩  =  order ·2⁴ | number
+//! item        ⟨i⟩                =  i
+//! stock       ⟨w, i⟩             =  w·2²⁴ | i
+//! history     running sequence
+//! ```
+//!
+//! The layouts keep same-district orders contiguous, so "oldest
+//! undelivered order" (Delivery) and "last 20 orders" (StockLevel) are
+//! range scans, exactly as in the SQL schema with its composite B-tree
+//! keys.
+
+/// Warehouse id (1-based) to key.
+pub fn warehouse(w: u32) -> u64 {
+    w as u64
+}
+
+/// District key.
+pub fn district(w: u32, d: u32) -> u64 {
+    ((w as u64) << 8) | d as u64
+}
+
+/// Customer key.
+pub fn customer(w: u32, d: u32, c: u32) -> u64 {
+    (district(w, d) << 16) | c as u64
+}
+
+/// Order key.
+pub fn order(w: u32, d: u32, o: u32) -> u64 {
+    (district(w, d) << 24) | o as u64
+}
+
+/// Order-line key.
+pub fn order_line(w: u32, d: u32, o: u32, number: u32) -> u64 {
+    (order(w, d, o) << 4) | number as u64
+}
+
+/// Item key.
+pub fn item(i: u32) -> u64 {
+    i as u64
+}
+
+/// Stock key.
+pub fn stock(w: u32, i: u32) -> u64 {
+    ((w as u64) << 24) | i as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_injective_within_reasonable_scales() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for w in 1..=3u32 {
+            assert!(seen.insert(("w", warehouse(w))));
+            for d in 1..=10u32 {
+                assert!(seen.insert(("d", district(w, d))));
+                for c in 1..=30u32 {
+                    assert!(seen.insert(("c", customer(w, d, c))));
+                }
+                for o in 1..=30u32 {
+                    assert!(seen.insert(("o", order(w, d, o))));
+                    for l in 1..=15u32 {
+                        assert!(seen.insert(("ol", order_line(w, d, o, l))));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_keys_of_one_district_are_contiguous() {
+        // Delivery / StockLevel rely on range scans over o_id.
+        let lo = order(5, 3, 10);
+        let hi = order(5, 3, 20);
+        for o in 10..=20u32 {
+            let k = order(5, 3, o);
+            assert!(k >= lo && k <= hi);
+        }
+        // Neighbouring districts do not fall into the range.
+        assert!(order(5, 4, 1) > hi || order(5, 4, 1) < lo);
+        assert!(order(5, 2, 30) < lo);
+    }
+
+    #[test]
+    fn order_line_ranges_nest_inside_order() {
+        let o = order(1, 1, 7);
+        for l in 0..16u32 {
+            let k = order_line(1, 1, 7, l);
+            assert_eq!(k >> 4, o);
+        }
+    }
+}

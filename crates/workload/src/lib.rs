@@ -1,0 +1,35 @@
+//! TPC-C-style workload for the SIAS evaluation.
+//!
+//! The paper evaluates with DBT2, the open-source TPC-C implementation,
+//! at varying warehouse scales. This crate rebuilds that harness:
+//!
+//! * [`schema`] — the nine TPC-C tables with compact fixed layouts;
+//! * [`keys`] — composite-key packing into the engines' `u64` keys;
+//! * [`random`] — uniform + NURand skew;
+//! * [`config`] — scale parameters (warehouses, scaled cardinalities);
+//! * [`loader`] — initial population;
+//! * [`txns`] — the five transaction profiles at the standard mix;
+//! * [`driver`] — the multi-terminal discrete-event driver reporting
+//!   NOTPM and response times;
+//! * [`check`] — TPC-C consistency conditions for validating engines.
+//!
+//! Everything is generic over [`sias_txn::MvccEngine`], so SIAS and the
+//! SI baseline run byte-identical logical work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod config;
+pub mod driver;
+pub mod keys;
+pub mod loader;
+pub mod random;
+pub mod schema;
+pub mod txns;
+
+pub use check::{check_consistency, Violation};
+pub use config::{Tables, TpccConfig};
+pub use driver::{run_benchmark, BenchResult, DriverConfig};
+pub use loader::load;
+pub use txns::{run_txn, Outcome, TxnKind};

@@ -1,0 +1,177 @@
+//! Initial database population (the DBT2 "datagen" phase).
+//!
+//! Loads the nine tables at the configured scale: items first, then per
+//! warehouse its stock, districts, customers (with one history row each)
+//! and the initial order backlog — the most recent third of initial
+//! orders per district is undelivered (has NEW_ORDER rows), as in the
+//! specification.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sias_common::SiasResult;
+use sias_txn::MvccEngine;
+
+use crate::config::{Tables, TpccConfig};
+use crate::keys;
+use crate::random::uniform;
+use crate::schema::*;
+
+/// Loads a full TPC-C database into `engine`; returns the table ids.
+pub fn load<E: MvccEngine + ?Sized>(engine: &E, cfg: &TpccConfig) -> SiasResult<Tables> {
+    let tables = Tables::create(engine);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // ITEM (shared catalogue).
+    let t = engine.begin();
+    for i in 1..=cfg.items {
+        let item = Item { id: i, price: uniform(&mut rng, 100, 10_000) as u32 };
+        engine.insert(&t, tables.item, keys::item(i), &item.encode())?;
+    }
+    engine.commit(t)?;
+
+    for w in 1..=cfg.warehouses {
+        let t = engine.begin();
+        // W_YTD must equal the sum of its districts' D_YTD (consistency
+        // condition C5 / spec §3.3.2.1).
+        let wh = Warehouse {
+            id: w,
+            ytd: 3_000_000 * cfg.districts_per_warehouse as i64,
+            tax: uniform(&mut rng, 0, 2000) as u32,
+        };
+        engine.insert(&t, tables.warehouse, keys::warehouse(w), &wh.encode())?;
+
+        // STOCK: one row per (warehouse, item).
+        for i in 1..=cfg.items {
+            let s = Stock {
+                w_id: w,
+                i_id: i,
+                quantity: uniform(&mut rng, 10, 100) as i32,
+                ytd: 0,
+                order_cnt: 0,
+                remote_cnt: 0,
+                data_len: cfg.stock_data_len,
+            };
+            engine.insert(&t, tables.stock, keys::stock(w, i), &s.encode())?;
+        }
+
+        for d in 1..=cfg.districts_per_warehouse {
+            let dist = District {
+                w_id: w,
+                d_id: d,
+                next_o_id: cfg.initial_orders_per_district + 1,
+                ytd: 3_000_000,
+                tax: uniform(&mut rng, 0, 2000) as u32,
+            };
+            engine.insert(&t, tables.district, keys::district(w, d), &dist.encode())?;
+
+            for c in 1..=cfg.customers_per_district {
+                let cust = Customer {
+                    w_id: w,
+                    d_id: d,
+                    c_id: c,
+                    balance: -1000,
+                    ytd_payment: 1000,
+                    payment_cnt: 1,
+                    delivery_cnt: 0,
+                    data_len: cfg.customer_data_len,
+                };
+                engine.insert(&t, tables.customer, keys::customer(w, d, c), &cust.encode())?;
+                let h = History { w_id: w, d_id: d, c_id: c, amount: 1000, date: 0 };
+                engine.insert(&t, tables.history, next_history_key(), &h.encode())?;
+            }
+
+            // Initial orders: a permutation of customers, the newest
+            // third undelivered.
+            let undelivered_from =
+                cfg.initial_orders_per_district - cfg.initial_orders_per_district / 3 + 1;
+            for o in 1..=cfg.initial_orders_per_district {
+                let c_id = uniform(&mut rng, 1, cfg.customers_per_district as u64) as u32;
+                let ol_cnt = uniform(&mut rng, 5, 15) as u32;
+                let delivered = o < undelivered_from;
+                let order = Order {
+                    w_id: w,
+                    d_id: d,
+                    o_id: o,
+                    c_id,
+                    entry_d: 0,
+                    carrier_id: if delivered { uniform(&mut rng, 1, 10) as u32 } else { 0 },
+                    ol_cnt,
+                };
+                engine.insert(&t, tables.orders, keys::order(w, d, o), &order.encode())?;
+                if !delivered {
+                    let no = NewOrderRow { w_id: w, d_id: d, o_id: o };
+                    engine.insert(&t, tables.new_order, keys::order(w, d, o), &no.encode())?;
+                }
+                for l in 1..=ol_cnt {
+                    let ol = OrderLine {
+                        i_id: uniform(&mut rng, 1, cfg.items as u64) as u32,
+                        supply_w_id: w,
+                        quantity: 5,
+                        amount: if delivered { uniform(&mut rng, 1, 999_999) as u32 } else { 0 },
+                        delivery_d: if delivered { 1 } else { 0 },
+                    };
+                    engine.insert(&t, tables.order_line, keys::order_line(w, d, o, l), &ol.encode())?;
+                }
+            }
+        }
+        engine.commit(t)?;
+    }
+    Ok(tables)
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HISTORY_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Allocates a globally-unique HISTORY key (the spec's history table has
+/// no primary key; a running sequence stands in).
+pub fn next_history_key() -> u64 {
+    HISTORY_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sias_core::SiasDb;
+    use sias_si::SiDb;
+    use sias_storage::StorageConfig;
+
+    fn check_load<E: MvccEngine>(engine: &E) {
+        let cfg = TpccConfig::tiny();
+        let tables = load(engine, &cfg).unwrap();
+        let t = engine.begin();
+        // Cardinalities.
+        assert_eq!(engine.scan_all(&t, tables.warehouse).unwrap().len(), 2);
+        assert_eq!(engine.scan_all(&t, tables.district).unwrap().len(), 4);
+        assert_eq!(engine.scan_all(&t, tables.customer).unwrap().len(), 40);
+        assert_eq!(engine.scan_all(&t, tables.item).unwrap().len(), 50);
+        assert_eq!(engine.scan_all(&t, tables.stock).unwrap().len(), 100);
+        assert_eq!(engine.scan_all(&t, tables.orders).unwrap().len(), 20);
+        // A third of 5 initial orders per district is undelivered.
+        assert_eq!(engine.scan_all(&t, tables.new_order).unwrap().len(), 4);
+        // District next_o_id set past the backlog.
+        let d = District::decode(
+            &engine.get(&t, tables.district, keys::district(1, 1)).unwrap().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(d.next_o_id, 6);
+        // Order lines match the per-order counts.
+        let orders = engine.scan_all(&t, tables.orders).unwrap();
+        let ol_total: u32 =
+            orders.iter().map(|(_, o)| Order::decode(o).unwrap().ol_cnt).sum();
+        assert_eq!(engine.scan_all(&t, tables.order_line).unwrap().len() as u32, ol_total);
+        engine.commit(t).unwrap();
+    }
+
+    #[test]
+    fn loads_into_sias() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        check_load(&db);
+    }
+
+    #[test]
+    fn loads_into_si_baseline() {
+        let db = SiDb::open(StorageConfig::in_memory());
+        check_load(&db);
+    }
+}

@@ -1,0 +1,513 @@
+//! TPC-C-style schema records.
+//!
+//! The nine TPC-C tables, with compact fixed-layout serialization.
+//! Record footprints are scaled down relative to the specification
+//! (configurable filler lengths) so that simulated multi-hundred-warehouse
+//! runs stay laptop-sized; the *ratios* between tables and the
+//! update-intensity of the workload are preserved.
+
+use sias_common::{SiasError, SiasResult};
+
+/// Little-endian field writer.
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates a writer with some capacity.
+    pub fn new(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Appends a u8.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an i64.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends `n` filler bytes.
+    pub fn filler(&mut self, n: usize) -> &mut Self {
+        self.buf.resize(self.buf.len() + n, 0x5F);
+        self
+    }
+
+    /// Finishes.
+    pub fn done(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian field reader.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> SiasResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(SiasError::Device("truncated record".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a u8.
+    pub fn u8(&mut self) -> SiasResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a u32.
+    pub fn u32(&mut self) -> SiasResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an i64.
+    pub fn i64(&mut self) -> SiasResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a u64.
+    pub fn u64(&mut self) -> SiasResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Skips filler.
+    pub fn skip(&mut self, n: usize) -> SiasResult<()> {
+        self.take(n).map(|_| ())
+    }
+}
+
+/// WAREHOUSE row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warehouse {
+    /// Warehouse id.
+    pub id: u32,
+    /// Year-to-date balance, in cents.
+    pub ytd: i64,
+    /// Tax rate in basis points.
+    pub tax: u32,
+}
+
+impl Warehouse {
+    /// Serializes (with address filler approximating the spec row).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(64);
+        w.u32(self.id).i64(self.ytd).u32(self.tax).filler(48);
+        w.done()
+    }
+
+    /// Deserializes.
+    pub fn decode(buf: &[u8]) -> SiasResult<Self> {
+        let mut r = Reader::new(buf);
+        Ok(Warehouse { id: r.u32()?, ytd: r.i64()?, tax: r.u32()? })
+    }
+}
+
+/// DISTRICT row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct District {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// District id.
+    pub d_id: u32,
+    /// Next order number to assign.
+    pub next_o_id: u32,
+    /// Year-to-date balance, cents.
+    pub ytd: i64,
+    /// Tax rate in basis points.
+    pub tax: u32,
+}
+
+impl District {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(72);
+        w.u32(self.w_id).u32(self.d_id).u32(self.next_o_id).i64(self.ytd).u32(self.tax).filler(44);
+        w.done()
+    }
+
+    /// Deserializes.
+    pub fn decode(buf: &[u8]) -> SiasResult<Self> {
+        let mut r = Reader::new(buf);
+        Ok(District {
+            w_id: r.u32()?,
+            d_id: r.u32()?,
+            next_o_id: r.u32()?,
+            ytd: r.i64()?,
+            tax: r.u32()?,
+        })
+    }
+}
+
+/// CUSTOMER row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Customer {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// District id.
+    pub d_id: u32,
+    /// Customer id.
+    pub c_id: u32,
+    /// Balance, cents (negative allowed).
+    pub balance: i64,
+    /// Year-to-date payment, cents.
+    pub ytd_payment: i64,
+    /// Payments made.
+    pub payment_cnt: u32,
+    /// Deliveries received.
+    pub delivery_cnt: u32,
+    /// Length of the variable data filler (spec: C_DATA).
+    pub data_len: u32,
+}
+
+impl Customer {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(48 + self.data_len as usize);
+        w.u32(self.w_id)
+            .u32(self.d_id)
+            .u32(self.c_id)
+            .i64(self.balance)
+            .i64(self.ytd_payment)
+            .u32(self.payment_cnt)
+            .u32(self.delivery_cnt)
+            .u32(self.data_len)
+            .filler(self.data_len as usize);
+        w.done()
+    }
+
+    /// Deserializes.
+    pub fn decode(buf: &[u8]) -> SiasResult<Self> {
+        let mut r = Reader::new(buf);
+        Ok(Customer {
+            w_id: r.u32()?,
+            d_id: r.u32()?,
+            c_id: r.u32()?,
+            balance: r.i64()?,
+            ytd_payment: r.i64()?,
+            payment_cnt: r.u32()?,
+            delivery_cnt: r.u32()?,
+            data_len: r.u32()?,
+        })
+    }
+}
+
+/// ITEM row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Item {
+    /// Item id.
+    pub id: u32,
+    /// Price, cents.
+    pub price: u32,
+}
+
+impl Item {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(48);
+        w.u32(self.id).u32(self.price).filler(40);
+        w.done()
+    }
+
+    /// Deserializes.
+    pub fn decode(buf: &[u8]) -> SiasResult<Self> {
+        let mut r = Reader::new(buf);
+        Ok(Item { id: r.u32()?, price: r.u32()? })
+    }
+}
+
+/// STOCK row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stock {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// Item id.
+    pub i_id: u32,
+    /// Quantity on hand.
+    pub quantity: i32,
+    /// Year-to-date units sold.
+    pub ytd: u32,
+    /// Orders that touched this stock.
+    pub order_cnt: u32,
+    /// Remote orders.
+    pub remote_cnt: u32,
+    /// Filler length (spec: S_DATA + S_DIST_xx).
+    pub data_len: u32,
+}
+
+impl Stock {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(32 + self.data_len as usize);
+        w.u32(self.w_id)
+            .u32(self.i_id)
+            .u32(self.quantity as u32)
+            .u32(self.ytd)
+            .u32(self.order_cnt)
+            .u32(self.remote_cnt)
+            .u32(self.data_len)
+            .filler(self.data_len as usize);
+        w.done()
+    }
+
+    /// Deserializes.
+    pub fn decode(buf: &[u8]) -> SiasResult<Self> {
+        let mut r = Reader::new(buf);
+        Ok(Stock {
+            w_id: r.u32()?,
+            i_id: r.u32()?,
+            quantity: r.u32()? as i32,
+            ytd: r.u32()?,
+            order_cnt: r.u32()?,
+            remote_cnt: r.u32()?,
+            data_len: r.u32()?,
+        })
+    }
+}
+
+/// ORDERS row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Order {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// District id.
+    pub d_id: u32,
+    /// Order id.
+    pub o_id: u32,
+    /// Ordering customer.
+    pub c_id: u32,
+    /// Entry timestamp (virtual µs).
+    pub entry_d: u64,
+    /// Carrier assigned at delivery (0 = undelivered).
+    pub carrier_id: u32,
+    /// Number of order lines.
+    pub ol_cnt: u32,
+}
+
+impl Order {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(32);
+        w.u32(self.w_id)
+            .u32(self.d_id)
+            .u32(self.o_id)
+            .u32(self.c_id)
+            .u64(self.entry_d)
+            .u32(self.carrier_id)
+            .u32(self.ol_cnt);
+        w.done()
+    }
+
+    /// Deserializes.
+    pub fn decode(buf: &[u8]) -> SiasResult<Self> {
+        let mut r = Reader::new(buf);
+        Ok(Order {
+            w_id: r.u32()?,
+            d_id: r.u32()?,
+            o_id: r.u32()?,
+            c_id: r.u32()?,
+            entry_d: r.u64()?,
+            carrier_id: r.u32()?,
+            ol_cnt: r.u32()?,
+        })
+    }
+}
+
+/// NEW_ORDER row (presence marks an undelivered order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NewOrderRow {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// District id.
+    pub d_id: u32,
+    /// Order id.
+    pub o_id: u32,
+}
+
+impl NewOrderRow {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(12);
+        w.u32(self.w_id).u32(self.d_id).u32(self.o_id);
+        w.done()
+    }
+
+    /// Deserializes.
+    pub fn decode(buf: &[u8]) -> SiasResult<Self> {
+        let mut r = Reader::new(buf);
+        Ok(NewOrderRow { w_id: r.u32()?, d_id: r.u32()?, o_id: r.u32()? })
+    }
+}
+
+/// ORDER_LINE row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderLine {
+    /// Item ordered.
+    pub i_id: u32,
+    /// Supplying warehouse.
+    pub supply_w_id: u32,
+    /// Quantity.
+    pub quantity: u32,
+    /// Line amount, cents.
+    pub amount: u32,
+    /// Delivery timestamp (0 = undelivered).
+    pub delivery_d: u64,
+}
+
+impl OrderLine {
+    /// Serializes (with DIST_INFO filler).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(48);
+        w.u32(self.i_id)
+            .u32(self.supply_w_id)
+            .u32(self.quantity)
+            .u32(self.amount)
+            .u64(self.delivery_d)
+            .filler(24);
+        w.done()
+    }
+
+    /// Deserializes.
+    pub fn decode(buf: &[u8]) -> SiasResult<Self> {
+        let mut r = Reader::new(buf);
+        Ok(OrderLine {
+            i_id: r.u32()?,
+            supply_w_id: r.u32()?,
+            quantity: r.u32()?,
+            amount: r.u32()?,
+            delivery_d: r.u64()?,
+        })
+    }
+}
+
+/// HISTORY row (append-only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct History {
+    /// Customer warehouse.
+    pub w_id: u32,
+    /// Customer district.
+    pub d_id: u32,
+    /// Customer.
+    pub c_id: u32,
+    /// Payment amount, cents.
+    pub amount: u32,
+    /// Timestamp (virtual µs).
+    pub date: u64,
+}
+
+impl History {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(44);
+        w.u32(self.w_id).u32(self.d_id).u32(self.c_id).u32(self.amount).u64(self.date).filler(20);
+        w.done()
+    }
+
+    /// Deserializes.
+    pub fn decode(buf: &[u8]) -> SiasResult<Self> {
+        let mut r = Reader::new(buf);
+        Ok(History {
+            w_id: r.u32()?,
+            d_id: r.u32()?,
+            c_id: r.u32()?,
+            amount: r.u32()?,
+            date: r.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_records_roundtrip() {
+        let w = Warehouse { id: 3, ytd: -125, tax: 750 };
+        assert_eq!(Warehouse::decode(&w.encode()).unwrap(), w);
+        let d = District { w_id: 3, d_id: 7, next_o_id: 3001, ytd: 99, tax: 100 };
+        assert_eq!(District::decode(&d.encode()).unwrap(), d);
+        let c = Customer {
+            w_id: 3,
+            d_id: 7,
+            c_id: 42,
+            balance: -1000,
+            ytd_payment: 5000,
+            payment_cnt: 3,
+            delivery_cnt: 1,
+            data_len: 120,
+        };
+        assert_eq!(Customer::decode(&c.encode()).unwrap(), c);
+        let i = Item { id: 9, price: 4999 };
+        assert_eq!(Item::decode(&i.encode()).unwrap(), i);
+        let s = Stock {
+            w_id: 3,
+            i_id: 9,
+            quantity: -5,
+            ytd: 100,
+            order_cnt: 10,
+            remote_cnt: 1,
+            data_len: 80,
+        };
+        assert_eq!(Stock::decode(&s.encode()).unwrap(), s);
+        let o = Order { w_id: 3, d_id: 7, o_id: 11, c_id: 42, entry_d: 123, carrier_id: 0, ol_cnt: 9 };
+        assert_eq!(Order::decode(&o.encode()).unwrap(), o);
+        let n = NewOrderRow { w_id: 3, d_id: 7, o_id: 11 };
+        assert_eq!(NewOrderRow::decode(&n.encode()).unwrap(), n);
+        let ol = OrderLine { i_id: 9, supply_w_id: 3, quantity: 5, amount: 24995, delivery_d: 0 };
+        assert_eq!(OrderLine::decode(&ol.encode()).unwrap(), ol);
+        let h = History { w_id: 3, d_id: 7, c_id: 42, amount: 100, date: 55 };
+        assert_eq!(History::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn record_sizes_keep_spec_proportions() {
+        // Customer and stock rows dominate; order lines are small.
+        let c = Customer {
+            w_id: 1, d_id: 1, c_id: 1, balance: 0, ytd_payment: 0,
+            payment_cnt: 0, delivery_cnt: 0, data_len: 120,
+        };
+        let s = Stock { w_id: 1, i_id: 1, quantity: 0, ytd: 0, order_cnt: 0, remote_cnt: 0, data_len: 80 };
+        let ol = OrderLine { i_id: 1, supply_w_id: 1, quantity: 1, amount: 1, delivery_d: 0 };
+        assert!(c.encode().len() > s.encode().len());
+        assert!(s.encode().len() > ol.encode().len());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let d = District { w_id: 1, d_id: 1, next_o_id: 1, ytd: 0, tax: 0 };
+        let enc = d.encode();
+        assert!(District::decode(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn negative_stock_quantity_roundtrips() {
+        // TPC-C lets S_QUANTITY go negative before the +91 refill.
+        let s = Stock { w_id: 1, i_id: 1, quantity: -42, ytd: 0, order_cnt: 0, remote_cnt: 0, data_len: 0 };
+        assert_eq!(Stock::decode(&s.encode()).unwrap().quantity, -42);
+    }
+}

@@ -1,0 +1,544 @@
+//! The five TPC-C transaction profiles, engine-agnostic.
+//!
+//! Each profile runs against any [`MvccEngine`], so SIAS and the SI
+//! baseline execute byte-identical logical work. Simplifications relative
+//! to the full specification (noted in DESIGN.md): customers are always
+//! selected by id (no last-name path), and the 15 % remote-warehouse
+//! payment rule is kept but remote new-order lines use the standard 1 %
+//! probability.
+
+use rand::rngs::StdRng;
+use sias_common::{SiasError, SiasResult};
+use sias_txn::MvccEngine;
+
+use crate::config::{Tables, TpccConfig};
+use crate::keys;
+use crate::loader::next_history_key;
+use crate::random::{nurand, nurand_a, uniform};
+use crate::schema::*;
+
+/// Transaction type tags, with the standard DBT2 mix weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// ~45 % of the mix; the throughput metric counts these.
+    NewOrder,
+    /// ~43 %.
+    Payment,
+    /// ~4 %, read-only.
+    OrderStatus,
+    /// ~4 %.
+    Delivery,
+    /// ~4 %, read-only.
+    StockLevel,
+}
+
+impl TxnKind {
+    /// Draws a transaction type with the standard 45/43/4/4/4 mix.
+    pub fn draw(rng: &mut StdRng) -> TxnKind {
+        match uniform(rng, 1, 100) {
+            1..=45 => TxnKind::NewOrder,
+            46..=88 => TxnKind::Payment,
+            89..=92 => TxnKind::OrderStatus,
+            93..=96 => TxnKind::Delivery,
+            _ => TxnKind::StockLevel,
+        }
+    }
+
+    /// All five kinds.
+    pub const ALL: [TxnKind; 5] =
+        [TxnKind::NewOrder, TxnKind::Payment, TxnKind::OrderStatus, TxnKind::Delivery, TxnKind::StockLevel];
+}
+
+/// Outcome of one executed transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Committed normally.
+    Committed,
+    /// Intentional rollback (the 1 % invalid-item new-orders).
+    RolledBack,
+    /// Aborted on a write-write conflict (first-updater-wins).
+    Conflicted,
+}
+
+/// Executes one transaction of `kind` homed at warehouse `w`.
+pub fn run_txn<E: MvccEngine + ?Sized>(
+    engine: &E,
+    tables: &Tables,
+    cfg: &TpccConfig,
+    rng: &mut StdRng,
+    kind: TxnKind,
+    w: u32,
+    now_us: u64,
+) -> SiasResult<Outcome> {
+    let result = match kind {
+        TxnKind::NewOrder => new_order(engine, tables, cfg, rng, w, now_us),
+        TxnKind::Payment => payment(engine, tables, cfg, rng, w, now_us),
+        TxnKind::OrderStatus => order_status(engine, tables, cfg, rng, w),
+        TxnKind::Delivery => delivery(engine, tables, cfg, rng, w, now_us),
+        TxnKind::StockLevel => stock_level(engine, tables, cfg, rng, w),
+    };
+    match result {
+        Ok(outcome) => Ok(outcome),
+        Err(SiasError::WriteConflict { .. }) => Ok(Outcome::Conflicted),
+        Err(e) => Err(e),
+    }
+}
+
+fn pick_customer(cfg: &TpccConfig, rng: &mut StdRng) -> u32 {
+    let a = nurand_a(cfg.customers_per_district as u64);
+    nurand(rng, a, 1, cfg.customers_per_district as u64, cfg.seed % 1024) as u32
+}
+
+fn pick_item(cfg: &TpccConfig, rng: &mut StdRng) -> u32 {
+    let a = nurand_a(cfg.items as u64);
+    nurand(rng, a, 1, cfg.items as u64, cfg.seed % 8192) as u32
+}
+
+/// The New-Order transaction (spec §2.4).
+fn new_order<E: MvccEngine + ?Sized>(
+    engine: &E,
+    tables: &Tables,
+    cfg: &TpccConfig,
+    rng: &mut StdRng,
+    w: u32,
+    now_us: u64,
+) -> SiasResult<Outcome> {
+    let d = uniform(rng, 1, cfg.districts_per_warehouse as u64) as u32;
+    let c = pick_customer(cfg, rng);
+    let ol_cnt = uniform(rng, 5, 15) as u32;
+    // 1 % of new-orders roll back on an unused item id (spec §2.4.1.4).
+    let rollback = uniform(rng, 1, 100) == 1;
+
+    let t = engine.begin();
+    let run = (|| -> SiasResult<Outcome> {
+        // Warehouse tax (read).
+        let _wh = Warehouse::decode(
+            &engine
+                .get(&t, tables.warehouse, keys::warehouse(w))?
+                .ok_or(SiasError::KeyNotFound(w as u64))?,
+        )?;
+        // District: read + increment next_o_id.
+        let dk = keys::district(w, d);
+        let mut dist = District::decode(
+            &engine.get(&t, tables.district, dk)?.ok_or(SiasError::KeyNotFound(dk))?,
+        )?;
+        let o_id = dist.next_o_id;
+        dist.next_o_id += 1;
+        engine.update(&t, tables.district, dk, &dist.encode())?;
+        // Customer discount (read).
+        let ck = keys::customer(w, d, c);
+        let _cust = Customer::decode(
+            &engine.get(&t, tables.customer, ck)?.ok_or(SiasError::KeyNotFound(ck))?,
+        )?;
+        // Insert ORDER and NEW_ORDER.
+        let order = Order { w_id: w, d_id: d, o_id, c_id: c, entry_d: now_us, carrier_id: 0, ol_cnt };
+        engine.insert(&t, tables.orders, keys::order(w, d, o_id), &order.encode())?;
+        let no = NewOrderRow { w_id: w, d_id: d, o_id };
+        engine.insert(&t, tables.new_order, keys::order(w, d, o_id), &no.encode())?;
+        // Lines.
+        for l in 1..=ol_cnt {
+            if rollback && l == ol_cnt {
+                return Ok(Outcome::RolledBack);
+            }
+            let i = pick_item(cfg, rng);
+            // 1 % of lines come from a remote warehouse.
+            let supply_w = if cfg.warehouses > 1 && uniform(rng, 1, 100) == 1 {
+                let mut rw = uniform(rng, 1, cfg.warehouses as u64) as u32;
+                if rw == w {
+                    rw = rw % cfg.warehouses + 1;
+                }
+                rw
+            } else {
+                w
+            };
+            let ik = keys::item(i);
+            let item = Item::decode(
+                &engine.get(&t, tables.item, ik)?.ok_or(SiasError::KeyNotFound(ik))?,
+            )?;
+            // Stock read-modify-write.
+            let sk = keys::stock(supply_w, i);
+            let mut stock = Stock::decode(
+                &engine.get(&t, tables.stock, sk)?.ok_or(SiasError::KeyNotFound(sk))?,
+            )?;
+            let qty = uniform(rng, 1, 10) as i32;
+            stock.quantity -= qty;
+            if stock.quantity < 10 {
+                stock.quantity += 91;
+            }
+            stock.ytd += qty as u32;
+            stock.order_cnt += 1;
+            if supply_w != w {
+                stock.remote_cnt += 1;
+            }
+            engine.update(&t, tables.stock, sk, &stock.encode())?;
+            let ol = OrderLine {
+                i_id: i,
+                supply_w_id: supply_w,
+                quantity: qty as u32,
+                amount: qty as u32 * item.price,
+                delivery_d: 0,
+            };
+            engine.insert(&t, tables.order_line, keys::order_line(w, d, o_id, l), &ol.encode())?;
+        }
+        Ok(Outcome::Committed)
+    })();
+    match run {
+        Ok(Outcome::Committed) => {
+            engine.commit(t)?;
+            Ok(Outcome::Committed)
+        }
+        Ok(other) => {
+            engine.abort(t);
+            Ok(other)
+        }
+        Err(e) => {
+            engine.abort(t);
+            Err(e)
+        }
+    }
+}
+
+/// The Payment transaction (spec §2.5).
+fn payment<E: MvccEngine + ?Sized>(
+    engine: &E,
+    tables: &Tables,
+    cfg: &TpccConfig,
+    rng: &mut StdRng,
+    w: u32,
+    now_us: u64,
+) -> SiasResult<Outcome> {
+    let d = uniform(rng, 1, cfg.districts_per_warehouse as u64) as u32;
+    // 15 % of payments are made by a customer of a remote warehouse.
+    let (cw, cd) = if cfg.warehouses > 1 && uniform(rng, 1, 100) <= 15 {
+        let mut rw = uniform(rng, 1, cfg.warehouses as u64) as u32;
+        if rw == w {
+            rw = rw % cfg.warehouses + 1;
+        }
+        (rw, uniform(rng, 1, cfg.districts_per_warehouse as u64) as u32)
+    } else {
+        (w, d)
+    };
+    let c = pick_customer(cfg, rng);
+    let amount = uniform(rng, 100, 500_000) as u32;
+
+    let t = engine.begin();
+    let run = (|| -> SiasResult<()> {
+        let wk = keys::warehouse(w);
+        let mut wh = Warehouse::decode(
+            &engine.get(&t, tables.warehouse, wk)?.ok_or(SiasError::KeyNotFound(wk))?,
+        )?;
+        wh.ytd += amount as i64;
+        engine.update(&t, tables.warehouse, wk, &wh.encode())?;
+
+        let dk = keys::district(w, d);
+        let mut dist = District::decode(
+            &engine.get(&t, tables.district, dk)?.ok_or(SiasError::KeyNotFound(dk))?,
+        )?;
+        dist.ytd += amount as i64;
+        engine.update(&t, tables.district, dk, &dist.encode())?;
+
+        let ck = keys::customer(cw, cd, c);
+        let mut cust = Customer::decode(
+            &engine.get(&t, tables.customer, ck)?.ok_or(SiasError::KeyNotFound(ck))?,
+        )?;
+        cust.balance -= amount as i64;
+        cust.ytd_payment += amount as i64;
+        cust.payment_cnt += 1;
+        engine.update(&t, tables.customer, ck, &cust.encode())?;
+
+        let h = History { w_id: cw, d_id: cd, c_id: c, amount, date: now_us };
+        engine.insert(&t, tables.history, next_history_key(), &h.encode())?;
+        Ok(())
+    })();
+    match run {
+        Ok(()) => {
+            engine.commit(t)?;
+            Ok(Outcome::Committed)
+        }
+        Err(e) => {
+            engine.abort(t);
+            Err(e)
+        }
+    }
+}
+
+/// The Order-Status transaction (spec §2.6; read-only).
+fn order_status<E: MvccEngine + ?Sized>(
+    engine: &E,
+    tables: &Tables,
+    cfg: &TpccConfig,
+    rng: &mut StdRng,
+    w: u32,
+) -> SiasResult<Outcome> {
+    let d = uniform(rng, 1, cfg.districts_per_warehouse as u64) as u32;
+    let c = pick_customer(cfg, rng);
+    let t = engine.begin();
+    let run = (|| -> SiasResult<()> {
+        let ck = keys::customer(w, d, c);
+        let _cust = Customer::decode(
+            &engine.get(&t, tables.customer, ck)?.ok_or(SiasError::KeyNotFound(ck))?,
+        )?;
+        // Most recent order of this customer: scan back over the last
+        // orders of the district.
+        let dk = keys::district(w, d);
+        let dist = District::decode(
+            &engine.get(&t, tables.district, dk)?.ok_or(SiasError::KeyNotFound(dk))?,
+        )?;
+        let from = dist.next_o_id.saturating_sub(40).max(1);
+        let orders =
+            engine.scan_range(&t, tables.orders, keys::order(w, d, from), keys::order(w, d, dist.next_o_id))?;
+        let last = orders
+            .iter()
+            .rev()
+            .map(|(_, bytes)| Order::decode(bytes))
+            .collect::<SiasResult<Vec<_>>>()?
+            .into_iter()
+            .find(|o| o.c_id == c);
+        if let Some(order) = last {
+            // Read its lines.
+            let lo = keys::order_line(w, d, order.o_id, 0);
+            let hi = keys::order_line(w, d, order.o_id, 15);
+            let _lines = engine.scan_range(&t, tables.order_line, lo, hi)?;
+        }
+        Ok(())
+    })();
+    match run {
+        Ok(()) => {
+            engine.commit(t)?;
+            Ok(Outcome::Committed)
+        }
+        Err(e) => {
+            engine.abort(t);
+            Err(e)
+        }
+    }
+}
+
+/// The Delivery transaction (spec §2.7): delivers the oldest undelivered
+/// order of every district of the warehouse.
+fn delivery<E: MvccEngine + ?Sized>(
+    engine: &E,
+    tables: &Tables,
+    cfg: &TpccConfig,
+    rng: &mut StdRng,
+    w: u32,
+    now_us: u64,
+) -> SiasResult<Outcome> {
+    let carrier = uniform(rng, 1, 10) as u32;
+    let t = engine.begin();
+    let run = (|| -> SiasResult<()> {
+        for d in 1..=cfg.districts_per_warehouse {
+            // Oldest undelivered order of the district.
+            let lo = keys::order(w, d, 0);
+            let hi = keys::order(w, d, u32::MAX >> 8);
+            let pending = engine.scan_range(&t, tables.new_order, lo, hi)?;
+            let Some((no_key, bytes)) = pending.first() else { continue };
+            let no = NewOrderRow::decode(bytes)?;
+            engine.delete(&t, tables.new_order, *no_key)?;
+            // Stamp the carrier on the order.
+            let ok = keys::order(w, d, no.o_id);
+            let mut order = Order::decode(
+                &engine.get(&t, tables.orders, ok)?.ok_or(SiasError::KeyNotFound(ok))?,
+            )?;
+            order.carrier_id = carrier;
+            engine.update(&t, tables.orders, ok, &order.encode())?;
+            // Deliver the lines, summing amounts.
+            let mut total = 0u64;
+            for l in 1..=order.ol_cnt {
+                let olk = keys::order_line(w, d, no.o_id, l);
+                let Some(bytes) = engine.get(&t, tables.order_line, olk)? else { continue };
+                let mut ol = OrderLine::decode(&bytes)?;
+                total += ol.amount as u64;
+                ol.delivery_d = now_us;
+                engine.update(&t, tables.order_line, olk, &ol.encode())?;
+            }
+            // Credit the customer.
+            let ck = keys::customer(w, d, order.c_id);
+            let mut cust = Customer::decode(
+                &engine.get(&t, tables.customer, ck)?.ok_or(SiasError::KeyNotFound(ck))?,
+            )?;
+            cust.balance += total as i64;
+            cust.delivery_cnt += 1;
+            engine.update(&t, tables.customer, ck, &cust.encode())?;
+        }
+        Ok(())
+    })();
+    match run {
+        Ok(()) => {
+            engine.commit(t)?;
+            Ok(Outcome::Committed)
+        }
+        Err(e) => {
+            engine.abort(t);
+            Err(e)
+        }
+    }
+}
+
+/// The Stock-Level transaction (spec §2.8; read-only).
+fn stock_level<E: MvccEngine + ?Sized>(
+    engine: &E,
+    tables: &Tables,
+    cfg: &TpccConfig,
+    rng: &mut StdRng,
+    w: u32,
+) -> SiasResult<Outcome> {
+    let d = uniform(rng, 1, cfg.districts_per_warehouse as u64) as u32;
+    let threshold = uniform(rng, 10, 20) as i32;
+    let t = engine.begin();
+    let run = (|| -> SiasResult<()> {
+        let dk = keys::district(w, d);
+        let dist = District::decode(
+            &engine.get(&t, tables.district, dk)?.ok_or(SiasError::KeyNotFound(dk))?,
+        )?;
+        // Lines of the last 20 orders.
+        let from = dist.next_o_id.saturating_sub(20).max(1);
+        let lo = keys::order_line(w, d, from, 0);
+        let hi = keys::order_line(w, d, dist.next_o_id, 15);
+        let lines = engine.scan_range(&t, tables.order_line, lo, hi)?;
+        let mut items = std::collections::BTreeSet::new();
+        for (_, bytes) in &lines {
+            items.insert(OrderLine::decode(bytes)?.i_id);
+        }
+        let mut low = 0;
+        for i in items {
+            let sk = keys::stock(w, i);
+            if let Some(bytes) = engine.get(&t, tables.stock, sk)? {
+                if Stock::decode(&bytes)?.quantity < threshold {
+                    low += 1;
+                }
+            }
+        }
+        let _ = low;
+        Ok(())
+    })();
+    match run {
+        Ok(()) => {
+            engine.commit(t)?;
+            Ok(Outcome::Committed)
+        }
+        Err(e) => {
+            engine.abort(t);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load;
+    use rand::SeedableRng;
+    use sias_core::SiasDb;
+    use sias_si::SiDb;
+    use sias_storage::StorageConfig;
+
+    fn run_mix<E: MvccEngine>(engine: &E) -> (u64, u64, u64) {
+        let cfg = TpccConfig::tiny();
+        let tables = load(engine, &cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let (mut committed, mut rolled_back, mut conflicted) = (0, 0, 0);
+        for i in 0..300u64 {
+            let kind = TxnKind::draw(&mut rng);
+            let w = (i % cfg.warehouses as u64) as u32 + 1;
+            match run_txn(engine, &tables, &cfg, &mut rng, kind, w, i * 1000).unwrap() {
+                Outcome::Committed => committed += 1,
+                Outcome::RolledBack => rolled_back += 1,
+                Outcome::Conflicted => conflicted += 1,
+            }
+        }
+        (committed, rolled_back, conflicted)
+    }
+
+    #[test]
+    fn mix_runs_on_sias() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let (committed, _rb, conflicted) = run_mix(&db);
+        assert!(committed > 250, "committed {committed}");
+        assert_eq!(conflicted, 0, "single terminal cannot conflict");
+    }
+
+    #[test]
+    fn mix_runs_on_si() {
+        let db = SiDb::open(StorageConfig::in_memory());
+        let (committed, _rb, conflicted) = run_mix(&db);
+        assert!(committed > 250, "committed {committed}");
+        assert_eq!(conflicted, 0);
+    }
+
+    #[test]
+    fn mix_weights_are_standard() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(TxnKind::draw(&mut rng)).or_insert(0u64) += 1;
+        }
+        let pct = |k| *counts.get(&k).unwrap_or(&0) as f64 / 1000.0;
+        assert!((pct(TxnKind::NewOrder) - 45.0).abs() < 1.5);
+        assert!((pct(TxnKind::Payment) - 43.0).abs() < 1.5);
+        assert!((pct(TxnKind::OrderStatus) - 4.0).abs() < 1.0);
+        assert!((pct(TxnKind::Delivery) - 4.0).abs() < 1.0);
+        assert!((pct(TxnKind::StockLevel) - 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn new_order_advances_district_sequence() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let cfg = TpccConfig::tiny();
+        let tables = load(&db, &cfg).unwrap();
+        let before = {
+            let t = db.begin();
+            let d = District::decode(
+                &db.get(&t, tables.district, keys::district(1, 1)).unwrap().unwrap(),
+            )
+            .unwrap();
+            db.commit(t).unwrap();
+            d.next_o_id
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut advanced = 0;
+        for i in 0..40 {
+            if run_txn(&db, &tables, &cfg, &mut rng, TxnKind::NewOrder, 1, i).unwrap()
+                == Outcome::Committed
+            {
+                advanced += 1;
+            }
+        }
+        let t = db.begin();
+        let mut total_after = 0;
+        for d in 1..=cfg.districts_per_warehouse {
+            let dist = District::decode(
+                &db.get(&t, tables.district, keys::district(1, d)).unwrap().unwrap(),
+            )
+            .unwrap();
+            total_after += dist.next_o_id;
+        }
+        db.commit(t).unwrap();
+        let total_before = before * cfg.districts_per_warehouse; // uniform start
+        assert_eq!(total_after - total_before, advanced);
+    }
+
+    #[test]
+    fn delivery_drains_new_orders() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let cfg = TpccConfig::tiny();
+        let tables = load(&db, &cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let backlog_before = {
+            let t = db.begin();
+            let n = db.scan_all(&t, tables.new_order).unwrap().len();
+            db.commit(t).unwrap();
+            n
+        };
+        assert!(backlog_before > 0);
+        for w in 1..=cfg.warehouses {
+            for _ in 0..5 {
+                run_txn(&db, &tables, &cfg, &mut rng, TxnKind::Delivery, w, 1).unwrap();
+            }
+        }
+        let t = db.begin();
+        let backlog_after = db.scan_all(&t, tables.new_order).unwrap().len();
+        db.commit(t).unwrap();
+        assert_eq!(backlog_after, 0, "all initial orders delivered");
+    }
+}

@@ -1,0 +1,61 @@
+//! # SIAS — Snapshot Isolation Append Storage
+//!
+//! A from-scratch Rust reproduction of the storage manager described in
+//! *"SIAS-V in Action: Snapshot Isolation Append Storage — Vectors on
+//! Flash"* (EDBT 2014) and its companion full paper *"SIAS-Chains:
+//! Snapshot Isolation Append Storage Chains"* by Gottstein, Petrov,
+//! Buchmann and Hardock.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`common`] — identifiers, errors, virtual clock;
+//! * [`storage`] — pages, Flash/HDD device models, buffer pool, WAL,
+//!   block tracing;
+//! * [`txn`] — transaction manager, snapshots, commit log, tuple locks;
+//! * [`index`] — page-backed B+-tree (`⟨key, VID⟩` for SIAS,
+//!   `⟨key, TID⟩` for the SI baseline);
+//! * [`core`] — the paper's contribution: VID map, version chains,
+//!   tuple-granular append storage, SIAS scan/insert/update/delete, GC,
+//!   and WAL-replay crash recovery;
+//! * [`si`] — the PostgreSQL-style snapshot-isolation baseline with
+//!   in-place invalidation, used as the comparison system;
+//! * [`workload`] — a TPC-C-style (DBT2-like) workload generator and
+//!   multi-terminal driver reporting NOTPM and response times.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sias::core::SiasDb;
+//! use sias::storage::StorageConfig;
+//! use sias::txn::MvccEngine; // the engine trait: begin/commit/insert/…
+//!
+//! let db = SiasDb::open(StorageConfig::in_memory());
+//! let rel = db.create_relation("accounts");
+//!
+//! // Key-addressed API (shared with the SI baseline).
+//! let tx = db.begin();
+//! db.insert(&tx, rel, 1, b"alice:100").unwrap();
+//! db.commit(tx).unwrap();
+//!
+//! let tx = db.begin();
+//! db.update(&tx, rel, 1, b"alice:90").unwrap(); // appends a version
+//! db.commit(tx).unwrap();
+//!
+//! let tx = db.begin();
+//! assert_eq!(db.get(&tx, rel, 1).unwrap().unwrap().as_ref(), b"alice:90");
+//! db.commit(tx).unwrap();
+//!
+//! // Data-item API (the paper's model): rows addressed by VID.
+//! let tx = db.begin();
+//! let vid = db.insert_item(&tx, rel, b"standalone item").unwrap();
+//! assert!(db.read_item(&tx, rel, vid).unwrap().is_some());
+//! db.commit(tx).unwrap();
+//! ```
+
+pub use sias_common as common;
+pub use sias_core as core;
+pub use sias_index as index;
+pub use sias_si as si;
+pub use sias_storage as storage;
+pub use sias_txn as txn;
+pub use sias_workload as workload;

@@ -1,0 +1,148 @@
+//! Recovery paths (§6 *Recovery*): the VID map can be reconstructed from
+//! the tuple versions alone; the persisted map reloads at startup; WAL
+//! records survive a force and describe the full history.
+
+use sias::common::{RelId, Vid};
+use sias::core::{SiasDb, VidMap};
+use sias::storage::{StorageConfig, WalRecord};
+use sias::txn::MvccEngine;
+
+fn populated_db() -> (SiasDb, RelId) {
+    let db = SiasDb::open(StorageConfig::in_memory());
+    let rel = db.create_relation("t");
+    let t = db.begin();
+    for k in 0..300u64 {
+        db.insert(&t, rel, k, format!("initial {k}").as_bytes()).unwrap();
+    }
+    db.commit(t).unwrap();
+    for round in 0..4u32 {
+        let t = db.begin();
+        for k in (0..300u64).step_by(3) {
+            db.update(&t, rel, k, format!("round {round} key {k}").as_bytes()).unwrap();
+        }
+        db.commit(t).unwrap();
+    }
+    // A few deletes and an aborted transaction for spice.
+    let t = db.begin();
+    for k in 290..300u64 {
+        db.delete(&t, rel, k).unwrap();
+    }
+    db.commit(t).unwrap();
+    let t = db.begin();
+    db.update(&t, rel, 0, b"never committed").unwrap();
+    db.abort(t);
+    (db, rel)
+}
+
+/// The visible payload of every key, via a fresh snapshot.
+fn visible(db: &SiasDb, rel: RelId) -> Vec<(u64, Vec<u8>)> {
+    let t = db.begin();
+    let v = db.scan_all(&t, rel).unwrap().into_iter().map(|(k, b)| (k, b.to_vec())).collect();
+    db.commit(t).unwrap();
+    v
+}
+
+#[test]
+fn rebuilt_vidmap_resolves_to_the_same_visible_data() {
+    let (db, rel) = populated_db();
+    let before = visible(&db, rel);
+    let rebuilt = db.rebuild_vidmap(rel).unwrap();
+    // Swap-in simulation: read every item through the rebuilt map and
+    // compare against the live engine's reads.
+    let handle = db.relation_handle(rel).unwrap();
+    let t = db.begin();
+    let mut checked = 0;
+    handle.vidmap.for_each(|vid, _| {
+        let live = db.read_item(&t, rel, vid).unwrap();
+        let rebuilt_entry = rebuilt.get(vid);
+        match (live, rebuilt_entry) {
+            (Some(payload), Some(entry)) => {
+                let v = sias::core::chain::fetch_version(&db.stack().pool, rel, entry).unwrap();
+                assert_eq!(v.payload, payload, "vid {vid}");
+                checked += 1;
+            }
+            (None, Some(entry)) => {
+                // Deleted items: the rebuilt entrypoint must be the
+                // tombstone.
+                let v = sias::core::chain::fetch_version(&db.stack().pool, rel, entry).unwrap();
+                assert!(v.tombstone, "vid {vid}: expected tombstone entrypoint");
+            }
+            (live, rebuilt) => panic!("vid {vid}: live {live:?} rebuilt {rebuilt:?}"),
+        }
+    });
+    db.commit(t).unwrap();
+    assert!(checked >= 280, "only {checked} items checked");
+    assert_eq!(visible(&db, rel), before, "recovery probing must not disturb state");
+}
+
+#[test]
+fn shutdown_persists_vidmap_for_reload() {
+    let (db, rel) = populated_db();
+    db.shutdown().unwrap();
+    let map_rel = RelId(rel.0 + 2);
+    let restored = VidMap::load_from(&db.stack().pool, map_rel).unwrap();
+    let handle = db.relation_handle(rel).unwrap();
+    assert_eq!(restored.vid_bound(), handle.vidmap.vid_bound());
+    let mut mismatches = 0;
+    handle.vidmap.for_each(|vid, tid| {
+        if restored.get(vid) != Some(tid) {
+            mismatches += 1;
+        }
+    });
+    assert_eq!(mismatches, 0);
+    // Occupancy matches too (deleted-but-not-vacuumed items included).
+    assert_eq!(restored.occupied(), handle.vidmap.occupied());
+}
+
+#[test]
+fn wal_replay_reconstructs_transaction_outcomes() {
+    let (db, _rel) = populated_db();
+    db.shutdown().unwrap();
+    let records = db.stack().wal.durable_records().unwrap();
+    // Every Begin has exactly one matching Commit or Abort.
+    use std::collections::HashMap;
+    let mut outcomes: HashMap<u64, (bool, bool, bool)> = HashMap::new();
+    for r in &records {
+        match r {
+            WalRecord::Begin(x) => outcomes.entry(x.0).or_default().0 = true,
+            WalRecord::Commit(x) => outcomes.entry(x.0).or_default().1 = true,
+            WalRecord::Abort(x) => outcomes.entry(x.0).or_default().2 = true,
+            _ => {}
+        }
+    }
+    assert!(!outcomes.is_empty());
+    for (xid, (began, committed, aborted)) in outcomes {
+        assert!(began, "xid {xid} finished without Begin");
+        assert!(
+            committed ^ aborted,
+            "xid {xid}: committed={committed} aborted={aborted}"
+        );
+    }
+    // Inserts of committed transactions are replayable: count them.
+    let inserts = records
+        .iter()
+        .filter(|r| matches!(r, WalRecord::Insert { .. }))
+        .count();
+    assert!(inserts >= 300 + 4 * 100 + 10, "wal must describe every version append");
+}
+
+#[test]
+fn vidmap_rebuild_ignores_uncommitted_tail() {
+    // A "crash" with an in-flight transaction: its versions are on pages
+    // but its xid never committed; rebuild must skip them... note that
+    // the rebuild treats in-progress as present-but-newest-wins only for
+    // non-aborted xids, so we abort it explicitly (clog persistence is
+    // assumed, as in PostgreSQL).
+    let db = SiasDb::open(StorageConfig::in_memory());
+    let rel = db.create_relation("t");
+    let t = db.begin();
+    db.insert(&t, rel, 1, b"committed").unwrap();
+    db.commit(t).unwrap();
+    let t = db.begin();
+    db.update(&t, rel, 1, b"in flight").unwrap();
+    db.abort(t); // the crash resolution
+    let rebuilt = db.rebuild_vidmap(rel).unwrap();
+    let entry = rebuilt.get(Vid(0)).unwrap();
+    let v = sias::core::chain::fetch_version(&db.stack().pool, rel, entry).unwrap();
+    assert_eq!(v.payload.as_ref(), b"committed");
+}

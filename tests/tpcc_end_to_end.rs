@@ -1,0 +1,128 @@
+//! End-to-end TPC-C runs across storage configurations: the whole stack —
+//! engine, buffer pool, device model, WAL, driver — exercised together,
+//! with the paper's headline claims asserted in miniature.
+
+use sias::core::{FlushPolicy, SiasDb};
+use sias::si::SiDb;
+use sias::storage::StorageConfig;
+use sias::txn::MvccEngine;
+use sias::workload::{check_consistency, load, run_benchmark, DriverConfig, TpccConfig};
+
+fn small_driver() -> DriverConfig {
+    let mut d = DriverConfig::for_warehouses(4);
+    d.duration_secs = 30;
+    d.warmup_secs = 5;
+    d.think_scale = 0.05; // compressed emulated users: fast but still paced
+    d
+}
+
+#[test]
+fn tpcc_on_ssd_sias_beats_si_on_writes() {
+    let cfg = TpccConfig::scaled(4);
+    let storage = StorageConfig::ssd().with_pool_frames(512);
+
+    let sias = SiasDb::open_with_policy(storage.clone(), FlushPolicy::T2);
+    let tables = load(&sias, &cfg).unwrap();
+    sias.maintenance(true);
+    sias.stack().data.reset_stats();
+    let res_sias =
+        run_benchmark(&sias, &tables, &cfg, &small_driver(), &sias.stack().clock).unwrap();
+    let writes_sias = sias.stack().data.stats().host_write_pages;
+    assert!(check_consistency(&sias, &tables, &cfg).unwrap().is_empty());
+
+    let si = SiDb::open(storage);
+    let tables = load(&si, &cfg).unwrap();
+    si.maintenance(true);
+    si.stack().data.reset_stats();
+    let res_si = run_benchmark(&si, &tables, &cfg, &small_driver(), &si.stack().clock).unwrap();
+    let writes_si = si.stack().data.stats().host_write_pages;
+    assert!(check_consistency(&si, &tables, &cfg).unwrap().is_empty());
+
+    assert!(res_sias.new_order_commits > 0 && res_si.new_order_commits > 0);
+    // The paper's claim (iii): significant write reduction. At miniature
+    // scale we require at least 2×; the full experiment shows ~20–30×.
+    assert!(
+        writes_sias * 2 <= writes_si,
+        "SIAS wrote {writes_sias} pages, SI wrote {writes_si}"
+    );
+    // Claim (ii): response times no worse.
+    assert!(res_sias.avg_response_s <= res_si.avg_response_s * 1.5);
+}
+
+#[test]
+fn tpcc_on_hdd_sias_responds_faster() {
+    let cfg = TpccConfig::scaled(6);
+    let storage = StorageConfig::hdd().with_pool_frames(512);
+
+    let sias = SiasDb::open(storage.clone());
+    let tables = load(&sias, &cfg).unwrap();
+    sias.maintenance(true);
+    let res_sias =
+        run_benchmark(&sias, &tables, &cfg, &small_driver(), &sias.stack().clock).unwrap();
+
+    let si = SiDb::open(storage);
+    let tables = load(&si, &cfg).unwrap();
+    si.maintenance(true);
+    let res_si = run_benchmark(&si, &tables, &cfg, &small_driver(), &si.stack().clock).unwrap();
+
+    assert!(res_sias.new_order_commits > 0 && res_si.new_order_commits > 0);
+    assert!(
+        res_sias.avg_response_s < res_si.avg_response_s,
+        "sias {:.3}s vs si {:.3}s",
+        res_sias.avg_response_s,
+        res_si.avg_response_s
+    );
+    assert!(res_sias.notpm >= res_si.notpm * 0.9, "sias must not lose throughput");
+}
+
+#[test]
+fn tpcc_on_raid_consistent_across_widths() {
+    let cfg = TpccConfig::scaled(2);
+    for width in [1usize, 2, 6] {
+        let storage = StorageConfig::ssd_raid(width).with_pool_frames(512);
+        let db = SiasDb::open(storage);
+        let tables = load(&db, &cfg).unwrap();
+        let mut dcfg = small_driver();
+        dcfg.duration_secs = 10;
+        let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
+        assert!(res.new_order_commits > 0, "raid{width}");
+        let v = check_consistency(&db, &tables, &cfg).unwrap();
+        assert!(v.is_empty(), "raid{width}: {v:?}");
+    }
+}
+
+#[test]
+fn tpcc_survives_vacuum_between_intervals() {
+    let cfg = TpccConfig::scaled(2);
+    let db = SiasDb::open(StorageConfig::ssd().with_pool_frames(512));
+    let tables = load(&db, &cfg).unwrap();
+    let mut dcfg = small_driver();
+    dcfg.duration_secs = 10;
+    for _ in 0..3 {
+        run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
+        let gc = db.vacuum_all().unwrap();
+        let v = check_consistency(&db, &tables, &cfg).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+        // Churn must actually reclaim something by the time versions age.
+        let _ = gc;
+    }
+    // After heavy update traffic + vacuum, space is bounded: re-running
+    // another interval reuses reclaimed pages.
+    let handles = db.relation_handles();
+    let free: usize = handles.iter().map(|h| h.append.free_blocks()).sum();
+    assert!(free > 0, "vacuum must have recycled pages");
+}
+
+#[test]
+fn tpcc_deterministic_across_identical_runs() {
+    let run = || {
+        let cfg = TpccConfig::scaled(2);
+        let db = SiasDb::open(StorageConfig::ssd().with_pool_frames(512));
+        let tables = load(&db, &cfg).unwrap();
+        let mut dcfg = small_driver();
+        dcfg.duration_secs = 10;
+        let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
+        (res.new_order_commits, res.commits, db.stack().data.stats().host_write_pages)
+    };
+    assert_eq!(run(), run(), "virtual-time runs must be bit-deterministic");
+}
