@@ -9,7 +9,10 @@ use sias_storage::StorageConfig;
 use sias_txn::MvccEngine;
 use std::hint::black_box;
 
-fn bench_engine<E: MvccEngine>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, db: &E) {
+fn bench_engine<E: MvccEngine>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    db: &E,
+) {
     let name = db.name();
     let rel = db.create_relation("bench");
     let t = db.begin();

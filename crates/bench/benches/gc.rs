@@ -60,9 +60,7 @@ fn bench_vacuum_threshold(c: &mut Criterion) {
             b.iter_with_setup(
                 || build(1_000, 3),
                 |(db, rel)| {
-                    black_box(
-                        db.vacuum_relation_with_threshold(rel, thr as f64 / 100.0).unwrap(),
-                    )
+                    black_box(db.vacuum_relation_with_threshold(rel, thr as f64 / 100.0).unwrap())
                 },
             );
         });

@@ -8,11 +8,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sias_common::RelId;
+use sias_core::SiasDb;
 use sias_index::BPlusTree;
 use sias_si::SiDb;
-use sias_core::SiasDb;
-use sias_storage::{BufferPool, StorageConfig, Tablespace};
 use sias_storage::device::MemDevice;
+use sias_storage::{BufferPool, StorageConfig, Tablespace};
 use sias_txn::MvccEngine;
 use std::hint::black_box;
 use std::sync::Arc;

@@ -15,13 +15,20 @@
 //! cargo run --release -p sias-bench --bin ablation_threshold [-- --wh 25 --duration 300]
 //! ```
 
-use sias_bench::{arg_value, write_results, EXPERIMENT_POOL_FRAMES};
+use sias_bench::{arg_value, dump_metrics, metrics_out, write_results, EXPERIMENT_POOL_FRAMES};
 use sias_core::{FlushPolicy, SiasDb};
+use sias_obs::MetricsSnapshot;
 use sias_storage::StorageConfig;
 use sias_txn::MvccEngine;
 use sias_workload::{load, run_benchmark, DriverConfig, TpccConfig};
 
-fn run(policy: FlushPolicy, bg_ms: u64, wh: u32, duration: u64, pool: usize) -> (f64, u64) {
+fn run(
+    policy: FlushPolicy,
+    bg_ms: u64,
+    wh: u32,
+    duration: u64,
+    pool: usize,
+) -> (f64, u64, MetricsSnapshot) {
     let storage = StorageConfig::ssd().with_pool_frames(pool).with_capacity_pages(1 << 17);
     let db = SiasDb::open_with_policy(storage, policy);
     let cfg = TpccConfig::scaled(wh);
@@ -38,7 +45,7 @@ fn run(policy: FlushPolicy, bg_ms: u64, wh: u32, duration: u64, pool: usize) -> 
         let space = &db.stack().space;
         space.relations().iter().map(|&r| space.relation_blocks(r) as u64).sum()
     };
-    (db.stack().trace.summary().write_mb, space)
+    (db.stack().trace.summary().write_mb, space, db.metrics_snapshot())
 }
 
 fn main() {
@@ -50,15 +57,22 @@ fn main() {
 
     println!("Ablation: append-page flush threshold (SIAS, {wh} WH, {duration}s, SSD)\n");
     println!("{:<28} {:>12} {:>12}", "policy", "writes (MB)", "space (pages)");
+    let mout = metrics_out(&args);
+    let mut mruns = Vec::new();
     let mut csv = String::from("policy,write_mb,space_pages\n");
     for &bg_ms in &[50u64, 100, 200, 500, 1000, 2000] {
-        let (mb, space) = run(FlushPolicy::T1, bg_ms, wh, duration, pool);
+        let (mb, space, metrics) = run(FlushPolicy::T1, bg_ms, wh, duration, pool);
         println!("{:<28} {:>12.1} {:>12}", format!("t1 (bgwriter every {bg_ms} ms)"), mb, space);
         csv.push_str(&format!("t1-{bg_ms}ms,{mb:.2},{space}\n"));
+        mruns.push((format!("t1-{bg_ms}ms"), metrics));
     }
-    let (mb, space) = run(FlushPolicy::T2, 200, wh, duration, pool);
+    let (mb, space, metrics) = run(FlushPolicy::T2, 200, wh, duration, pool);
     println!("{:<28} {:>12.1} {:>12}", "t2 (checkpoint piggy-back)", mb, space);
     csv.push_str(&format!("t2,{mb:.2},{space}\n"));
+    mruns.push(("t2".to_string(), metrics));
     let path = write_results("ablation_threshold.csv", &csv);
     println!("\nwrote {}", path.display());
+    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+        println!("wrote metrics to {}", p.display());
+    }
 }

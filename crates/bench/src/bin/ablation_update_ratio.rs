@@ -16,12 +16,13 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use sias_bench::{arg_value, build, write_results, EngineKind, Testbed};
-use sias_txn::MvccEngine;
+use sias_bench::{arg_value, build, dump_metrics, metrics_out, write_results, EngineKind, Testbed};
+use sias_obs::MetricsSnapshot;
 
 /// Runs `ops` point operations with the given update share; returns the
-/// data-device write volume (MiB) of the measured phase.
-fn run(kind: EngineKind, items: u64, ops: u64, update_pct: u32) -> f64 {
+/// data-device write volume (MiB) of the measured phase plus the
+/// engine's metrics snapshot.
+fn run(kind: EngineKind, items: u64, ops: u64, update_pct: u32) -> (f64, MetricsSnapshot) {
     let any = build(kind, Testbed::Ssd, 1024);
     let engine = any.engine();
     let rel = engine.create_relation("kv");
@@ -39,7 +40,7 @@ fn run(kind: EngineKind, items: u64, ops: u64, update_pct: u32) -> f64 {
     for _ in 0..ops {
         let k = rng.random_range(0..items);
         let t = engine.begin();
-        if rng.random_range(0..100) < update_pct {
+        if rng.random_range(0..100u32) < update_pct {
             engine.update(&t, rel, k, &payload).unwrap();
         } else {
             let _ = engine.get(&t, rel, k).unwrap();
@@ -54,7 +55,7 @@ fn run(kind: EngineKind, items: u64, ops: u64, update_pct: u32) -> f64 {
         }
     }
     engine.maintenance(true);
-    stack.data.stats().host_write_mb()
+    (stack.data.stats().host_write_mb(), engine.metrics_snapshot())
 }
 
 fn main() {
@@ -63,18 +64,22 @@ fn main() {
     let ops: u64 = arg_value(&args, "--ops").and_then(|v| v.parse().ok()).unwrap_or(200_000);
 
     println!("Ablation: device writes vs. update share ({items} items, {ops} uniform point ops)\n");
-    println!(
-        "{:>9} {:>12} {:>12} {:>10}",
-        "updates", "SI (MB)", "SIAS (MB)", "reduction"
-    );
+    println!("{:>9} {:>12} {:>12} {:>10}", "updates", "SI (MB)", "SIAS (MB)", "reduction");
+    let mout = metrics_out(&args);
+    let mut mruns = Vec::new();
     let mut csv = String::from("update_pct,si_write_mb,sias_write_mb,reduction_pct\n");
     for pct in [0u32, 5, 20, 50, 80, 100] {
-        let si = run(EngineKind::Si, items, ops, pct);
-        let sias = run(EngineKind::SiasT2, items, ops, pct);
+        let (si, si_metrics) = run(EngineKind::Si, items, ops, pct);
+        let (sias, sias_metrics) = run(EngineKind::SiasT2, items, ops, pct);
+        mruns.push((format!("SI/{pct}pct"), si_metrics));
+        mruns.push((format!("SIAS-t2/{pct}pct"), sias_metrics));
         let red = if si > 0.0 { 100.0 * (1.0 - sias / si) } else { 0.0 };
         println!("{:>8}% {:>12.1} {:>12.1} {:>9.0}%", pct, si, sias, red);
         csv.push_str(&format!("{pct},{si:.2},{sias:.2},{red:.1}\n"));
     }
     let path = write_results("ablation_update_ratio.csv", &csv);
     println!("\nwrote {}", path.display());
+    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+        println!("wrote metrics to {}", p.display());
+    }
 }

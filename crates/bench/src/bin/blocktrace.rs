@@ -14,11 +14,15 @@
 
 use std::collections::BTreeSet;
 
-use sias_bench::{arg_value, build, write_results, EngineKind, Testbed, EXPERIMENT_POOL_FRAMES};
+use sias_bench::{
+    arg_value, build, dump_metrics, metrics_out, write_results, EngineKind, Testbed,
+    EXPERIMENT_POOL_FRAMES,
+};
+use sias_obs::MetricsSnapshot;
 use sias_storage::IoDir;
 use sias_workload::{load, run_benchmark, DriverConfig, TpccConfig};
 
-fn run_one(kind: EngineKind, wh: u32, duration: u64, pool: usize) {
+fn run_one(kind: EngineKind, wh: u32, duration: u64, pool: usize) -> MetricsSnapshot {
     let any = build(kind, Testbed::Ssd, pool);
     let engine = any.engine();
     let cfg = TpccConfig::scaled(wh);
@@ -42,8 +46,7 @@ fn run_one(kind: EngineKind, wh: u32, duration: u64, pool: usize) {
     // The append-storage signature: SIAS writes each page (at most) once
     // — monotonically growing append regions — while SI re-writes hot
     // pages over and over (in-place invalidation + bgwriter rounds).
-    let writes: Vec<u64> =
-        events.iter().filter(|e| e.dir == IoDir::Write).map(|e| e.lba).collect();
+    let writes: Vec<u64> = events.iter().filter(|e| e.dir == IoDir::Write).map(|e| e.lba).collect();
     let rewrite_ratio =
         if write_lbas.is_empty() { 0.0 } else { writes.len() as f64 / write_lbas.len() as f64 };
 
@@ -64,10 +67,7 @@ fn run_one(kind: EngineKind, wh: u32, duration: u64, pool: usize) {
         summary.write_ops,
         100.0 * summary.write_ops as f64 / total_ops
     );
-    println!(
-        "volume: {:.1} MB read, {:.1} MB written",
-        summary.read_mb, summary.write_mb
-    );
+    println!("volume: {:.1} MB read, {:.1} MB written", summary.read_mb, summary.write_mb);
     println!(
         "write locality: {} write ops over {} distinct LBAs — {:.2} writes/page",
         writes.len(),
@@ -77,6 +77,7 @@ fn run_one(kind: EngineKind, wh: u32, duration: u64, pool: usize) {
     println!("read spread: {} distinct LBAs", read_lbas.len());
     let path = write_results(&format!("{figure}.csv"), &stack.trace.to_csv());
     println!("wrote {}\n", path.display());
+    engine.metrics_snapshot()
 }
 
 fn main() {
@@ -89,7 +90,13 @@ fn main() {
         Some(e) => vec![EngineKind::parse(e).expect("--engine sias|si")],
         None => vec![EngineKind::SiasT2, EngineKind::Si],
     };
+    let mout = metrics_out(&args);
+    let mut mruns = Vec::new();
     for kind in engines {
-        run_one(kind, wh, duration, pool);
+        let metrics = run_one(kind, wh, duration, pool);
+        mruns.push((kind.label().to_string(), metrics));
+    }
+    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+        println!("wrote metrics to {}", p.display());
     }
 }

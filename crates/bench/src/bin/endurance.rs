@@ -16,8 +16,9 @@
 //! cargo run --release -p sias-bench --bin endurance [-- --wh 20 --duration 300]
 //! ```
 
-use sias_bench::{arg_value, write_results, EngineKind};
+use sias_bench::{arg_value, dump_metrics, metrics_out, write_results, EngineKind};
 use sias_core::{FlushPolicy, SiasDb};
+use sias_obs::MetricsSnapshot;
 use sias_si::SiDb;
 use sias_storage::{DeviceStats, FlashConfig, Media, StorageConfig};
 use sias_txn::MvccEngine;
@@ -41,7 +42,7 @@ fn small_ssd() -> StorageConfig {
     }
 }
 
-fn run(kind: EngineKind, wh: u32, duration: u64) -> DeviceStats {
+fn run(kind: EngineKind, wh: u32, duration: u64) -> (DeviceStats, MetricsSnapshot) {
     let storage = small_ssd();
     match kind {
         EngineKind::Si => {
@@ -52,11 +53,10 @@ fn run(kind: EngineKind, wh: u32, duration: u64) -> DeviceStats {
             db.stack().data.reset_stats();
             let dcfg = DriverConfig::for_warehouses(wh).with_duration(duration);
             run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).expect("bench");
-            db.stack().data.stats()
+            (db.stack().data.stats(), db.metrics_snapshot())
         }
         _ => {
-            let policy =
-                if kind == EngineKind::SiasT1 { FlushPolicy::T1 } else { FlushPolicy::T2 };
+            let policy = if kind == EngineKind::SiasT1 { FlushPolicy::T1 } else { FlushPolicy::T2 };
             let db = SiasDb::open_with_policy(storage, policy);
             let cfg = TpccConfig::scaled(wh);
             let tables = load(&db, &cfg).expect("load");
@@ -64,7 +64,7 @@ fn run(kind: EngineKind, wh: u32, duration: u64) -> DeviceStats {
             db.stack().data.reset_stats();
             let dcfg = DriverConfig::for_warehouses(wh).with_duration(duration);
             run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).expect("bench");
-            db.stack().data.stats()
+            (db.stack().data.stats(), db.metrics_snapshot())
         }
     }
 }
@@ -72,17 +72,20 @@ fn run(kind: EngineKind, wh: u32, duration: u64) -> DeviceStats {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let wh: u32 = arg_value(&args, "--wh").and_then(|v| v.parse().ok()).unwrap_or(20);
-    let duration: u64 =
-        arg_value(&args, "--duration").and_then(|v| v.parse().ok()).unwrap_or(300);
+    let duration: u64 = arg_value(&args, "--duration").and_then(|v| v.parse().ok()).unwrap_or(300);
 
     println!("Ablation: Flash endurance on a 256 MiB SSD ({wh} WH, {duration}s)\n");
     println!(
         "{:<10} {:>12} {:>14} {:>8} {:>8}",
         "engine", "host writes", "FTL relocs", "erases", "WA"
     );
-    let mut csv = String::from("engine,host_write_pages,internal_write_pages,erases,write_amplification\n");
+    let mout = metrics_out(&args);
+    let mut mruns = Vec::new();
+    let mut csv =
+        String::from("engine,host_write_pages,internal_write_pages,erases,write_amplification\n");
     for kind in [EngineKind::Si, EngineKind::SiasT1, EngineKind::SiasT2] {
-        let s = run(kind, wh, duration);
+        let (s, metrics) = run(kind, wh, duration);
+        mruns.push((kind.label().to_string(), metrics));
         println!(
             "{:<10} {:>12} {:>14} {:>8} {:>8.2}",
             kind.label(),
@@ -102,6 +105,9 @@ fn main() {
     }
     let path = write_results("endurance.csv", &csv);
     println!("\nwrote {}", path.display());
+    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+        println!("wrote metrics to {}", p.display());
+    }
     println!("\nWear ∝ erases; SIAS's append pattern needs fewer host writes *and*");
     println!("amplifies each one less — the §6 endurance argument, quantified.");
 }

@@ -8,10 +8,15 @@
 //! cargo run --release -p sias-bench --bin figure5 [-- --whs 10,25,50,100,150,200 --duration 120]
 //! ```
 
-use sias_bench::{arg_value, run_cell, write_results, EngineKind, Testbed, EXPERIMENT_POOL_FRAMES};
+use sias_bench::{
+    arg_value, dump_metrics, metrics_out, run_cell, write_results, EngineKind, Testbed,
+    EXPERIMENT_POOL_FRAMES,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let mout = metrics_out(&args);
+    let mut mruns = Vec::new();
     let whs: Vec<u32> = arg_value(&args, "--whs")
         .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
         .unwrap_or_else(|| vec![25, 50, 100, 200, 300, 400, 500]);
@@ -30,6 +35,8 @@ fn main() {
         let si = run_cell(EngineKind::Si, Testbed::SsdRaid2, wh, duration, pool);
         let sias = run_cell(EngineKind::SiasT2, Testbed::SsdRaid2, wh, duration, pool);
         assert_eq!(si.violations + sias.violations, 0);
+        mruns.push((format!("SI/{wh}wh"), si.metrics.clone()));
+        mruns.push((format!("SIAS-t2/{wh}wh"), sias.metrics.clone()));
         let gain = if si.bench.notpm > 0.0 {
             100.0 * (sias.bench.notpm / si.bench.notpm - 1.0)
         } else {
@@ -62,4 +69,7 @@ fn main() {
     }
     let path = write_results("figure5.csv", &csv);
     println!("\nwrote {}", path.display());
+    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+        println!("wrote metrics to {}", p.display());
+    }
 }

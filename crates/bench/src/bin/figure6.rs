@@ -11,10 +11,15 @@
 //! cargo run --release -p sias-bench --bin figure6 [-- --whs 25,50,100,200,300,400,500 --duration 120]
 //! ```
 
-use sias_bench::{arg_value, run_cell, write_results, EngineKind, Testbed, EXPERIMENT_POOL_FRAMES};
+use sias_bench::{
+    arg_value, dump_metrics, metrics_out, run_cell, write_results, EngineKind, Testbed,
+    EXPERIMENT_POOL_FRAMES,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let mout = metrics_out(&args);
+    let mut mruns = Vec::new();
     let whs: Vec<u32> = arg_value(&args, "--whs")
         .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
         .unwrap_or_else(|| vec![50, 100, 200, 300, 400, 500, 600, 700]);
@@ -28,15 +33,20 @@ fn main() {
         "WH", "SI NOTPM", "SIAS NOTPM", "SI resp(s)", "SIAS resp(s)"
     );
     let mut rows = Vec::new();
-    let mut csv =
-        String::from("warehouses,si_notpm,sias_notpm,si_resp_s,sias_resp_s\n");
+    let mut csv = String::from("warehouses,si_notpm,sias_notpm,si_resp_s,sias_resp_s\n");
     for &wh in &whs {
         let si = run_cell(EngineKind::Si, Testbed::SsdRaid6, wh, duration, pool);
         let sias = run_cell(EngineKind::SiasT2, Testbed::SsdRaid6, wh, duration, pool);
         assert_eq!(si.violations + sias.violations, 0);
+        mruns.push((format!("SI/{wh}wh"), si.metrics.clone()));
+        mruns.push((format!("SIAS-t2/{wh}wh"), sias.metrics.clone()));
         println!(
             "{:>5} {:>12.0} {:>12.0} {:>12.3} {:>12.3}",
-            wh, si.bench.notpm, sias.bench.notpm, si.bench.avg_response_s, sias.bench.avg_response_s
+            wh,
+            si.bench.notpm,
+            sias.bench.notpm,
+            si.bench.avg_response_s,
+            sias.bench.avg_response_s
         );
         csv.push_str(&format!(
             "{wh},{:.1},{:.1},{:.4},{:.4}\n",
@@ -60,4 +70,7 @@ fn main() {
     }
     let path = write_results("figure6.csv", &csv);
     println!("\nwrote {}", path.display());
+    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+        println!("wrote metrics to {}", p.display());
+    }
 }

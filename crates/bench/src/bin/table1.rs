@@ -9,10 +9,15 @@
 //! cargo run --release -p sias-bench --bin table1 [-- --wh 50 --pool 1024 --durations 600,900,1800]
 //! ```
 
-use sias_bench::{arg_value, run_cell, write_results, EngineKind, Testbed, EXPERIMENT_POOL_FRAMES};
+use sias_bench::{
+    arg_value, dump_metrics, metrics_out, run_cell, write_results, EngineKind, Testbed,
+    EXPERIMENT_POOL_FRAMES,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let mout = metrics_out(&args);
+    let mut mruns = Vec::new();
     let wh: u32 = arg_value(&args, "--wh").and_then(|v| v.parse().ok()).unwrap_or(50);
     let pool: usize =
         arg_value(&args, "--pool").and_then(|v| v.parse().ok()).unwrap_or(EXPERIMENT_POOL_FRAMES);
@@ -33,8 +38,10 @@ fn main() {
         let t1 = run_cell(EngineKind::SiasT1, Testbed::Ssd, wh, secs, pool);
         let t2 = run_cell(EngineKind::SiasT2, Testbed::Ssd, wh, secs, pool);
         assert_eq!(si.violations + t1.violations + t2.violations, 0, "consistency");
-        let (si_mb, t1_mb, t2_mb) =
-            (si.trace.write_mb, t1.trace.write_mb, t2.trace.write_mb);
+        mruns.push((format!("SI/{secs}s"), si.metrics.clone()));
+        mruns.push((format!("SIAS-t1/{secs}s"), t1.metrics.clone()));
+        mruns.push((format!("SIAS-t2/{secs}s"), t2.metrics.clone()));
+        let (si_mb, t1_mb, t2_mb) = (si.trace.write_mb, t1.trace.write_mb, t2.trace.write_mb);
         let red = |x: f64| if si_mb > 0.0 { 100.0 * (1.0 - x / si_mb) } else { 0.0 };
         println!(
             "{:>9} {:>10.1} {:>10.1} {:>10.1} {:>7.0}% {:>7.0}%",
@@ -69,4 +76,7 @@ fn main() {
     }
     let path = write_results("table1.csv", &csv);
     println!("\nwrote {}", path.display());
+    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+        println!("wrote metrics to {}", p.display());
+    }
 }

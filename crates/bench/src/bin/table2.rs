@@ -12,10 +12,15 @@
 //! cargo run --release -p sias-bench --bin table2 [-- --whs 30,40,50,60,75,100 --duration 120]
 //! ```
 
-use sias_bench::{arg_value, run_cell, write_results, EngineKind, Testbed, EXPERIMENT_POOL_FRAMES};
+use sias_bench::{
+    arg_value, dump_metrics, metrics_out, run_cell, write_results, EngineKind, Testbed,
+    EXPERIMENT_POOL_FRAMES,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let mout = metrics_out(&args);
+    let mut mruns = Vec::new();
     let whs: Vec<u32> = arg_value(&args, "--whs")
         .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
         .unwrap_or_else(|| vec![30, 40, 50, 60, 75, 100]);
@@ -34,6 +39,8 @@ fn main() {
         let sias = run_cell(EngineKind::SiasT2, Testbed::Hdd, wh, duration, pool);
         let si = run_cell(EngineKind::Si, Testbed::Hdd, wh, duration, pool);
         assert_eq!(si.violations + sias.violations, 0);
+        mruns.push((format!("SIAS-t2/{wh}wh"), sias.metrics.clone()));
+        mruns.push((format!("SI/{wh}wh"), si.metrics.clone()));
         sias_rows.push((wh, sias.bench.notpm, sias.bench.avg_response_s));
         si_rows.push((wh, si.bench.notpm, si.bench.avg_response_s));
     }
@@ -70,4 +77,7 @@ fn main() {
     }
     let path = write_results("table2.csv", &csv);
     println!("\nwrote {}", path.display());
+    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+        println!("wrote metrics to {}", p.display());
+    }
 }

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 use sias_core::{FlushPolicy, SiasDb};
+use sias_obs::MetricsSnapshot;
 use sias_si::SiDb;
 use sias_storage::{DeviceStats, StorageConfig, TraceSummary};
 use sias_txn::MvccEngine;
@@ -112,6 +113,10 @@ pub struct CellResult {
     pub space_pages: u64,
     /// Consistency violations found post-run (must be 0).
     pub violations: usize,
+    /// Full metrics snapshot of the engine's registry at the end of the
+    /// measured interval (before the consistency sweep, whose reads would
+    /// perturb the counters).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Default buffer-pool frames for the experiments (8 MiB — scaled to the
@@ -184,12 +189,13 @@ pub fn run_cell(
     stack.trace.disable();
     let device = stack.data.stats();
     let trace = stack.trace.summary();
+    let metrics = engine.metrics_snapshot();
     let space_pages: u64 = {
         let space = &stack.space;
         space.relations().iter().map(|&r| space.relation_blocks(r) as u64).sum()
     };
     let violations = check_consistency(engine, &tables, &cfg).expect("check").len();
-    CellResult { engine: kind, bench, device, trace, space_pages, violations }
+    CellResult { engine: kind, bench, device, trace, space_pages, violations, metrics }
 }
 
 /// Writes `contents` into `results/<name>` (creating the directory),
@@ -205,6 +211,43 @@ pub fn write_results(name: &str, contents: &str) -> std::path::PathBuf {
 /// Tiny CLI-argument helper: returns the value following `--name`.
 pub fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Destination of the per-run metrics dump: the `--metrics-out <path>`
+/// option, falling back to the `SIAS_METRICS_OUT` environment variable.
+/// `None` disables the dump.
+pub fn metrics_out(args: &[String]) -> Option<std::path::PathBuf> {
+    arg_value(args, "--metrics-out")
+        .or_else(|| std::env::var("SIAS_METRICS_OUT").ok())
+        .map(std::path::PathBuf::from)
+}
+
+/// Writes labelled metrics snapshots to `dest` as one JSON object keyed
+/// by run label (`{"SI/600s": {...}, ...}`). Returns the path written;
+/// no-op when `dest` is `None`.
+pub fn dump_metrics(
+    dest: Option<&std::path::Path>,
+    runs: &[(String, MetricsSnapshot)],
+) -> Option<std::path::PathBuf> {
+    let path = dest?;
+    let mut out = String::from("{");
+    for (i, (label, snap)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n\"");
+        out.push_str(&label.replace('\\', "\\\\").replace('"', "\\\""));
+        out.push_str("\": ");
+        out.push_str(&snap.to_json());
+    }
+    out.push_str("\n}\n");
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create metrics dir");
+        }
+    }
+    std::fs::write(path, out).expect("write metrics");
+    Some(path.to_path_buf())
 }
 
 #[cfg(test)]
@@ -231,6 +274,31 @@ mod tests {
     }
 
     #[test]
+    fn metrics_out_prefers_cli_over_env() {
+        let args: Vec<String> = ["--metrics-out", "m.json"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(metrics_out(&args), Some(std::path::PathBuf::from("m.json")));
+        // No flag and no env (the test env does not set SIAS_METRICS_OUT)
+        // means no dump.
+        if std::env::var("SIAS_METRICS_OUT").is_err() {
+            assert_eq!(metrics_out(&[]), None);
+        }
+        assert_eq!(dump_metrics(None, &[]), None);
+    }
+
+    #[test]
+    fn metrics_dump_writes_labelled_json() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let snap = db.metrics_snapshot();
+        let path = std::env::temp_dir().join("sias_bench_metrics_dump_test.json");
+        let written = dump_metrics(Some(&path), &[("SIAS-t2/5s".to_string(), snap)]).expect("dump");
+        let contents = std::fs::read_to_string(&written).expect("read back");
+        std::fs::remove_file(&written).ok();
+        assert!(contents.contains("\"SIAS-t2/5s\": {"));
+        assert!(contents.contains("\"storage.wal.forces\""));
+        assert!(contents.contains("\"core.engine.update\""));
+    }
+
+    #[test]
     fn smoke_cell_sias_vs_si() {
         // A miniature cell on each engine: must run, stay consistent, and
         // SIAS must not write more than SI.
@@ -246,5 +314,10 @@ mod tests {
             sias.device.host_write_pages,
             si.device.host_write_pages
         );
+        // Each cell carries a full metrics snapshot, and both engines
+        // expose the same metric names.
+        assert_eq!(sias.metrics.names(), si.metrics.names());
+        assert!(sias.metrics.counter("workload.driver.commits").unwrap() > 0);
+        assert!(si.metrics.counter("workload.driver.commits").unwrap() > 0);
     }
 }

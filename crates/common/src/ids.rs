@@ -122,10 +122,7 @@ impl Tid {
         if word & (1 << 63) == 0 {
             return None;
         }
-        Some(Tid {
-            block: ((word >> 16) & 0xFFFF_FFFF) as u32,
-            slot: (word & 0xFFFF) as u16,
-        })
+        Some(Tid { block: ((word >> 16) & 0xFFFF_FFFF) as u32, slot: (word & 0xFFFF) as u16 })
     }
 }
 

@@ -30,15 +30,31 @@ pub fn visible_version(
     snapshot: &Snapshot,
     clog: &Clog,
 ) -> SiasResult<Option<(Tid, TupleVersion)>> {
+    visible_version_depth(pool, rel, entry, snapshot, clog).map(|(v, _)| v)
+}
+
+/// Like [`visible_version`], but also returns the number of versions
+/// fetched during the walk (≥ 1) — the chain-traversal cost the paper's
+/// `C_R` accounting charges and the `core.engine.chain_depth` histogram
+/// records.
+pub fn visible_version_depth(
+    pool: &BufferPool,
+    rel: RelId,
+    entry: Tid,
+    snapshot: &Snapshot,
+    clog: &Clog,
+) -> SiasResult<(Option<(Tid, TupleVersion)>, u64)> {
     let mut tid = entry;
+    let mut depth = 0u64;
     loop {
         let v = fetch_version(pool, rel, tid)?;
+        depth += 1;
         if snapshot.sees(v.create, clog) {
-            return Ok(Some((tid, v)));
+            return Ok((Some((tid, v)), depth));
         }
         match v.pred {
             Some(pred) => tid = pred,
-            None => return Ok(None),
+            None => return Ok((None, depth)),
         }
     }
 }

@@ -22,11 +22,12 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use sias_common::{RelId, SiasError, SiasResult, Tid, Vid, Xid};
 use sias_index::BPlusTree;
+use sias_obs::{time, MetricsSnapshot, Registry};
 use sias_storage::{StorageConfig, StorageStack, WalRecord};
-use sias_txn::{MvccEngine, TransactionManager, Txn};
+use sias_txn::{EngineMetrics, MvccEngine, TransactionManager, Txn};
 
 use crate::append::{AppendRegion, FlushPolicy};
-use crate::chain::{fetch_version, visible_version};
+use crate::chain::{fetch_version, visible_version, visible_version_depth};
 use crate::version::TupleVersion;
 use crate::vidmap::VidMap;
 
@@ -53,6 +54,8 @@ pub struct SiasDb {
     policy: FlushPolicy,
     /// Pages per background-writer round under the t1 policy.
     bgwriter_budget: usize,
+    /// Pre-resolved metric handles (same names as the SI baseline).
+    pub(crate) metrics: EngineMetrics,
 }
 
 impl SiasDb {
@@ -64,14 +67,18 @@ impl SiasDb {
     /// Opens a SIAS database with an explicit flush-threshold policy
     /// (§5.2: t1 = background-writer default, t2 = checkpoint piggy-back).
     pub fn open_with_policy(cfg: StorageConfig, policy: FlushPolicy) -> Self {
+        let stack = StorageStack::new(&cfg);
+        let txm = Arc::new(TransactionManager::with_registry(&stack.obs));
+        let metrics = EngineMetrics::register(&stack.obs);
         SiasDb {
-            stack: StorageStack::new(&cfg),
-            txm: TransactionManager::new_shared(),
+            stack,
+            txm,
             catalog: RwLock::new(HashMap::new()),
             rels: RwLock::new(HashMap::new()),
             next_rel: AtomicU32::new(1),
             policy,
             bgwriter_budget: 128,
+            metrics,
         }
     }
 
@@ -99,7 +106,6 @@ impl SiasDb {
     pub fn relation_handles(&self) -> Vec<Arc<SiasRelation>> {
         self.rels.read().values().cloned().collect()
     }
-
 
     /// SSI read hook (no-op unless serializable mode is on).
     fn ssi_read(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
@@ -132,6 +138,11 @@ impl SiasDb {
 
     /// Inserts a new data item; returns its fresh VID (Algorithm 2).
     pub fn insert_item(&self, txn: &Txn, rel: RelId, payload: &[u8]) -> SiasResult<Vid> {
+        time!(self.metrics.insert, self.insert_item_inner(txn, rel, payload))
+    }
+
+    // Body split out so the `time!` wrapper records even on `?` early exits.
+    fn insert_item_inner(&self, txn: &Txn, rel: RelId, payload: &[u8]) -> SiasResult<Vid> {
         let r = self.relation_handle(rel)?;
         // A fresh VID is unreachable by any other transaction, so the
         // X-lock of Algorithm 2 line 2 can never block; we register it
@@ -151,14 +162,14 @@ impl SiasDb {
     /// First-updater-wins: concurrent updaters wait on the tuple lock and
     /// abort with [`SiasError::WriteConflict`] when the winner committed.
     pub fn update_item(&self, txn: &Txn, rel: RelId, vid: Vid, payload: &[u8]) -> SiasResult<()> {
-        self.modify_item(txn, rel, vid, Some(payload), None)
+        time!(self.metrics.update, self.modify_item(txn, rel, vid, Some(payload), None))
     }
 
     /// Deletes a data item by appending a tombstone version (§4.2.2).
     /// `key` (when known) is stored in the tombstone so that vacuum can
     /// drop the ⟨key, VID⟩ index record once the whole item is dead.
     pub fn delete_item(&self, txn: &Txn, rel: RelId, vid: Vid, key: Option<u64>) -> SiasResult<()> {
-        self.modify_item(txn, rel, vid, None, key)
+        time!(self.metrics.delete, self.modify_item(txn, rel, vid, None, key))
     }
 
     fn modify_item(
@@ -175,6 +186,7 @@ impl SiasDb {
         let entry_tid = r.vidmap.get(vid).ok_or(SiasError::UnknownVid(vid))?;
         let head = self.effective_head(&r, rel, txn, entry_tid)?;
         if !txn.snapshot.sees(head.1.create, &self.txm.clog) {
+            self.metrics.write_conflicts.inc();
             return Err(SiasError::WriteConflict { vid, winner: head.1.create });
         }
         // Algorithm 3 line 7: request the tuple X-lock, waiting if needed.
@@ -184,6 +196,7 @@ impl SiasDb {
         let entry_tid = r.vidmap.get(vid).ok_or(SiasError::UnknownVid(vid))?;
         let (_, head) = self.effective_head(&r, rel, txn, entry_tid)?;
         if !txn.snapshot.sees(head.create, &self.txm.clog) {
+            self.metrics.write_conflicts.inc();
             return Err(SiasError::WriteConflict { vid, winner: head.create });
         }
         if head.tombstone {
@@ -242,10 +255,7 @@ impl SiasDb {
         let mut tid = entry;
         loop {
             let v = fetch_version(&self.stack.pool, rel, tid)?;
-            let aborted = matches!(
-                self.txm.clog.status(v.create),
-                sias_txn::TxnStatus::Aborted
-            );
+            let aborted = matches!(self.txm.clog.status(v.create), sias_txn::TxnStatus::Aborted);
             if !aborted {
                 return Ok((tid, v));
             }
@@ -259,9 +269,16 @@ impl SiasDb {
     /// Reads the version of `vid` visible to the snapshot. `None` when
     /// the item does not exist (or is deleted) in this snapshot.
     pub fn read_item(&self, txn: &Txn, rel: RelId, vid: Vid) -> SiasResult<Option<Bytes>> {
+        time!(self.metrics.get, self.read_item_inner(txn, rel, vid))
+    }
+
+    fn read_item_inner(&self, txn: &Txn, rel: RelId, vid: Vid) -> SiasResult<Option<Bytes>> {
         let r = self.relation_handle(rel)?;
         let Some(entry) = r.vidmap.get(vid) else { return Ok(None) };
-        match visible_version(&self.stack.pool, rel, entry, &txn.snapshot, &self.txm.clog)? {
+        let (found, depth) =
+            visible_version_depth(&self.stack.pool, rel, entry, &txn.snapshot, &self.txm.clog)?;
+        self.metrics.chain_depth.record(depth);
+        match found {
             Some((_, v)) if !v.tombstone => Ok(Some(v.payload)),
             _ => Ok(None),
         }
@@ -353,9 +370,7 @@ impl SiasDb {
                 continue;
             }
             let items: Vec<(u16, Vec<u8>)> = self.stack.pool.with_page(rel, block, |p| {
-                p.live_slots()
-                    .map(|s| (s, p.item(s).expect("live slot").to_vec()))
-                    .collect()
+                p.live_slots().map(|s| (s, p.item(s).expect("live slot").to_vec())).collect()
             })?;
             for (slot, bytes) in items {
                 let v = TupleVersion::decode(&bytes)?;
@@ -432,9 +447,7 @@ impl SiasDb {
                 continue;
             }
             let items: Vec<(u16, Vec<u8>)> = self.stack.pool.with_page(rel, block, |p| {
-                p.live_slots()
-                    .map(|s| (s, p.item(s).expect("live slot").to_vec()))
-                    .collect()
+                p.live_slots().map(|s| (s, p.item(s).expect("live slot").to_vec())).collect()
             })?;
             for (slot, bytes) in items {
                 let v = TupleVersion::decode(&bytes)?;
@@ -461,6 +474,91 @@ impl SiasDb {
             map.allocate_vid();
         }
         Ok(map)
+    }
+
+    // ------------------------------------------------------------------
+    // Key-level op bodies (timed by the MvccEngine wrappers below).
+    // ------------------------------------------------------------------
+
+    fn insert_inner(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
+        let r = self.relation_handle(rel)?;
+        for vid in r.index.lookup(key)? {
+            if self.read_item_inner(txn, rel, Vid(vid))?.is_some() {
+                return Err(SiasError::Index(format!("duplicate key {key}")));
+            }
+        }
+        self.ssi_write(txn, rel, key)?;
+        let vid = self.insert_item_inner(txn, rel, payload)?;
+        self.stack.wal.append(&WalRecord::IndexInsert { xid: txn.xid, rel, key, value: vid.0 });
+        r.index.insert(key, vid.0)
+    }
+
+    fn update_inner(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
+        let r = self.relation_handle(rel)?;
+        for vid in r.index.lookup(key)? {
+            let vid = Vid(vid);
+            if self.read_item_inner(txn, rel, vid)?.is_some() {
+                self.ssi_write(txn, rel, key)?;
+                // A non-key update leaves the index untouched (§4.3
+                // Example 2) — the VID map swing is the whole story.
+                return self.modify_item(txn, rel, vid, Some(payload), None);
+            }
+        }
+        Err(SiasError::KeyNotFound(key))
+    }
+
+    fn delete_inner(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
+        let r = self.relation_handle(rel)?;
+        for vid in r.index.lookup(key)? {
+            let vid = Vid(vid);
+            if self.read_item_inner(txn, rel, vid)?.is_some() {
+                self.ssi_write(txn, rel, key)?;
+                return self.modify_item(txn, rel, vid, None, Some(key));
+            }
+        }
+        Err(SiasError::KeyNotFound(key))
+    }
+
+    fn get_inner(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<Option<Bytes>> {
+        let r = self.relation_handle(rel)?;
+        self.ssi_read(txn, rel, key)?;
+        for vid in r.index.lookup(key)? {
+            if let Some(payload) = self.read_item_inner(txn, rel, Vid(vid))? {
+                return Ok(Some(payload));
+            }
+        }
+        Ok(None)
+    }
+
+    fn scan_range_inner(
+        &self,
+        txn: &Txn,
+        rel: RelId,
+        lo: u64,
+        hi: u64,
+    ) -> SiasResult<Vec<(u64, Bytes)>> {
+        let r = self.relation_handle(rel)?;
+        let mut out = Vec::new();
+        for (key, vid) in r.index.range(lo, hi)? {
+            if let Some(payload) = self.read_item_inner(txn, rel, Vid(vid))? {
+                self.ssi_read(txn, rel, key)?;
+                out.push((key, payload));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Publishes the always-on VID map counters (summed over relations)
+    /// into the registry, so they appear in snapshots.
+    fn sync_vidmap_metrics(&self) {
+        let (mut lookups, mut resizes) = (0u64, 0u64);
+        for r in self.relation_handles() {
+            lookups += r.vidmap.lookups();
+            resizes += r.vidmap.resizes();
+        }
+        let m = &self.metrics;
+        m.vidmap_lookups.add(lookups.saturating_sub(m.vidmap_lookups.get()));
+        m.vidmap_resizes.add(resizes.saturating_sub(m.vidmap_resizes.get()));
     }
 }
 
@@ -518,71 +616,23 @@ impl MvccEngine for SiasDb {
     }
 
     fn insert(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
-        let r = self.relation_handle(rel)?;
-        for vid in r.index.lookup(key)? {
-            if self.read_item(txn, rel, Vid(vid))?.is_some() {
-                return Err(SiasError::Index(format!("duplicate key {key}")));
-            }
-        }
-        self.ssi_write(txn, rel, key)?;
-        let vid = self.insert_item(txn, rel, payload)?;
-        self.stack.wal.append(&WalRecord::IndexInsert { xid: txn.xid, rel, key, value: vid.0 });
-        r.index.insert(key, vid.0)
+        time!(self.metrics.insert, self.insert_inner(txn, rel, key, payload))
     }
 
     fn update(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
-        let r = self.relation_handle(rel)?;
-        for vid in r.index.lookup(key)? {
-            let vid = Vid(vid);
-            if self.read_item(txn, rel, vid)?.is_some() {
-                self.ssi_write(txn, rel, key)?;
-                // A non-key update leaves the index untouched (§4.3
-                // Example 2) — the VID map swing is the whole story.
-                return self.update_item(txn, rel, vid, payload);
-            }
-        }
-        Err(SiasError::KeyNotFound(key))
+        time!(self.metrics.update, self.update_inner(txn, rel, key, payload))
     }
 
     fn delete(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
-        let r = self.relation_handle(rel)?;
-        for vid in r.index.lookup(key)? {
-            let vid = Vid(vid);
-            if self.read_item(txn, rel, vid)?.is_some() {
-                self.ssi_write(txn, rel, key)?;
-                return self.delete_item(txn, rel, vid, Some(key));
-            }
-        }
-        Err(SiasError::KeyNotFound(key))
+        time!(self.metrics.delete, self.delete_inner(txn, rel, key))
     }
 
     fn get(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<Option<Bytes>> {
-        let r = self.relation_handle(rel)?;
-        self.ssi_read(txn, rel, key)?;
-        for vid in r.index.lookup(key)? {
-            if let Some(payload) = self.read_item(txn, rel, Vid(vid))? {
-                return Ok(Some(payload));
-            }
-        }
-        Ok(None)
+        time!(self.metrics.get, self.get_inner(txn, rel, key))
     }
 
-    fn scan_range(
-        &self,
-        txn: &Txn,
-        rel: RelId,
-        lo: u64,
-        hi: u64,
-    ) -> SiasResult<Vec<(u64, Bytes)>> {
-        let r = self.relation_handle(rel)?;
-        let mut out = Vec::new();
-        for (key, vid) in r.index.range(lo, hi)? {
-            if let Some(payload) = self.read_item(txn, rel, Vid(vid))? {
-                self.ssi_read(txn, rel, key)?;
-                out.push((key, payload));
-            }
-        }
-        Ok(out)
+    fn scan_range(&self, txn: &Txn, rel: RelId, lo: u64, hi: u64) -> SiasResult<Vec<(u64, Bytes)>> {
+        time!(self.metrics.scan, self.scan_range_inner(txn, rel, lo, hi))
     }
 
     fn maintenance(&self, checkpoint: bool) {
@@ -606,6 +656,15 @@ impl MvccEngine for SiasDb {
             self.stack.wal.force();
             self.stack.pool.flush_all();
         }
+    }
+
+    fn obs_registry(&self) -> Option<&Arc<Registry>> {
+        Some(&self.stack.obs)
+    }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.sync_vidmap_metrics();
+        self.stack.obs.snapshot()
     }
 }
 
@@ -941,9 +1000,7 @@ mod tests {
         let records = db.stack.wal.durable_records().unwrap();
         assert!(records.contains(&WalRecord::Begin(xid)));
         assert!(records.contains(&WalRecord::Commit(xid)));
-        assert!(records
-            .iter()
-            .any(|r| matches!(r, WalRecord::Insert { xid: x, .. } if *x == xid)));
+        assert!(records.iter().any(|r| matches!(r, WalRecord::Insert { xid: x, .. } if *x == xid)));
     }
 
     #[test]
@@ -1152,5 +1209,70 @@ mod tests {
         }
         let (commits, _aborts) = db.txm.outcome_counts();
         assert_eq!(commits, total + 1); // + the initial insert transaction
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_public_ops() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"v0").unwrap();
+        db.commit(t).unwrap();
+        let before = db.metrics_snapshot();
+        let updates_before = before.histogram("core.engine.update").unwrap().count;
+        let depth_max_before = before.histogram("core.engine.chain_depth").unwrap().max;
+        assert!(depth_max_before <= 1, "no chain longer than one version yet");
+
+        // An update through the public trait API...
+        let reader = db.begin(); // old snapshot, taken before the update
+        let t = db.begin();
+        db.update(&t, rel, 1, b"v1").unwrap();
+        db.commit(t).unwrap();
+        // ...and a read that must walk past the new head to v0.
+        assert_eq!(db.get(&reader, rel, 1).unwrap().unwrap().as_ref(), b"v0");
+        db.commit(reader).unwrap();
+
+        let after = db.metrics_snapshot();
+        assert_eq!(
+            after.histogram("core.engine.update").unwrap().count,
+            updates_before + 1,
+            "the public update op must increment core.engine.update"
+        );
+        assert_eq!(
+            after.histogram("core.engine.chain_depth").unwrap().max,
+            2,
+            "the old reader walked a two-version chain"
+        );
+        // One snapshot covers every layer: pool, WAL, engine, txn manager.
+        for name in [
+            "storage.buffer.hits",
+            "storage.wal.forces",
+            "core.engine.insert",
+            "core.vidmap.lookups",
+            "core.gc.runs",
+            "txn.manager.commits",
+            "txn.manager.aborts_write_conflict",
+        ] {
+            assert!(after.get(name).is_some(), "snapshot misses {name}");
+        }
+        assert!(after.counter("txn.manager.commits").unwrap() >= 3);
+        assert!(after.counter("core.vidmap.lookups").unwrap() > 0);
+        assert!(after.counter("storage.wal.forces").unwrap() >= 3);
+    }
+
+    #[test]
+    fn write_conflicts_are_counted() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"base").unwrap();
+        db.commit(t).unwrap();
+        let a = db.begin();
+        let b = db.begin();
+        db.update(&a, rel, 1, b"a").unwrap();
+        db.commit(a).unwrap();
+        assert!(db.update(&b, rel, 1, b"b").is_err());
+        db.abort(b);
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("txn.manager.aborts_write_conflict"), Some(1));
+        assert_eq!(snap.counter("txn.manager.aborts"), Some(1));
     }
 }

@@ -98,6 +98,7 @@ impl SiasDb {
         rel: RelId,
         threshold: f64,
     ) -> SiasResult<GcStats> {
+        let pause_start = std::time::Instant::now();
         if self.txm.active_count() != 0 {
             return Err(SiasError::Device(
                 "vacuum requires a quiescent system (no active transactions)".into(),
@@ -166,6 +167,14 @@ impl SiasDb {
                 stats.versions_discarded += dead_here as u64;
             }
         }
+        let m = &self.metrics;
+        m.gc_runs.inc();
+        m.gc_pages_examined.add(stats.pages_examined);
+        m.gc_pages_reclaimed.add(stats.pages_reclaimed);
+        m.gc_versions_discarded.add(stats.versions_discarded);
+        m.gc_versions_relocated.add(stats.versions_relocated);
+        m.gc_items_cleared.add(stats.items_cleared);
+        m.gc_pause.record_duration(pause_start.elapsed());
         Ok(stats)
     }
 
@@ -300,8 +309,7 @@ mod tests {
         let r = db.relation_handle(rel).unwrap();
         let entry = r.vidmap.get(vid).unwrap();
         let reach =
-            collect_reachable(&db.stack.pool, rel, entry, db.txm.horizon(), &db.txm.clog)
-                .unwrap();
+            collect_reachable(&db.stack.pool, rel, entry, db.txm.horizon(), &db.txm.clog).unwrap();
         assert!(reach.len() <= 2, "reachable chain still {} long", reach.len());
     }
 
@@ -427,7 +435,7 @@ mod tests {
 
     #[test]
     fn vacuum_trims_reclaimed_pages_on_flash() {
-        use sias_storage::{Media, FlashConfig};
+        use sias_storage::{FlashConfig, Media};
         let storage = sias_storage::StorageConfig {
             media: Media::SsdRaid { members: 1, flash: FlashConfig::default() },
             pool_frames: 256,

@@ -254,8 +254,7 @@ mod tests {
         handle.vidmap.for_each(|vid, tid| entries.push((vid, tid)));
         assert!(!entries.is_empty());
         for (vid, entry) in entries {
-            let chain =
-                crate::chain::collect_chain(&recovered.stack().pool, rel, entry).unwrap();
+            let chain = crate::chain::collect_chain(&recovered.stack().pool, rel, entry).unwrap();
             for (i, (_, v)) in chain.iter().enumerate() {
                 assert_eq!(v.vid, vid);
                 assert_eq!(v.pred.is_none(), i == chain.len() - 1);

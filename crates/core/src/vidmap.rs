@@ -22,9 +22,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use sias_common::config::VIDMAP_SLOTS_PER_BUCKET;
+use sias_common::RelId;
 use sias_common::{SiasResult, Tid, Vid};
 use sias_storage::{BufferPool, Page};
-use sias_common::RelId;
 
 /// One bucket: a page-shaped array of packed-TID slots (0 = empty).
 struct Bucket {
@@ -43,6 +43,11 @@ impl Bucket {
 pub struct VidMap {
     buckets: RwLock<Vec<Bucket>>,
     next_vid: AtomicU64,
+    /// Entrypoint lookups served (always-on; the engine publishes this
+    /// as `core.vidmap.lookups` at snapshot time).
+    lookups: AtomicU64,
+    /// Bucket-directory growth events (`core.vidmap.resizes`).
+    resizes: AtomicU64,
 }
 
 impl Default for VidMap {
@@ -54,7 +59,12 @@ impl Default for VidMap {
 impl VidMap {
     /// Creates an empty map.
     pub fn new() -> Self {
-        VidMap { buckets: RwLock::new(Vec::new()), next_vid: AtomicU64::new(0) }
+        VidMap {
+            buckets: RwLock::new(Vec::new()),
+            next_vid: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            resizes: AtomicU64::new(0),
+        }
     }
 
     /// Allocates the next sequential VID (insert path, Algorithm 2
@@ -90,6 +100,9 @@ impl VidMap {
             }
         }
         let mut buckets = self.buckets.write();
+        if buckets.len() <= bucket {
+            self.resizes.fetch_add(1, Ordering::Relaxed);
+        }
         while buckets.len() <= bucket {
             buckets.push(Bucket::new());
         }
@@ -98,10 +111,21 @@ impl VidMap {
     /// Returns the entrypoint TID of `vid`, or `None` when the slot is
     /// empty (never inserted, or reclaimed).
     pub fn get(&self, vid: Vid) -> Option<Tid> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let (b, s) = Self::locate(vid);
         let buckets = self.buckets.read();
         let bucket = buckets.get(b)?;
         Tid::unpack(bucket.slots[s].load(Ordering::Acquire))
+    }
+
+    /// Number of entrypoint lookups served so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Number of bucket-directory growth events so far.
+    pub fn resizes(&self) -> u64 {
+        self.resizes.load(Ordering::Relaxed)
     }
 
     /// Unconditionally points `vid` at `tid` (insert path; the slot was

@@ -56,7 +56,12 @@ pub struct Node {
 impl Node {
     /// A leaf with no entries.
     pub fn empty_leaf() -> Node {
-        Node { kind: NodeKind::Leaf, entries: Vec::new(), children: Vec::new(), right_sibling: None }
+        Node {
+            kind: NodeKind::Leaf,
+            entries: Vec::new(),
+            children: Vec::new(),
+            right_sibling: None,
+        }
     }
 
     /// A new root above a split: `left` and `right` separated by `sep`.

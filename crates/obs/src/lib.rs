@@ -1,0 +1,290 @@
+//! # sias-obs — unified metrics for the SIAS stack
+//!
+//! One registry per engine instance (plus an opt-in process-global one)
+//! holding named counters, gauges, and log-bucketed histograms. Names
+//! follow `<crate>.<component>.<name>` — e.g. `storage.buffer.hits`,
+//! `core.engine.update`, `txn.manager.aborts_write_conflict` — and the
+//! SIAS engine and the SI baseline register the *same* names so their
+//! snapshots are directly comparable.
+//!
+//! Hot paths resolve their handles once (an `Arc` per metric) and then
+//! record with relaxed atomics: no locks, no allocation, no formatting.
+//! [`Registry::snapshot`] captures everything into a [`MetricsSnapshot`]
+//! that serializes to JSON ([`MetricsSnapshot::to_json`]) and Prometheus
+//! text ([`MetricsSnapshot::to_prometheus`]).
+//!
+//! ```
+//! use sias_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! let hits = reg.counter("storage.buffer.hits");
+//! hits.inc();
+//! let lat = reg.histogram("core.engine.update");
+//! sias_obs::time!(lat, { /* instrumented work */ });
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("storage.buffer.hits"), Some(1));
+//! assert_eq!(snap.histogram("core.engine.update").unwrap().count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod metric;
+mod snapshot;
+
+pub use metric::{
+    bucket_hi, bucket_index, bucket_lo, Counter, Gauge, Histogram, HistogramSummary,
+    HISTOGRAM_BUCKETS,
+};
+pub use snapshot::{MetricSample, MetricsSnapshot, SampleValue};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics. Lookups take a read lock; recording
+/// through the returned handles is lock-free. Engines own one registry
+/// each (shared via `Arc` with their storage stack), so two engines in
+/// one process never mix their numbers.
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// A new registry behind an `Arc`, ready to share across subsystems.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Registry::new())
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Panics if `name` is already registered as a different kind —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(m) = self.lookup(name) {
+            match m {
+                Metric::Counter(c) => return c,
+                _ => panic!("metric {name:?} is not a counter"),
+            }
+        }
+        let mut map = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use. Panics if `name` is registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(m) = self.lookup(name) {
+            match m {
+                Metric::Gauge(g) => return g,
+                _ => panic!("metric {name:?} is not a gauge"),
+            }
+        }
+        let mut map = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        match map.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use. Panics if `name` is registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(m) = self.lookup(name) {
+            match m {
+                Metric::Histogram(h) => return h,
+                _ => panic!("metric {name:?} is not a histogram"),
+            }
+        }
+        let mut map = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Metric> {
+        self.metrics.read().unwrap_or_else(|e| e.into_inner()).get(name).cloned()
+    }
+
+    /// Captures every registered metric. Concurrent recorders may land
+    /// increments during the capture; each individual metric is read
+    /// atomically, so committed increments are never lost or torn.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let samples = map
+            .iter()
+            .map(|(name, m)| MetricSample {
+                name: name.clone(),
+                value: match m {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(h.summary()),
+                },
+            })
+            .collect();
+        drop(map);
+        MetricsSnapshot::from_samples(samples)
+    }
+
+    /// Zeroes every registered metric (benchmark warmup boundary). The
+    /// metrics stay registered and existing handles stay valid.
+    pub fn reset_all(&self) {
+        let map = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        for m in map.values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("metrics", &self.len()).finish()
+    }
+}
+
+/// The process-global registry, for call sites with no engine handy
+/// (`obs::time!("name", { .. })`). Engine metrics live in per-engine
+/// registries instead.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Times a block into a histogram and evaluates to the block's value.
+///
+/// Three forms:
+///
+/// ```
+/// # use sias_obs::Registry;
+/// # let registry = Registry::new();
+/// // 1. Global registry by name (convenient, one lookup per use):
+/// let x = sias_obs::time!("engine.update", { 2 + 2 });
+///
+/// // 2. Explicit registry + name:
+/// let y = sias_obs::time!(registry, "core.engine.update", { x + 1 });
+///
+/// // 3. Pre-resolved histogram handle (hot paths, zero lookups):
+/// let h = registry.histogram("core.engine.scan");
+/// let z = sias_obs::time!(h, { y + 1 });
+/// assert_eq!(z, 6);
+/// ```
+#[macro_export]
+macro_rules! time {
+    ($name:literal, $body:expr) => {{
+        let __obs_start = ::std::time::Instant::now();
+        let __obs_out = $body;
+        $crate::global().histogram($name).record_duration(__obs_start.elapsed());
+        __obs_out
+    }};
+    ($registry:expr, $name:expr, $body:expr) => {{
+        let __obs_start = ::std::time::Instant::now();
+        let __obs_out = $body;
+        ($registry).histogram($name).record_duration(__obs_start.elapsed());
+        __obs_out
+    }};
+    ($hist:expr, $body:expr) => {{
+        let __obs_start = ::std::time::Instant::now();
+        let __obs_out = $body;
+        ($hist).record_duration(__obs_start.elapsed());
+        __obs_out
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instance() {
+        let reg = Registry::new();
+        let a = reg.counter("x.y.z");
+        let b = reg.counter("x.y.z");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x.y.z").get(), 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("a.b.c");
+        reg.gauge("a.b.c");
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(-2);
+        reg.histogram("h").record(31);
+        let s = reg.snapshot();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.counter("c"), Some(7));
+        assert_eq!(s.gauge("g"), Some(-2));
+        let h = s.histogram("h").unwrap();
+        assert_eq!((h.count, h.sum, h.max), (1, 31, 31));
+    }
+
+    #[test]
+    fn reset_all_keeps_handles_valid() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        c.add(9);
+        reg.reset_all();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(reg.snapshot().counter("c"), Some(1));
+    }
+
+    #[test]
+    fn time_macro_forms() {
+        let reg = Registry::new();
+        let out = time!(reg, "m.n.o", { 40 + 2 });
+        assert_eq!(out, 42);
+        assert_eq!(reg.snapshot().histogram("m.n.o").unwrap().count, 1);
+
+        let h = reg.histogram("m.n.handle");
+        let out = time!(h, { "done" });
+        assert_eq!(out, "done");
+        assert_eq!(h.count(), 1);
+
+        let before = global().snapshot().histogram("obs.test.global").map(|h| h.count).unwrap_or(0);
+        time!("obs.test.global", {});
+        let after = global().snapshot().histogram("obs.test.global").unwrap().count;
+        assert_eq!(after, before + 1);
+    }
+}

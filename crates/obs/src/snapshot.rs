@@ -1,0 +1,235 @@
+//! Point-in-time view of a registry, serializable to JSON and to
+//! Prometheus text exposition. Both serializers are hand-rolled — the
+//! formats are small and this crate takes no dependencies.
+
+use crate::metric::HistogramSummary;
+
+/// One exported metric value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSummary),
+}
+
+/// A named metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSample {
+    pub name: String,
+    pub value: SampleValue,
+}
+
+/// An ordered, immutable capture of every metric in a registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot from samples, sorting by metric name.
+    pub fn from_samples(mut samples: Vec<MetricSample>) -> Self {
+        samples.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { samples }
+    }
+
+    pub fn samples(&self) -> &[MetricSample] {
+        &self.samples
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// All metric names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.samples.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Looks up a sample by exact name.
+    pub fn get(&self, name: &str) -> Option<&SampleValue> {
+        self.samples
+            .binary_search_by(|s| s.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.samples[i].value)
+    }
+
+    /// Counter value by name, `None` if absent or not a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            SampleValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, `None` if absent or not a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            SampleValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary by name, `None` if absent or not a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name)? {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a JSON object keyed by metric name:
+    ///
+    /// ```json
+    /// {
+    ///   "core.engine.update": {"type": "histogram", "count": 2, "sum": 840,
+    ///                          "max": 512, "p50": 328, "p95": 512, "p99": 512},
+    ///   "storage.wal.forces": {"type": "counter", "value": 5},
+    ///   "txn.manager.active": {"type": "gauge", "value": 0}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str("  ");
+            push_json_string(&mut out, &s.name);
+            out.push_str(": ");
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("{{\"type\": \"counter\", \"value\": {v}}}"));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!("{{\"type\": \"gauge\", \"value\": {v}}}"));
+                }
+                SampleValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"max\": {}, \
+                         \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                        h.count, h.sum, h.max, h.p50, h.p95, h.p99
+                    ));
+                }
+            }
+        }
+        out.push_str("\n}");
+        out
+    }
+
+    /// Serializes to Prometheus text exposition. Dots become
+    /// underscores; histograms export as summaries with `quantile`
+    /// labels plus `_count`, `_sum`, and `_max` series:
+    ///
+    /// ```text
+    /// # TYPE core_engine_update summary
+    /// core_engine_update{quantile="0.5"} 328
+    /// core_engine_update{quantile="0.95"} 512
+    /// core_engine_update{quantile="0.99"} 512
+    /// core_engine_update_count 2
+    /// core_engine_update_sum 840
+    /// core_engine_update_max 512
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let name: String =
+                s.name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                SampleValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", h.p50));
+                    out.push_str(&format!("{name}{{quantile=\"0.95\"}} {}\n", h.p95));
+                    out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", h.p99));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                    out.push_str(&format!("{name}_max {}\n", h.max));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot::from_samples(vec![
+            MetricSample { name: "txn.manager.active".into(), value: SampleValue::Gauge(3) },
+            MetricSample { name: "storage.wal.forces".into(), value: SampleValue::Counter(5) },
+            MetricSample {
+                name: "core.engine.update".into(),
+                value: SampleValue::Histogram(HistogramSummary {
+                    count: 2,
+                    sum: 840,
+                    max: 512,
+                    p50: 328,
+                    p95: 512,
+                    p99: 512,
+                }),
+            },
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_kind() {
+        let s = sample_snapshot();
+        assert_eq!(s.counter("storage.wal.forces"), Some(5));
+        assert_eq!(s.gauge("txn.manager.active"), Some(3));
+        assert_eq!(s.histogram("core.engine.update").unwrap().count, 2);
+        assert_eq!(s.counter("txn.manager.active"), None);
+        assert_eq!(s.get("no.such.metric"), None);
+        // Sorted by name.
+        assert_eq!(
+            s.names(),
+            vec!["core.engine.update", "storage.wal.forces", "txn.manager.active"]
+        );
+    }
+
+    #[test]
+    fn json_format() {
+        let j = sample_snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"storage.wal.forces\": {\"type\": \"counter\", \"value\": 5}"));
+        assert!(j.contains("\"txn.manager.active\": {\"type\": \"gauge\", \"value\": 3}"));
+        assert!(j.contains("\"p95\": 512"));
+    }
+
+    #[test]
+    fn prometheus_format() {
+        let p = sample_snapshot().to_prometheus();
+        assert!(p.contains("# TYPE storage_wal_forces counter\nstorage_wal_forces 5\n"));
+        assert!(p.contains("# TYPE txn_manager_active gauge\ntxn_manager_active 3\n"));
+        assert!(p.contains("core_engine_update{quantile=\"0.5\"} 328\n"));
+        assert!(p.contains("core_engine_update_count 2\n"));
+        assert!(p.contains("core_engine_update_max 512\n"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for histogram bucket boundaries and quantile math.
+
+use proptest::prelude::*;
+use sias_obs::{bucket_hi, bucket_index, bucket_lo, Histogram, HISTOGRAM_BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// Every value lands in a bucket whose [lo, hi] range contains it.
+    #[test]
+    fn bucket_contains_its_values(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_lo(i) <= v, "lo {} > v {}", bucket_lo(i), v);
+        prop_assert!(v <= bucket_hi(i), "v {} > hi {}", v, bucket_hi(i));
+    }
+
+    /// Bucket boundaries tile the u64 domain without gaps or overlap.
+    #[test]
+    fn buckets_tile_the_domain(i in 1usize..HISTOGRAM_BUCKETS) {
+        prop_assert_eq!(bucket_lo(i), bucket_hi(i - 1).wrapping_add(1));
+        prop_assert!(bucket_lo(i) <= bucket_hi(i));
+    }
+
+    /// Quantiles are monotone in q, bounded by the observed max, and the
+    /// histogram's count/sum/max match the recorded values exactly.
+    #[test]
+    fn quantiles_are_sane(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let max = *values.iter().max().unwrap();
+        let sum: u64 = values.iter().sum();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), sum);
+        prop_assert_eq!(h.max(), max);
+
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        prop_assert!(p50 <= p95 && p95 <= p99, "p50 {p50} p95 {p95} p99 {p99}");
+        prop_assert!(p99 <= max, "p99 {p99} > max {max}");
+
+        // A quantile estimate never leaves the bucket that holds the true
+        // rank-q observation: error is bounded by one power of two.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (q, est) in [(0.50, p50), (0.95, p95), (0.99, p99)] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            prop_assert_eq!(
+                bucket_index(est), bucket_index(exact),
+                "q={} est={} exact={}", q, est, exact
+            );
+        }
+    }
+
+    /// The summary digest agrees with direct accessor reads.
+    #[test]
+    fn summary_matches_accessors(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.count, h.count());
+        prop_assert_eq!(s.max, h.max());
+        prop_assert_eq!(s.p50, h.quantile(0.50));
+        prop_assert_eq!(s.p99, h.quantile(0.99));
+    }
+}

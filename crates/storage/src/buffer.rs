@@ -23,11 +23,12 @@
 //! tuple bytes out of the closure and operate page-at-a-time.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use sias_common::{BlockId, RelId, SiasError, SiasResult};
+use sias_obs::{Counter, Registry};
 
 use crate::device::Device;
 use crate::page::Page;
@@ -50,14 +51,28 @@ pub struct BufferStats {
     pub checkpoint_writes: u64,
 }
 
-#[derive(Default)]
+/// Registry-backed counter handles (`storage.buffer.*`). Resolved once
+/// at pool construction; recording is a relaxed atomic add.
 struct StatCell {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    eviction_writes: AtomicU64,
-    bgwriter_writes: AtomicU64,
-    checkpoint_writes: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    eviction_writes: Arc<Counter>,
+    bgwriter_writes: Arc<Counter>,
+    checkpoint_writes: Arc<Counter>,
+}
+
+impl StatCell {
+    fn register(obs: &Registry) -> Self {
+        StatCell {
+            hits: obs.counter("storage.buffer.hits"),
+            misses: obs.counter("storage.buffer.misses"),
+            evictions: obs.counter("storage.buffer.evictions"),
+            eviction_writes: obs.counter("storage.buffer.eviction_writes"),
+            bgwriter_writes: obs.counter("storage.buffer.bgwriter_writes"),
+            checkpoint_writes: obs.counter("storage.buffer.checkpoint_writes"),
+        }
+    }
 }
 
 struct FrameData {
@@ -84,8 +99,20 @@ pub struct BufferPool {
 
 impl BufferPool {
     /// Creates a pool of `nframes` frames over `device`, addressed through
-    /// `space`.
+    /// `space`. Stats live in a private metrics registry; use
+    /// [`BufferPool::with_registry`] to share one.
     pub fn new(nframes: usize, device: Arc<dyn Device>, space: Arc<Tablespace>) -> Self {
+        Self::with_registry(nframes, device, space, &Registry::new())
+    }
+
+    /// Like [`BufferPool::new`], but registers the `storage.buffer.*`
+    /// counters in `obs` so they show up in that registry's snapshots.
+    pub fn with_registry(
+        nframes: usize,
+        device: Arc<dyn Device>,
+        space: Arc<Tablespace>,
+        obs: &Registry,
+    ) -> Self {
         assert!(nframes >= 2, "pool needs at least two frames");
         let frames = (0..nframes)
             .map(|_| Frame {
@@ -100,7 +127,7 @@ impl BufferPool {
             hand: AtomicUsize::new(0),
             device,
             space,
-            stats: StatCell::default(),
+            stats: StatCell::register(obs),
         }
     }
 
@@ -122,23 +149,23 @@ impl BufferPool {
     /// Counter snapshot.
     pub fn stats(&self) -> BufferStats {
         BufferStats {
-            hits: self.stats.hits.load(Ordering::Relaxed),
-            misses: self.stats.misses.load(Ordering::Relaxed),
-            evictions: self.stats.evictions.load(Ordering::Relaxed),
-            eviction_writes: self.stats.eviction_writes.load(Ordering::Relaxed),
-            bgwriter_writes: self.stats.bgwriter_writes.load(Ordering::Relaxed),
-            checkpoint_writes: self.stats.checkpoint_writes.load(Ordering::Relaxed),
+            hits: self.stats.hits.get(),
+            misses: self.stats.misses.get(),
+            evictions: self.stats.evictions.get(),
+            eviction_writes: self.stats.eviction_writes.get(),
+            bgwriter_writes: self.stats.bgwriter_writes.get(),
+            checkpoint_writes: self.stats.checkpoint_writes.get(),
         }
     }
 
     /// Resets counters (between benchmark phases).
     pub fn reset_stats(&self) {
-        self.stats.hits.store(0, Ordering::Relaxed);
-        self.stats.misses.store(0, Ordering::Relaxed);
-        self.stats.evictions.store(0, Ordering::Relaxed);
-        self.stats.eviction_writes.store(0, Ordering::Relaxed);
-        self.stats.bgwriter_writes.store(0, Ordering::Relaxed);
-        self.stats.checkpoint_writes.store(0, Ordering::Relaxed);
+        self.stats.hits.reset();
+        self.stats.misses.reset();
+        self.stats.evictions.reset();
+        self.stats.eviction_writes.reset();
+        self.stats.bgwriter_writes.reset();
+        self.stats.checkpoint_writes.reset();
     }
 
     /// Runs `f` with shared access to the page.
@@ -202,10 +229,10 @@ impl BufferPool {
             if frame.usage.load(Ordering::Relaxed) < 3 {
                 frame.usage.fetch_add(1, Ordering::Relaxed);
             }
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.hits.inc();
             return Ok(idx);
         }
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.stats.misses.inc();
         // Victim search: classic clock sweep.
         let n = self.frames.len();
         let mut victim = None;
@@ -222,7 +249,8 @@ impl BufferPool {
             victim = Some(idx);
             break;
         }
-        let idx = victim.ok_or_else(|| SiasError::Device("buffer pool exhausted (all pinned)".into()))?;
+        let idx =
+            victim.ok_or_else(|| SiasError::Device("buffer pool exhausted (all pinned)".into()))?;
         let frame = &self.frames[idx];
         frame.pins.fetch_add(1, Ordering::Acquire);
         // Take the frame latch *before* publishing the new mapping so no
@@ -247,10 +275,10 @@ impl BufferPool {
             // Backend eviction write: synchronous.
             let lba = self.space.resolve(orel, oblock)?;
             self.device.write_page(lba, guard.page.as_bytes(), true);
-            self.stats.eviction_writes.fetch_add(1, Ordering::Relaxed);
+            self.stats.eviction_writes.inc();
         }
         if guard.key.is_some() {
-            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            self.stats.evictions.inc();
         }
         guard.key = Some(key);
         guard.dirty = false;
@@ -311,7 +339,7 @@ impl BufferPool {
             guard.dirty = false;
             written += 1;
         }
-        self.stats.bgwriter_writes.fetch_add(written as u64, Ordering::Relaxed);
+        self.stats.bgwriter_writes.add(written as u64);
         written
     }
 
@@ -331,7 +359,7 @@ impl BufferPool {
             guard.dirty = false;
             written += 1;
         }
-        self.stats.checkpoint_writes.fetch_add(written as u64, Ordering::Relaxed);
+        self.stats.checkpoint_writes.add(written as u64);
         written
     }
 

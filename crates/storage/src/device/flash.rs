@@ -94,8 +94,8 @@ impl FlashDevice {
     /// Creates a device with the given geometry.
     pub fn new(cfg: FlashConfig, env: DeviceEnv) -> Self {
         let logical_blocks = cfg.capacity_pages.div_ceil(cfg.pages_per_block as u64);
-        let phys_blocks =
-            ((logical_blocks as f64 * (1.0 + cfg.overprovision)).ceil() as u32).max(logical_blocks as u32 + 2);
+        let phys_blocks = ((logical_blocks as f64 * (1.0 + cfg.overprovision)).ceil() as u32)
+            .max(logical_blocks as u32 + 2);
         let phys_pages = phys_blocks as u64 * cfg.pages_per_block as u64;
         let ftl = Ftl {
             map: vec![u64::MAX; cfg.capacity_pages as usize],
@@ -209,7 +209,11 @@ impl Device for FlashDevice {
         let phys = {
             let ftl = self.ftl.lock();
             let p = ftl.map[lba as usize];
-            if p == u64::MAX { lba } else { p }
+            if p == u64::MAX {
+                lba
+            } else {
+                p
+            }
         };
         self.charge(phys, self.cfg.read_us, true);
         let data = self.data.lock();

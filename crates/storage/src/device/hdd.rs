@@ -36,7 +36,12 @@ impl Default for HddConfig {
     fn default() -> Self {
         // 7200 rpm SATA drive: ~8.5 ms avg seek, 4.17 ms half-rotation,
         // ~110 MB/s media rate => ~72 µs per 8 KiB page.
-        HddConfig { capacity_pages: 256 * 1024, seek_us: 8500, rotational_us: 4170, transfer_us: 72 }
+        HddConfig {
+            capacity_pages: 256 * 1024,
+            seek_us: 8500,
+            rotational_us: 4170,
+            transfer_us: 72,
+        }
     }
 }
 
@@ -166,10 +171,7 @@ mod tests {
             rnd.read_page((i * 7919) % 100_000, &mut buf);
         }
         let t_rnd = rnd.env.clock.now_us();
-        assert!(
-            t_rnd > 10 * t_seq,
-            "random ({t_rnd}µs) should dwarf sequential ({t_seq}µs)"
-        );
+        assert!(t_rnd > 10 * t_seq, "random ({t_rnd}µs) should dwarf sequential ({t_seq}µs)");
     }
 
     #[test]

@@ -22,7 +22,12 @@ pub struct MemDevice {
 impl MemDevice {
     /// Creates a device of `capacity_pages` pages.
     pub fn new(capacity_pages: u64, env: DeviceEnv) -> Self {
-        MemDevice { capacity_pages, env, stats: StatCell::default(), data: Mutex::new(HashMap::new()) }
+        MemDevice {
+            capacity_pages,
+            env,
+            stats: StatCell::default(),
+            data: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Device with a fresh environment (tests).

@@ -170,11 +170,8 @@ mod tests {
 
     #[test]
     fn write_amplification_math() {
-        let s = DeviceStats {
-            host_write_pages: 100,
-            internal_write_pages: 50,
-            ..Default::default()
-        };
+        let s =
+            DeviceStats { host_write_pages: 100, internal_write_pages: 50, ..Default::default() };
         assert!((s.write_amplification() - 1.5).abs() < 1e-9);
         assert_eq!(DeviceStats::default().write_amplification(), 1.0);
     }

@@ -21,7 +21,7 @@
 //! update SI performs to stamp an invalidation timestamp (§3), and the
 //! operation SIAS eliminates.
 
-use sias_common::{PAGE_SIZE, SiasError, SiasResult, Tid};
+use sias_common::{SiasError, SiasResult, Tid, PAGE_SIZE};
 
 /// Byte size of the fixed page header.
 pub const PAGE_HEADER_SIZE: usize = 24;
@@ -35,7 +35,7 @@ const OFF_LOWER: usize = 8; // u16
 const OFF_UPPER: usize = 10; // u16
 const OFF_NSLOTS: usize = 12; // u16
 const OFF_FLAGS: usize = 14; // u16
-// bytes 16..24 reserved
+                             // bytes 16..24 reserved
 
 /// Line-pointer flag: slot is live.
 const LP_USED: u32 = 0x8000_0000;
@@ -178,7 +178,10 @@ impl Page {
     /// page (caller moves on to another page).
     pub fn add_item(&mut self, item: &[u8]) -> SiasResult<Option<u16>> {
         if item.len() > MAX_ITEM_SIZE || item.len() > 0x7FFF {
-            return Err(SiasError::TupleTooLarge { size: item.len(), max: MAX_ITEM_SIZE.min(0x7FFF) });
+            return Err(SiasError::TupleTooLarge {
+                size: item.len(),
+                max: MAX_ITEM_SIZE.min(0x7FFF),
+            });
         }
         if !self.fits(item.len()) {
             return Ok(None);

@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use sias_common::VirtualClock;
+use sias_obs::Registry;
 
 use crate::buffer::BufferPool;
 use crate::device::{
@@ -114,11 +115,19 @@ pub struct StorageStack {
     pub pool: Arc<BufferPool>,
     /// The write-ahead log (own device, not in `trace`).
     pub wal: Arc<Wal>,
+    /// Metrics registry the pool and WAL report into (`storage.*`).
+    /// Engines layer their own metrics onto the same registry.
+    pub obs: Arc<Registry>,
 }
 
 impl StorageStack {
-    /// Builds a stack from a configuration.
+    /// Builds a stack from a configuration, with a fresh metrics registry.
     pub fn new(cfg: &StorageConfig) -> Self {
+        Self::with_registry(cfg, Registry::new_shared())
+    }
+
+    /// Builds a stack whose pool and WAL report into `obs`.
+    pub fn with_registry(cfg: &StorageConfig, obs: Arc<Registry>) -> Self {
         let clock = VirtualClock::new();
         let trace = TraceCollector::new();
         let data: Arc<dyn Device> = match &cfg.media {
@@ -151,7 +160,12 @@ impl StorageStack {
             )),
         };
         let space = Arc::new(Tablespace::new(data.capacity_pages()));
-        let pool = Arc::new(BufferPool::new(cfg.pool_frames, Arc::clone(&data), Arc::clone(&space)));
+        let pool = Arc::new(BufferPool::with_registry(
+            cfg.pool_frames,
+            Arc::clone(&data),
+            Arc::clone(&space),
+            &obs,
+        ));
         // The WAL gets its own device of the same media class, sharing the
         // clock (commit latency is real) but not the data trace.
         let wal_env =
@@ -166,8 +180,8 @@ impl StorageStack {
                 Arc::new(HddDevice::new(HddConfig { capacity_pages: 1 << 22, ..*h }, wal_env))
             }
         };
-        let wal = Arc::new(Wal::new(wal_dev));
-        StorageStack { clock, trace, data, space, pool, wal }
+        let wal = Arc::new(Wal::with_registry(wal_dev, &obs));
+        StorageStack { clock, trace, data, space, pool, wal, obs }
     }
 }
 

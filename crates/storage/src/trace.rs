@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sias_common::PAGE_SIZE;
+use sias_obs::{MetricSample, MetricsSnapshot, SampleValue};
 
 /// Direction of a traced I/O.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,6 +49,41 @@ pub struct TraceSummary {
     pub read_mb: f64,
     /// Total write volume in MiB.
     pub write_mb: f64,
+}
+
+impl TraceSummary {
+    /// Exports the summary as a [`MetricsSnapshot`] under `storage.trace.*`
+    /// so traces serialize through the same JSON/Prometheus pipeline as
+    /// every other metric. Volumes are converted from MiB to exact byte
+    /// counts (page-multiple volumes are dyadic, so the conversion is
+    /// lossless).
+    pub fn to_metrics_snapshot(&self) -> MetricsSnapshot {
+        let bytes = |mb: f64| (mb * 1024.0 * 1024.0).round() as u64;
+        MetricsSnapshot::from_samples(vec![
+            MetricSample {
+                name: "storage.trace.read_ops".into(),
+                value: SampleValue::Counter(self.read_ops),
+            },
+            MetricSample {
+                name: "storage.trace.write_ops".into(),
+                value: SampleValue::Counter(self.write_ops),
+            },
+            MetricSample {
+                name: "storage.trace.read_bytes".into(),
+                value: SampleValue::Counter(bytes(self.read_mb)),
+            },
+            MetricSample {
+                name: "storage.trace.write_bytes".into(),
+                value: SampleValue::Counter(bytes(self.write_mb)),
+            },
+        ])
+    }
+}
+
+impl From<TraceSummary> for MetricsSnapshot {
+    fn from(s: TraceSummary) -> Self {
+        s.to_metrics_snapshot()
+    }
 }
 
 /// Shared, optionally-enabled trace collector.
@@ -217,5 +253,68 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.summary(), TraceSummary::default());
+    }
+
+    #[test]
+    fn summary_exports_as_metrics_snapshot() {
+        let c = TraceCollector::new();
+        c.enable();
+        for i in 0..128 {
+            c.record(ev(i, i, IoDir::Write));
+        }
+        c.record(TraceEvent { time_us: 200, device: 0, lba: 0, pages: 128, dir: IoDir::Read });
+        let snap = c.summary().to_metrics_snapshot();
+        assert_eq!(snap.counter("storage.trace.write_ops"), Some(128));
+        assert_eq!(snap.counter("storage.trace.read_ops"), Some(1));
+        // 128 pages of 8 KiB = 1 MiB, converted back to exact bytes.
+        assert_eq!(snap.counter("storage.trace.write_bytes"), Some(1 << 20));
+        assert_eq!(snap.counter("storage.trace.read_bytes"), Some(1 << 20));
+        // Both serializations carry all four samples.
+        assert!(snap.to_json().contains("storage.trace.write_bytes"));
+        assert!(snap.to_prometheus().contains("storage_trace_write_bytes"));
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_event_count_and_summary() {
+        let c = TraceCollector::new();
+        c.enable();
+        for i in 0..50u64 {
+            c.record(TraceEvent {
+                time_us: i * 1000,
+                device: (i % 3) as u16,
+                lba: i * 7,
+                pages: 1 + (i % 4) as u32,
+                dir: if i % 2 == 0 { IoDir::Write } else { IoDir::Read },
+            });
+        }
+        let csv = c.to_csv();
+
+        // Parse the CSV back into events.
+        let mut parsed = Vec::new();
+        for line in csv.lines().skip(1) {
+            let f: Vec<&str> = line.split(',').collect();
+            assert_eq!(f.len(), 5, "bad row: {line}");
+            parsed.push(TraceEvent {
+                time_us: (f[0].parse::<f64>().unwrap() * 1e6).round() as u64,
+                device: f[1].parse().unwrap(),
+                lba: f[2].parse().unwrap(),
+                pages: f[3].parse().unwrap(),
+                dir: if f[4] == "R" { IoDir::Read } else { IoDir::Write },
+            });
+        }
+        assert_eq!(parsed.len(), c.len());
+
+        // Rebuild a collector from the parsed events: identical summary,
+        // hence identical metrics snapshot.
+        let c2 = TraceCollector::new();
+        c2.enable();
+        for e in parsed {
+            c2.record(e);
+        }
+        assert_eq!(c2.summary(), c.summary());
+        assert_eq!(
+            c2.summary().to_metrics_snapshot().to_json(),
+            c.summary().to_metrics_snapshot().to_json()
+        );
     }
 }

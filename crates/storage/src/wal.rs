@@ -14,7 +14,8 @@
 //! testbed did (Table 1 counts data-device writes).
 
 use parking_lot::Mutex;
-use sias_common::{PAGE_SIZE, RelId, SiasError, SiasResult, Tid, Vid, Xid};
+use sias_common::{RelId, SiasError, SiasResult, Tid, Vid, Xid, PAGE_SIZE};
+use sias_obs::{Counter, Registry};
 use std::sync::Arc;
 
 use crate::device::Device;
@@ -226,12 +227,20 @@ pub struct WalStats {
 pub struct Wal {
     device: Arc<dyn Device>,
     inner: Mutex<WalInner>,
-    stats: Mutex<WalStats>,
+    forces: Arc<Counter>,
+    bytes_appended: Arc<Counter>,
 }
 
 impl Wal {
-    /// Creates a WAL writing from LBA 0 of `device`.
+    /// Creates a WAL writing from LBA 0 of `device`. Stats live in a
+    /// private metrics registry; use [`Wal::with_registry`] to share one.
     pub fn new(device: Arc<dyn Device>) -> Self {
+        Self::with_registry(device, &Registry::new())
+    }
+
+    /// Like [`Wal::new`], but registers the `storage.wal.*` counters in
+    /// `obs` so they show up in that registry's snapshots.
+    pub fn with_registry(device: Arc<dyn Device>, obs: &Registry) -> Self {
         Wal {
             device,
             inner: Mutex::new(WalInner {
@@ -241,7 +250,8 @@ impl Wal {
                 tail_fill: 0,
                 tail_page: vec![0u8; PAGE_SIZE],
             }),
-            stats: Mutex::new(WalStats::default()),
+            forces: obs.counter("storage.wal.forces"),
+            bytes_appended: obs.counter("storage.wal.bytes_appended"),
         }
     }
 
@@ -252,7 +262,7 @@ impl Wal {
         let lsn = inner.durable_len + inner.pending.len() as u64;
         let mut tmp = Vec::new();
         rec.encode(&mut tmp);
-        self.stats.lock().bytes_appended += tmp.len() as u64;
+        self.bytes_appended.add(tmp.len() as u64);
         inner.pending.extend_from_slice(&tmp);
         lsn
     }
@@ -287,7 +297,7 @@ impl Wal {
             }
         }
         inner.durable_len += pending.len() as u64;
-        self.stats.lock().forces += 1;
+        self.forces.inc();
         writes
     }
 
@@ -321,7 +331,7 @@ impl Wal {
 
     /// WAL statistics snapshot.
     pub fn stats(&self) -> WalStats {
-        *self.stats.lock()
+        WalStats { forces: self.forces.get(), bytes_appended: self.bytes_appended.get() }
     }
 }
 

@@ -16,8 +16,11 @@
 //! * SI: B+-tree `⟨key, TID⟩` with one entry **per version** → fetch each
 //!   candidate → visibility check on its xmin/xmax.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use sias_common::{RelId, SiasResult};
+use sias_obs::{MetricsSnapshot, Registry};
 
 use crate::manager::Txn;
 
@@ -58,8 +61,7 @@ pub trait MvccEngine: Send + Sync {
     fn get(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<Option<Bytes>>;
 
     /// Returns all visible items with `lo <= key <= hi`, ascending.
-    fn scan_range(&self, txn: &Txn, rel: RelId, lo: u64, hi: u64)
-        -> SiasResult<Vec<(u64, Bytes)>>;
+    fn scan_range(&self, txn: &Txn, rel: RelId, lo: u64, hi: u64) -> SiasResult<Vec<(u64, Bytes)>>;
 
     /// Returns every visible item of the relation.
     fn scan_all(&self, txn: &Txn, rel: RelId) -> SiasResult<Vec<(u64, Bytes)>> {
@@ -70,4 +72,19 @@ pub trait MvccEngine: Send + Sync {
     /// checkpoint, according to the engine's flush policy. `checkpoint`
     /// requests a full checkpoint (the t2 boundary).
     fn maintenance(&self, checkpoint: bool);
+
+    /// The engine's metrics registry, when it has one. Both engines in
+    /// this workspace report into their storage stack's registry under
+    /// identical metric names, so snapshots diff cleanly across engines.
+    fn obs_registry(&self) -> Option<&Arc<Registry>> {
+        None
+    }
+
+    /// A point-in-time snapshot of the engine's metrics (empty when the
+    /// engine has no registry).
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs_registry()
+            .map(|r| r.snapshot())
+            .unwrap_or_else(|| MetricsSnapshot::from_samples(Vec::new()))
+    }
 }

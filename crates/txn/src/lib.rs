@@ -26,6 +26,7 @@ pub mod clog;
 pub mod engine;
 pub mod locks;
 pub mod manager;
+pub mod metrics;
 pub mod snapshot;
 pub mod ssi;
 
@@ -33,5 +34,6 @@ pub use clog::{Clog, TxnStatus};
 pub use engine::MvccEngine;
 pub use locks::{LockOutcome, LockTable};
 pub use manager::{TransactionManager, Txn};
+pub use metrics::EngineMetrics;
 pub use snapshot::Snapshot;
 pub use ssi::{SsiState, SsiVerdict};

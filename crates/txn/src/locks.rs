@@ -60,7 +60,11 @@ impl Default for LockTable {
 impl LockTable {
     /// Creates a table with a 5 s wait timeout.
     pub fn new() -> Self {
-        LockTable { state: Mutex::new(LockState::default()), released: Condvar::new(), timeout: Duration::from_secs(5) }
+        LockTable {
+            state: Mutex::new(LockState::default()),
+            released: Condvar::new(),
+            timeout: Duration::from_secs(5),
+        }
     }
 
     /// Creates a table with a custom wait timeout (tests).

@@ -3,9 +3,11 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use sias_common::{SiasError, SiasResult, Xid};
+use sias_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::clog::Clog;
 use crate::locks::LockTable;
@@ -36,9 +38,12 @@ pub struct TransactionManager {
     pub locks: LockTable,
     /// Optional serializable-SI extension state (off by default).
     pub ssi: SsiState,
-    /// Count of commits/aborts for reporting.
-    commits: AtomicU64,
-    aborts: AtomicU64,
+    /// `txn.manager.*` registry handles.
+    commits: Arc<Counter>,
+    aborts: Arc<Counter>,
+    aborts_serialization: Arc<Counter>,
+    active_gauge: Arc<Gauge>,
+    begin_hist: Arc<Histogram>,
 }
 
 impl Default for TransactionManager {
@@ -48,16 +53,27 @@ impl Default for TransactionManager {
 }
 
 impl TransactionManager {
-    /// Creates a manager with xids starting at 1.
+    /// Creates a manager with xids starting at 1. Outcome counters live
+    /// in a private metrics registry; use
+    /// [`TransactionManager::with_registry`] to share one.
     pub fn new() -> Self {
+        Self::with_registry(&Registry::new())
+    }
+
+    /// Like [`TransactionManager::new`], but registers the
+    /// `txn.manager.*` metrics in `obs`.
+    pub fn with_registry(obs: &Registry) -> Self {
         TransactionManager {
             next_xid: AtomicU64::new(1),
             active: Mutex::new(BTreeMap::new()),
             clog: Clog::new(),
             locks: LockTable::new(),
             ssi: SsiState::default(),
-            commits: AtomicU64::new(0),
-            aborts: AtomicU64::new(0),
+            commits: obs.counter("txn.manager.commits"),
+            aborts: obs.counter("txn.manager.aborts"),
+            aborts_serialization: obs.counter("txn.manager.aborts_serialization"),
+            active_gauge: obs.gauge("txn.manager.active"),
+            begin_hist: obs.histogram("txn.manager.begin"),
         }
     }
 
@@ -69,11 +85,15 @@ impl TransactionManager {
     /// Begins a transaction: allocates an xid and snapshots the active
     /// set (the `tx_concurrent` structure of Algorithm 1).
     pub fn begin(&self) -> Txn {
+        let start = Instant::now();
         let mut active = self.active.lock();
         let xid = Xid(self.next_xid.fetch_add(1, Ordering::Relaxed));
         let concurrent: Vec<Xid> = active.keys().copied().collect();
         let xmin = concurrent.first().copied().unwrap_or(xid);
         active.insert(xid, xmin);
+        drop(active);
+        self.active_gauge.add(1);
+        self.begin_hist.record_duration(start.elapsed());
         Txn { xid, snapshot: Snapshot::new(xid, concurrent) }
     }
 
@@ -89,6 +109,7 @@ impl TransactionManager {
     pub fn commit(&self, txn: Txn) -> SiasResult<()> {
         if self.ssi.is_enabled() && self.ssi.can_commit(txn.xid) == SsiVerdict::MustAbort {
             let xid = txn.xid;
+            self.aborts_serialization.inc();
             self.abort(txn);
             return Err(SiasError::SerializationFailure(xid));
         }
@@ -99,8 +120,9 @@ impl TransactionManager {
             }
             self.clog.commit(txn.xid);
         }
+        self.active_gauge.sub(1);
         self.locks.release_all(txn.xid);
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.inc();
         if self.ssi.is_enabled() {
             self.ssi.collect_below(self.horizon());
         }
@@ -113,11 +135,12 @@ impl TransactionManager {
             let mut active = self.active.lock();
             if active.remove(&txn.xid).is_some() {
                 self.clog.abort(txn.xid);
+                self.active_gauge.sub(1);
             }
         }
         self.locks.release_all(txn.xid);
         self.ssi.forget(txn.xid);
-        self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.aborts.inc();
     }
 
     /// Registers a transaction recovered from the WAL as committed and
@@ -139,11 +162,7 @@ impl TransactionManager {
     /// xid to be allocated.
     pub fn horizon(&self) -> Xid {
         let active = self.active.lock();
-        active
-            .values()
-            .copied()
-            .min()
-            .unwrap_or_else(|| Xid(self.next_xid.load(Ordering::Relaxed)))
+        active.values().copied().min().unwrap_or_else(|| Xid(self.next_xid.load(Ordering::Relaxed)))
     }
 
     /// Number of transactions currently running.
@@ -153,7 +172,7 @@ impl TransactionManager {
 
     /// (commits, aborts) so far.
     pub fn outcome_counts(&self) -> (u64, u64) {
-        (self.commits.load(Ordering::Relaxed), self.aborts.load(Ordering::Relaxed))
+        (self.commits.get(), self.aborts.get())
     }
 }
 

@@ -1,0 +1,104 @@
+//! Shared engine metric handles.
+//!
+//! Both engines (SIAS and the SI baseline) must expose the **same**
+//! metric names so a benchmark can diff their snapshots directly. This
+//! module is the single place those names are registered: each engine
+//! calls [`EngineMetrics::register`] against its storage stack's
+//! registry, getting back pre-resolved handles for the hot paths.
+//!
+//! Naming follows `<crate>.<component>.<name>`; the operation
+//! histograms record wall-clock nanoseconds, `chain_depth` records the
+//! number of versions traversed to find the visible one (for SI: index
+//! candidates probed), and the GC family counts vacuum work. Metrics
+//! that do not apply to one engine (e.g. GC under SI) simply stay zero
+//! — they are registered anyway so both snapshots have identical shape.
+
+use std::sync::Arc;
+
+use sias_obs::{Counter, Histogram, Registry};
+
+/// Pre-resolved handles for everything an engine records.
+pub struct EngineMetrics {
+    /// `core.engine.insert` — insert latency (ns); count doubles as ops.
+    pub insert: Arc<Histogram>,
+    /// `core.engine.update` — update latency (ns).
+    pub update: Arc<Histogram>,
+    /// `core.engine.delete` — delete latency (ns).
+    pub delete: Arc<Histogram>,
+    /// `core.engine.get` — point-lookup latency (ns).
+    pub get: Arc<Histogram>,
+    /// `core.engine.scan` — range/full scan latency (ns).
+    pub scan: Arc<Histogram>,
+    /// `core.engine.chain_depth` — versions traversed per visibility
+    /// resolution (the paper's chain-length cost).
+    pub chain_depth: Arc<Histogram>,
+    /// `core.vidmap.lookups` — VID map (or SI index) entrypoint lookups.
+    pub vidmap_lookups: Arc<Counter>,
+    /// `core.vidmap.resizes` — VID map bucket-directory growth events.
+    pub vidmap_resizes: Arc<Counter>,
+    /// `core.gc.runs` — vacuum passes completed.
+    pub gc_runs: Arc<Counter>,
+    /// `core.gc.pages_examined` — pages inspected by vacuum.
+    pub gc_pages_examined: Arc<Counter>,
+    /// `core.gc.pages_reclaimed` — pages recycled.
+    pub gc_pages_reclaimed: Arc<Counter>,
+    /// `core.gc.versions_discarded` — dead versions dropped.
+    pub gc_versions_discarded: Arc<Counter>,
+    /// `core.gc.versions_relocated` — live versions re-appended.
+    pub gc_versions_relocated: Arc<Counter>,
+    /// `core.gc.items_cleared` — data items erased entirely.
+    pub gc_items_cleared: Arc<Counter>,
+    /// `core.gc.pause` — vacuum pass duration (ns).
+    pub gc_pause: Arc<Histogram>,
+    /// `txn.manager.aborts_write_conflict` — first-updater-wins losers.
+    pub write_conflicts: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    /// Registers (or re-resolves) the full engine metric family in `obs`.
+    pub fn register(obs: &Registry) -> Self {
+        EngineMetrics {
+            insert: obs.histogram("core.engine.insert"),
+            update: obs.histogram("core.engine.update"),
+            delete: obs.histogram("core.engine.delete"),
+            get: obs.histogram("core.engine.get"),
+            scan: obs.histogram("core.engine.scan"),
+            chain_depth: obs.histogram("core.engine.chain_depth"),
+            vidmap_lookups: obs.counter("core.vidmap.lookups"),
+            vidmap_resizes: obs.counter("core.vidmap.resizes"),
+            gc_runs: obs.counter("core.gc.runs"),
+            gc_pages_examined: obs.counter("core.gc.pages_examined"),
+            gc_pages_reclaimed: obs.counter("core.gc.pages_reclaimed"),
+            gc_versions_discarded: obs.counter("core.gc.versions_discarded"),
+            gc_versions_relocated: obs.counter("core.gc.versions_relocated"),
+            gc_items_cleared: obs.counter("core.gc.items_cleared"),
+            gc_pause: obs.histogram("core.gc.pause"),
+            write_conflicts: obs.counter("txn.manager.aborts_write_conflict"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_one_family_idempotently() {
+        let obs = Registry::new();
+        let a = EngineMetrics::register(&obs);
+        let n = obs.len();
+        let b = EngineMetrics::register(&obs);
+        assert_eq!(obs.len(), n, "re-registration must not add metrics");
+        a.insert.record(10);
+        assert_eq!(b.insert.count(), 1, "handles alias the same metric");
+    }
+
+    #[test]
+    fn both_engine_registrations_have_identical_names() {
+        let sias = Registry::new();
+        let si = Registry::new();
+        EngineMetrics::register(&sias);
+        EngineMetrics::register(&si);
+        assert_eq!(sias.snapshot().names(), si.snapshot().names());
+    }
+}

@@ -236,7 +236,7 @@ mod tests {
         let (t1, t2) = (Xid(1), Xid(2));
         assert_eq!(s.on_read(t1, R, 0, None), SsiVerdict::Ok); // T1 reads x
         assert_eq!(s.on_read(t2, R, 1, None), SsiVerdict::Ok); // T2 reads y
-        // T1 writes y: edge T2 → T1.
+                                                               // T1 writes y: edge T2 → T1.
         assert_eq!(s.on_write(t1, R, 1, |_| true), SsiVerdict::Ok);
         // T2 writes x: edge T1 → T2 would close the cycle; T2 (in from
         // its own overwrite, out from T1's) is the pivot and aborts at

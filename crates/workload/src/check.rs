@@ -103,12 +103,8 @@ pub fn check_consistency<E: MvccEngine + ?Sized>(
             // delivered orders have delivered lines.
             for (okey, bytes) in &orders {
                 let o = Order::decode(bytes)?;
-                let lines = engine.scan_range(
-                    &t,
-                    tables.order_line,
-                    okey << 4,
-                    (okey << 4) | 15,
-                )?;
+                let lines =
+                    engine.scan_range(&t, tables.order_line, okey << 4, (okey << 4) | 15)?;
                 if lines.len() as u32 != o.ol_cnt {
                     violations.push(Violation {
                         condition: "C3",

@@ -173,9 +173,8 @@ pub fn run_benchmark<E: MvccEngine + ?Sized>(
         .collect();
     // Event heap of (next-free-time, terminal id); terminals staggered so
     // they do not stampede at t = 0.
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..dcfg.terminals)
-        .map(|i| Reverse((start + i as u64 * 137, i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..dcfg.terminals).map(|i| Reverse((start + i as u64 * 137, i))).collect();
     let mut cores = vec![start; dcfg.cpu_cores.max(1)];
     let mut next_bg = start + dcfg.bgwriter_interval_ms * 1000;
     let mut next_ckpt = start + dcfg.checkpoint_interval_secs * 1_000_000;
@@ -185,6 +184,18 @@ pub fn run_benchmark<E: MvccEngine + ?Sized>(
     let mut rollbacks = 0u64;
     let mut conflicts = 0u64;
     let mut responses_us: Vec<u64> = Vec::new();
+
+    // Driver-level observability: measured-interval outcome counters and
+    // the new-order response-time distribution (virtual µs), reported
+    // into the engine's registry so one snapshot covers the whole run.
+    let obs = engine.obs_registry().map(|r| {
+        (
+            r.counter("workload.driver.commits"),
+            r.counter("workload.driver.rollbacks"),
+            r.counter("workload.driver.conflicts"),
+            r.histogram("workload.driver.response_us"),
+        )
+    });
 
     while let Some(Reverse((t, term))) = heap.pop() {
         if t >= end {
@@ -228,13 +239,29 @@ pub fn run_benchmark<E: MvccEngine + ?Sized>(
             match outcome {
                 Outcome::Committed => {
                     commits += 1;
+                    if let Some((c, _, _, resp)) = &obs {
+                        c.inc();
+                        if kind == TxnKind::NewOrder {
+                            resp.record(done - t);
+                        }
+                    }
                     if kind == TxnKind::NewOrder {
                         new_order_commits += 1;
                         responses_us.push(done - t);
                     }
                 }
-                Outcome::RolledBack => rollbacks += 1,
-                Outcome::Conflicted => conflicts += 1,
+                Outcome::RolledBack => {
+                    rollbacks += 1;
+                    if let Some((_, r, _, _)) = &obs {
+                        r.inc();
+                    }
+                }
+                Outcome::Conflicted => {
+                    conflicts += 1;
+                    if let Some((_, _, c, _)) = &obs {
+                        c.inc();
+                    }
+                }
             }
         }
         heap.push(Reverse((done + pause, term)));
@@ -295,11 +322,22 @@ mod tests {
         assert!(res.p99_response_s >= res.p50_response_s);
         // Virtual clock ended exactly at the configured horizon.
         assert_eq!(db.stack().clock.now_us(), 6_000_000);
+        // The driver reported its measured-interval outcomes into the
+        // engine's registry, agreeing with the returned BenchResult.
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("workload.driver.commits"), Some(res.commits));
+        assert_eq!(snap.counter("workload.driver.rollbacks"), Some(res.rollbacks));
+        assert_eq!(snap.counter("workload.driver.conflicts"), Some(res.conflicts));
+        assert_eq!(
+            snap.histogram("workload.driver.response_us").unwrap().count,
+            res.new_order_commits
+        );
     }
 
     #[test]
     fn benchmark_runs_on_ssd_si() {
-        let db = SiDb::open(StorageConfig::ssd().with_pool_frames(256).with_capacity_pages(1 << 15));
+        let db =
+            SiDb::open(StorageConfig::ssd().with_pool_frames(256).with_capacity_pages(1 << 15));
         let cfg = TpccConfig::tiny();
         let tables = load(&db, &cfg).unwrap();
         let dcfg = DriverConfig {

@@ -110,7 +110,12 @@ pub fn load<E: MvccEngine + ?Sized>(engine: &E, cfg: &TpccConfig) -> SiasResult<
                         amount: if delivered { uniform(&mut rng, 1, 999_999) as u32 } else { 0 },
                         delivery_d: if delivered { 1 } else { 0 },
                     };
-                    engine.insert(&t, tables.order_line, keys::order_line(w, d, o, l), &ol.encode())?;
+                    engine.insert(
+                        &t,
+                        tables.order_line,
+                        keys::order_line(w, d, o, l),
+                        &ol.encode(),
+                    )?;
                 }
             }
         }
@@ -157,8 +162,7 @@ mod tests {
         assert_eq!(d.next_o_id, 6);
         // Order lines match the per-order counts.
         let orders = engine.scan_all(&t, tables.orders).unwrap();
-        let ol_total: u32 =
-            orders.iter().map(|(_, o)| Order::decode(o).unwrap().ol_cnt).sum();
+        let ol_total: u32 = orders.iter().map(|(_, o)| Order::decode(o).unwrap().ol_cnt).sum();
         assert_eq!(engine.scan_all(&t, tables.order_line).unwrap().len() as u32, ol_total);
         engine.commit(t).unwrap();
     }

@@ -474,7 +474,8 @@ mod tests {
             data_len: 80,
         };
         assert_eq!(Stock::decode(&s.encode()).unwrap(), s);
-        let o = Order { w_id: 3, d_id: 7, o_id: 11, c_id: 42, entry_d: 123, carrier_id: 0, ol_cnt: 9 };
+        let o =
+            Order { w_id: 3, d_id: 7, o_id: 11, c_id: 42, entry_d: 123, carrier_id: 0, ol_cnt: 9 };
         assert_eq!(Order::decode(&o.encode()).unwrap(), o);
         let n = NewOrderRow { w_id: 3, d_id: 7, o_id: 11 };
         assert_eq!(NewOrderRow::decode(&n.encode()).unwrap(), n);
@@ -488,10 +489,24 @@ mod tests {
     fn record_sizes_keep_spec_proportions() {
         // Customer and stock rows dominate; order lines are small.
         let c = Customer {
-            w_id: 1, d_id: 1, c_id: 1, balance: 0, ytd_payment: 0,
-            payment_cnt: 0, delivery_cnt: 0, data_len: 120,
+            w_id: 1,
+            d_id: 1,
+            c_id: 1,
+            balance: 0,
+            ytd_payment: 0,
+            payment_cnt: 0,
+            delivery_cnt: 0,
+            data_len: 120,
         };
-        let s = Stock { w_id: 1, i_id: 1, quantity: 0, ytd: 0, order_cnt: 0, remote_cnt: 0, data_len: 80 };
+        let s = Stock {
+            w_id: 1,
+            i_id: 1,
+            quantity: 0,
+            ytd: 0,
+            order_cnt: 0,
+            remote_cnt: 0,
+            data_len: 80,
+        };
         let ol = OrderLine { i_id: 1, supply_w_id: 1, quantity: 1, amount: 1, delivery_d: 0 };
         assert!(c.encode().len() > s.encode().len());
         assert!(s.encode().len() > ol.encode().len());
@@ -507,7 +522,15 @@ mod tests {
     #[test]
     fn negative_stock_quantity_roundtrips() {
         // TPC-C lets S_QUANTITY go negative before the +91 refill.
-        let s = Stock { w_id: 1, i_id: 1, quantity: -42, ytd: 0, order_cnt: 0, remote_cnt: 0, data_len: 0 };
+        let s = Stock {
+            w_id: 1,
+            i_id: 1,
+            quantity: -42,
+            ytd: 0,
+            order_cnt: 0,
+            remote_cnt: 0,
+            data_len: 0,
+        };
         assert_eq!(Stock::decode(&s.encode()).unwrap().quantity, -42);
     }
 }

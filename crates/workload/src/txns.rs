@@ -45,8 +45,13 @@ impl TxnKind {
     }
 
     /// All five kinds.
-    pub const ALL: [TxnKind; 5] =
-        [TxnKind::NewOrder, TxnKind::Payment, TxnKind::OrderStatus, TxnKind::Delivery, TxnKind::StockLevel];
+    pub const ALL: [TxnKind; 5] = [
+        TxnKind::NewOrder,
+        TxnKind::Payment,
+        TxnKind::OrderStatus,
+        TxnKind::Delivery,
+        TxnKind::StockLevel,
+    ];
 }
 
 /// Outcome of one executed transaction.
@@ -131,7 +136,8 @@ fn new_order<E: MvccEngine + ?Sized>(
             &engine.get(&t, tables.customer, ck)?.ok_or(SiasError::KeyNotFound(ck))?,
         )?;
         // Insert ORDER and NEW_ORDER.
-        let order = Order { w_id: w, d_id: d, o_id, c_id: c, entry_d: now_us, carrier_id: 0, ol_cnt };
+        let order =
+            Order { w_id: w, d_id: d, o_id, c_id: c, entry_d: now_us, carrier_id: 0, ol_cnt };
         engine.insert(&t, tables.orders, keys::order(w, d, o_id), &order.encode())?;
         let no = NewOrderRow { w_id: w, d_id: d, o_id };
         engine.insert(&t, tables.new_order, keys::order(w, d, o_id), &no.encode())?;
@@ -152,9 +158,8 @@ fn new_order<E: MvccEngine + ?Sized>(
                 w
             };
             let ik = keys::item(i);
-            let item = Item::decode(
-                &engine.get(&t, tables.item, ik)?.ok_or(SiasError::KeyNotFound(ik))?,
-            )?;
+            let item =
+                Item::decode(&engine.get(&t, tables.item, ik)?.ok_or(SiasError::KeyNotFound(ik))?)?;
             // Stock read-modify-write.
             let sk = keys::stock(supply_w, i);
             let mut stock = Stock::decode(
@@ -285,8 +290,12 @@ fn order_status<E: MvccEngine + ?Sized>(
             &engine.get(&t, tables.district, dk)?.ok_or(SiasError::KeyNotFound(dk))?,
         )?;
         let from = dist.next_o_id.saturating_sub(40).max(1);
-        let orders =
-            engine.scan_range(&t, tables.orders, keys::order(w, d, from), keys::order(w, d, dist.next_o_id))?;
+        let orders = engine.scan_range(
+            &t,
+            tables.orders,
+            keys::order(w, d, from),
+            keys::order(w, d, dist.next_o_id),
+        )?;
         let last = orders
             .iter()
             .rev()

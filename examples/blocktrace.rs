@@ -46,13 +46,16 @@ fn run<E: MvccEngine>(engine: &E, stack: &StorageStack) {
             writes.len(),
             distinct.len(),
             rewrite,
-            if rewrite < 3.0 { "write-mostly-once appends (Figure 3)" } else { "in-place rewrites (Figure 4)" }
+            if rewrite < 3.0 {
+                "write-mostly-once appends (Figure 3)"
+            } else {
+                "in-place rewrites (Figure 4)"
+            }
         );
     }
     // A low-fi scatter plot: time on x, LBA bucket on y.
-    let (t_max, lba_max) = events.iter().fold((1u64, 1u64), |(t, l), e| {
-        (t.max(e.time_us), l.max(e.lba))
-    });
+    let (t_max, lba_max) =
+        events.iter().fold((1u64, 1u64), |(t, l), e| (t.max(e.time_us), l.max(e.lba)));
     const W: usize = 72;
     const H: usize = 14;
     let mut grid = vec![[b' '; W]; H];

@@ -74,11 +74,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let fresh = sias.begin();
     let via_new = sias.get(&fresh, products_sias, 2009)?.expect("reachable via new key");
-    println!("\nfresh txn finds the item under its NEW key 2009: {:?}", std::str::from_utf8(&via_new)?);
+    println!(
+        "\nfresh txn finds the item under its NEW key 2009: {:?}",
+        std::str::from_utf8(&via_new)?
+    );
     sias.commit(fresh)?;
 
     let via_old = sias.get(&old_snapshot, products_sias, 9)?.expect("old snapshot, old key");
-    println!("old snapshot still reaches it under key 9:        {:?}", std::str::from_utf8(&via_old)?);
+    println!(
+        "old snapshot still reaches it under key 9:        {:?}",
+        std::str::from_utf8(&via_old)?
+    );
     assert!(via_old.ends_with(b"price=110"));
     sias.commit(old_snapshot)?;
 

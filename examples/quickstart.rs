@@ -76,6 +76,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Garbage collection (§6). ---------------------------------------
     let stats = db.vacuum_all()?;
     println!("\nvacuum: {stats:?}");
-    println!("\nok.");
+
+    // --- Observability (sias-obs). ---------------------------------------
+    // Everything above reported into the engine's metrics registry: the
+    // buffer pool and WAL (storage.*), engine operations and chain-walk
+    // depth (core.*), GC (core.gc.*), and transaction outcomes (txn.*).
+    // One snapshot serializes to JSON and Prometheus text.
+    let snapshot = db.metrics_snapshot();
+    println!("\n=== metrics (JSON) ===\n{}", snapshot.to_json());
+    println!("\n=== metrics (Prometheus) ===\n{}", snapshot.to_prometheus());
+
+    println!("ok.");
     Ok(())
 }

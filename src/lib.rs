@@ -20,7 +20,11 @@
 //! * [`si`] — the PostgreSQL-style snapshot-isolation baseline with
 //!   in-place invalidation, used as the comparison system;
 //! * [`workload`] — a TPC-C-style (DBT2-like) workload generator and
-//!   multi-terminal driver reporting NOTPM and response times.
+//!   multi-terminal driver reporting NOTPM and response times;
+//! * [`obs`] — the unified metrics layer: counters, gauges,
+//!   log-bucketed histograms, and [`obs::MetricsSnapshot`] with JSON and
+//!   Prometheus serialization. Every engine carries a registry; see
+//!   `MvccEngine::metrics_snapshot`.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@
 pub use sias_common as common;
 pub use sias_core as core;
 pub use sias_index as index;
+pub use sias_obs as obs;
 pub use sias_si as si;
 pub use sias_storage as storage;
 pub use sias_txn as txn;

@@ -22,8 +22,7 @@ fn transfer_stress<E: MvccEngine + 'static>(engine: Arc<E>) {
     }
     engine.commit(t).unwrap();
 
-    let read =
-        |raw: &[u8]| i64::from_le_bytes(raw.try_into().expect("8-byte balance"));
+    let read = |raw: &[u8]| i64::from_le_bytes(raw.try_into().expect("8-byte balance"));
 
     let mut handles = Vec::new();
     // 4 transfer threads.

@@ -75,12 +75,7 @@ fn apply<E: MvccEngine>(engine: &E, rel: sias::common::RelId, txn: &[Op], commit
 
 fn visible_state<E: MvccEngine>(engine: &E, rel: sias::common::RelId) -> Vec<(u64, Vec<u8>)> {
     let t = engine.begin();
-    let out = engine
-        .scan_all(&t, rel)
-        .unwrap()
-        .into_iter()
-        .map(|(k, v)| (k, v.to_vec()))
-        .collect();
+    let out = engine.scan_all(&t, rel).unwrap().into_iter().map(|(k, v)| (k, v.to_vec())).collect();
     engine.commit(t).unwrap();
     out
 }

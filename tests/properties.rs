@@ -24,8 +24,10 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Insert(k, v)),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Update(k, v)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Update(k, v)),
         any::<u8>().prop_map(Op::Delete),
         (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
             .prop_map(|(k, v)| Op::AbortedUpdate(k, v)),
@@ -85,12 +87,8 @@ fn run_against_model<E: MvccEngine>(engine: &E, ops: &[Op]) -> BTreeMap<u64, Vec
     }
     // Engine state must equal the model.
     let t = engine.begin();
-    let state: BTreeMap<u64, Vec<u8>> = engine
-        .scan_all(&t, rel)
-        .unwrap()
-        .into_iter()
-        .map(|(k, v)| (k, v.to_vec()))
-        .collect();
+    let state: BTreeMap<u64, Vec<u8>> =
+        engine.scan_all(&t, rel).unwrap().into_iter().map(|(k, v)| (k, v.to_vec())).collect();
     engine.commit(t).unwrap();
     assert_eq!(state, model);
     model

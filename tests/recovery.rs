@@ -113,16 +113,10 @@ fn wal_replay_reconstructs_transaction_outcomes() {
     assert!(!outcomes.is_empty());
     for (xid, (began, committed, aborted)) in outcomes {
         assert!(began, "xid {xid} finished without Begin");
-        assert!(
-            committed ^ aborted,
-            "xid {xid}: committed={committed} aborted={aborted}"
-        );
+        assert!(committed ^ aborted, "xid {xid}: committed={committed} aborted={aborted}");
     }
     // Inserts of committed transactions are replayable: count them.
-    let inserts = records
-        .iter()
-        .filter(|r| matches!(r, WalRecord::Insert { .. }))
-        .count();
+    let inserts = records.iter().filter(|r| matches!(r, WalRecord::Insert { .. })).count();
     assert!(inserts >= 300 + 4 * 100 + 10, "wal must describe every version append");
 }
 

@@ -69,10 +69,7 @@ fn ssi_prevents_write_skew_on_both_engines() {
     let sias = SiasDb::open(StorageConfig::in_memory());
     sias.txm().set_serializable();
     let (a, b) = write_skew(&sias);
-    assert!(
-        a.is_err() || b.is_err(),
-        "SSI must abort at least one of the skewing transactions"
-    );
+    assert!(a.is_err() || b.is_err(), "SSI must abort at least one of the skewing transactions");
     assert!(a.is_ok() || b.is_ok(), "but not spuriously both in this history");
     // The constraint survives.
     let rel = sias.relation("skew").unwrap();
@@ -111,7 +108,8 @@ fn ssi_allows_serial_and_read_only_work() {
     db.commit(t).unwrap();
     for i in 1..=50u64 {
         let t = db.begin();
-        let v = u64::from_le_bytes(db.get(&t, rel, 1).unwrap().unwrap().as_ref().try_into().unwrap());
+        let v =
+            u64::from_le_bytes(db.get(&t, rel, 1).unwrap().unwrap().as_ref().try_into().unwrap());
         db.update(&t, rel, 1, &(v + 1).to_le_bytes()).unwrap();
         db.commit(t).unwrap();
         let t = db.begin();

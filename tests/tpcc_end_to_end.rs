@@ -41,10 +41,7 @@ fn tpcc_on_ssd_sias_beats_si_on_writes() {
     assert!(res_sias.new_order_commits > 0 && res_si.new_order_commits > 0);
     // The paper's claim (iii): significant write reduction. At miniature
     // scale we require at least 2×; the full experiment shows ~20–30×.
-    assert!(
-        writes_sias * 2 <= writes_si,
-        "SIAS wrote {writes_sias} pages, SI wrote {writes_si}"
-    );
+    assert!(writes_sias * 2 <= writes_si, "SIAS wrote {writes_sias} pages, SI wrote {writes_si}");
     // Claim (ii): response times no worse.
     assert!(res_sias.avg_response_s <= res_si.avg_response_s * 1.5);
 }
