@@ -39,6 +39,7 @@ fn small_ssd() -> StorageConfig {
         },
         pool_frames: 512,
         capacity_pages: 32 * 1024,
+        faults: sias_storage::FaultPlan::none(),
     }
 }
 

@@ -428,7 +428,7 @@ impl SiasDb {
             r.vidmap.save_to(&self.stack.pool, map_rel)?;
         }
         self.stack.wal.append(&WalRecord::Checkpoint);
-        self.stack.wal.force();
+        self.stack.wal.force()?;
         self.stack.pool.flush_all();
         Ok(())
     }
@@ -606,7 +606,17 @@ impl MvccEngine for SiasDb {
 
     fn commit(&self, txn: Txn) -> SiasResult<()> {
         self.stack.wal.append(&WalRecord::Commit(txn.xid));
-        self.stack.wal.force();
+        // The commit is acknowledged only once the log force succeeds.
+        // On failure the transaction aborts locally; its Commit record
+        // stays pending and may yet become durable through a later
+        // force (outcome uncertainty — the client saw an error and must
+        // treat the result as unknown). The durability checker only
+        // requires *acknowledged* commits to survive, and this path
+        // never acknowledges.
+        if let Err(e) = self.stack.wal.force() {
+            self.txm.abort(txn);
+            return Err(e);
+        }
         self.txm.commit(txn)
     }
 
@@ -653,7 +663,9 @@ impl MvccEngine for SiasDb {
         }
         if checkpoint {
             self.stack.wal.append(&WalRecord::Checkpoint);
-            self.stack.wal.force();
+            // Best-effort: a failed checkpoint force leaves the marker
+            // pending for the next force; maintenance cannot propagate.
+            let _ = self.stack.wal.force();
             self.stack.pool.flush_all();
         }
     }

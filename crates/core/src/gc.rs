@@ -440,6 +440,7 @@ mod tests {
             media: Media::SsdRaid { members: 1, flash: FlashConfig::default() },
             pool_frames: 256,
             capacity_pages: 1 << 14,
+            faults: sias_storage::FaultPlan::none(),
         };
         let db = SiasDb::open_with_policy(storage, FlushPolicy::T2);
         let rel = db.create_relation("t");

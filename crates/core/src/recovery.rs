@@ -31,7 +31,7 @@
 use std::collections::HashSet;
 
 use sias_common::{SiasError, SiasResult, Xid};
-use sias_storage::{StorageConfig, WalRecord};
+use sias_storage::{Device, StorageConfig, Wal, WalRecord};
 use sias_txn::MvccEngine;
 
 use crate::append::FlushPolicy;
@@ -115,6 +115,21 @@ impl SiasDb {
         Ok((db, stats))
     }
 
+    /// Recovers from a raw WAL *device* — the true crash path, where the
+    /// pre-crash process (and its in-memory WAL state) is gone. The
+    /// device is scanned from LBA 0 for the longest checksum-valid
+    /// record prefix ([`Wal::scan_device`]), which handles torn or
+    /// short tail writes, then replayed via
+    /// [`SiasDb::recover_from_wal`].
+    pub fn recover_from_wal_device(
+        device: &dyn Device,
+        cfg: StorageConfig,
+        policy: crate::append::FlushPolicy,
+    ) -> SiasResult<(SiasDb, RecoveryStats)> {
+        let (records, _valid_bytes) = Wal::scan_device(device);
+        SiasDb::recover_from_wal(&records, cfg, policy)
+    }
+
     /// Re-appends one logged version image, re-linking it to the item's
     /// current chain head (replay runs in log order, so the head is
     /// exactly the version's original predecessor).
@@ -195,7 +210,7 @@ mod tests {
     #[test]
     fn replay_rebuilds_identical_visible_state() {
         let db = populated();
-        db.stack().wal.force(); // crash point: everything appended is durable
+        db.stack().wal.force().unwrap(); // crash point: everything appended is durable
         let records = db.stack().wal.durable_records().unwrap();
         let (recovered, stats) =
             SiasDb::recover_from_wal(&records, StorageConfig::in_memory(), FlushPolicy::T2)
@@ -216,7 +231,7 @@ mod tests {
     #[test]
     fn recovered_database_accepts_new_work() {
         let db = populated();
-        db.stack().wal.force();
+        db.stack().wal.force().unwrap();
         let records = db.stack().wal.durable_records().unwrap();
         let (recovered, _) =
             SiasDb::recover_from_wal(&records, StorageConfig::in_memory(), FlushPolicy::T2)
@@ -243,7 +258,7 @@ mod tests {
     #[test]
     fn replayed_chains_are_well_formed() {
         let db = populated();
-        db.stack().wal.force();
+        db.stack().wal.force().unwrap();
         let records = db.stack().wal.durable_records().unwrap();
         let (recovered, _) =
             SiasDb::recover_from_wal(&records, StorageConfig::in_memory(), FlushPolicy::T2)

@@ -383,7 +383,13 @@ impl MvccEngine for SiDb {
 
     fn commit(&self, txn: Txn) -> SiasResult<()> {
         self.stack.wal.append(&WalRecord::Commit(txn.xid));
-        self.stack.wal.force();
+        // Same acknowledgement contract as the SIAS engine: a failed
+        // force aborts locally and the client must treat the outcome as
+        // unknown (the Commit record stays pending).
+        if let Err(e) = self.stack.wal.force() {
+            self.txm.abort(txn);
+            return Err(e);
+        }
         self.txm.commit(txn)
     }
 
@@ -418,7 +424,8 @@ impl MvccEngine for SiDb {
         self.stack.pool.bgwriter_round(self.bgwriter_budget);
         if checkpoint {
             self.stack.wal.append(&WalRecord::Checkpoint);
-            self.stack.wal.force();
+            // Best-effort, as in the SIAS engine's maintenance path.
+            let _ = self.stack.wal.force();
             self.stack.pool.flush_all();
         }
     }

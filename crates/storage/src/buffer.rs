@@ -30,7 +30,7 @@ use parking_lot::{Mutex, RwLock};
 use sias_common::{BlockId, RelId, SiasError, SiasResult};
 use sias_obs::{Counter, Registry};
 
-use crate::device::Device;
+use crate::device::{retry_io, Device, RetryPolicy};
 use crate::page::Page;
 use crate::tablespace::Tablespace;
 
@@ -60,6 +60,7 @@ struct StatCell {
     eviction_writes: Arc<Counter>,
     bgwriter_writes: Arc<Counter>,
     checkpoint_writes: Arc<Counter>,
+    io_retries: Arc<Counter>,
 }
 
 impl StatCell {
@@ -71,6 +72,7 @@ impl StatCell {
             eviction_writes: obs.counter("storage.buffer.eviction_writes"),
             bgwriter_writes: obs.counter("storage.buffer.bgwriter_writes"),
             checkpoint_writes: obs.counter("storage.buffer.checkpoint_writes"),
+            io_retries: obs.counter("storage.buffer.io_retries"),
         }
     }
 }
@@ -94,6 +96,7 @@ pub struct BufferPool {
     hand: AtomicUsize,
     device: Arc<dyn Device>,
     space: Arc<Tablespace>,
+    retry: RetryPolicy,
     stats: StatCell,
 }
 
@@ -127,8 +130,15 @@ impl BufferPool {
             hand: AtomicUsize::new(0),
             device,
             space,
+            retry: RetryPolicy::default(),
             stats: StatCell::register(obs),
         }
+    }
+
+    /// Overrides the transient-error retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The tablespace this pool addresses through.
@@ -272,9 +282,30 @@ impl BufferPool {
         drop(table);
 
         if let (Some((orel, oblock)), true) = (guard.key, guard.dirty) {
-            // Backend eviction write: synchronous.
+            // Backend eviction write: synchronous. Transient errors are
+            // retried; if the write still fails the eviction is undone
+            // (the dirty victim stays mapped) and the error propagates.
             let lba = self.space.resolve(orel, oblock)?;
-            self.device.write_page(lba, guard.page.as_bytes(), true);
+            let res = retry_io(self.retry, &self.stats.io_retries, || {
+                self.device.try_write_page(lba, guard.page.as_bytes(), true)
+            });
+            if let Err(e) = res {
+                drop(guard);
+                // Lock order is table → frame everywhere else, so the
+                // frame latch is released before re-taking the table
+                // lock. A concurrent fetch of `key` in this window sees
+                // the stale mapping and the old frame key — benign for
+                // the single-threaded chaos harness this path serves,
+                // and self-correcting once the mapping is reverted.
+                let mut table = self.table.lock();
+                if table.get(&key) == Some(&idx) {
+                    table.remove(&key);
+                }
+                table.insert((orel, oblock), idx);
+                drop(table);
+                frame.pins.fetch_sub(1, Ordering::Release);
+                return Err(e);
+            }
             self.stats.eviction_writes.inc();
         }
         if guard.key.is_some() {
@@ -287,7 +318,22 @@ impl BufferPool {
         } else {
             let lba = self.space.resolve(rel, block)?;
             let mut buf = vec![0u8; sias_common::PAGE_SIZE];
-            self.device.read_page(lba, &mut buf);
+            let res = retry_io(self.retry, &self.stats.io_retries, || {
+                self.device.try_read_page(lba, &mut buf)
+            });
+            if let Err(e) = res {
+                // The frame holds neither the old page (already written
+                // back or clean) nor the new one: unmap it entirely.
+                guard.key = None;
+                drop(guard);
+                let mut table = self.table.lock();
+                if table.get(&key) == Some(&idx) {
+                    table.remove(&key);
+                }
+                drop(table);
+                frame.pins.fetch_sub(1, Ordering::Release);
+                return Err(e);
+            }
             guard.page = Page::from_bytes(&buf);
         }
         drop(guard);
@@ -310,7 +356,9 @@ impl BufferPool {
             return Ok(false);
         }
         let lba = self.space.resolve(rel, block)?;
-        self.device.write_page(lba, guard.page.as_bytes(), sync);
+        retry_io(self.retry, &self.stats.io_retries, || {
+            self.device.try_write_page(lba, guard.page.as_bytes(), sync)
+        })?;
         guard.dirty = false;
         Ok(true)
     }
@@ -335,7 +383,15 @@ impl BufferPool {
             }
             let Some((rel, block)) = guard.key else { continue };
             let Ok(lba) = self.space.resolve(rel, block) else { continue };
-            self.device.write_page(lba, guard.page.as_bytes(), false);
+            // Best-effort: a page that still fails after retries stays
+            // dirty and is picked up by a later round or the checkpoint.
+            if retry_io(self.retry, &self.stats.io_retries, || {
+                self.device.try_write_page(lba, guard.page.as_bytes(), false)
+            })
+            .is_err()
+            {
+                continue;
+            }
             guard.dirty = false;
             written += 1;
         }
@@ -355,7 +411,14 @@ impl BufferPool {
             }
             let Some((rel, block)) = guard.key else { continue };
             let Ok(lba) = self.space.resolve(rel, block) else { continue };
-            self.device.write_page(lba, guard.page.as_bytes(), false);
+            // Best-effort like the bgwriter: a failed page stays dirty.
+            if retry_io(self.retry, &self.stats.io_retries, || {
+                self.device.try_write_page(lba, guard.page.as_bytes(), false)
+            })
+            .is_err()
+            {
+                continue;
+            }
             guard.dirty = false;
             written += 1;
         }
@@ -503,6 +566,42 @@ mod tests {
         assert!(p.flush_block(rel, b, true).unwrap());
         assert!(!p.flush_block(rel, b, true).unwrap()); // now clean
         assert_eq!(d.stats().host_write_pages, 1);
+    }
+
+    #[test]
+    fn transient_device_errors_are_retried_and_absorbed() {
+        use crate::device::{FaultConfig, FaultyDevice};
+        use sias_common::VirtualClock;
+        let obs = Registry::new_shared();
+        let inner: Arc<dyn Device> = Arc::new(MemDevice::standalone(1 << 16));
+        let cfg = FaultConfig {
+            seed: 21,
+            transient_error_ppm: 300_000,
+            max_error_burst: 2,
+            ..FaultConfig::none()
+        };
+        let dev: Arc<dyn Device> =
+            Arc::new(FaultyDevice::new(inner, cfg, VirtualClock::new(), &obs));
+        let space = Arc::new(Tablespace::new(1 << 16));
+        space.create_relation(RelId(1));
+        let p = BufferPool::with_registry(4, Arc::clone(&dev), space, &obs);
+        let rel = RelId(1);
+        // Enough churn on a 4-frame pool to exercise eviction writes and
+        // miss reads under a 30 % transient-error rate; the burst bound
+        // (2) sits below the retry budget (4), so everything succeeds.
+        let blocks: Vec<BlockId> = (0..16).map(|_| p.allocate_block(rel).unwrap()).collect();
+        for (i, &b) in blocks.iter().enumerate() {
+            p.with_page_mut(rel, b, |page| {
+                page.add_item(&[i as u8; 8]).unwrap().unwrap();
+            })
+            .unwrap();
+        }
+        for (i, &b) in blocks.iter().enumerate() {
+            let v = p.with_page(rel, b, |page| page.item(0).unwrap().to_vec()).unwrap();
+            assert_eq!(v, vec![i as u8; 8]);
+        }
+        let retries = obs.snapshot().counter("storage.buffer.io_retries").unwrap();
+        assert!(retries > 0, "expected at least one retried I/O, got {retries}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! asynchronous writes (background writer, checkpointer) only occupy
 //! device channels.
 
+pub mod faulty;
 pub mod flash;
 pub mod hdd;
 pub mod mem;
@@ -33,12 +34,14 @@ pub mod raid;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+pub use faulty::{FaultConfig, FaultPlan, FaultyDevice};
 pub use flash::{FlashConfig, FlashDevice};
 pub use hdd::{HddConfig, HddDevice};
 pub use mem::MemDevice;
 pub use raid::Raid0;
 
-use sias_common::VirtualClock;
+use sias_common::{SiasResult, VirtualClock};
+use sias_obs::Counter;
 
 use crate::trace::TraceCollector;
 
@@ -54,6 +57,21 @@ pub trait Device: Send + Sync {
     /// Writes one page. When `sync` the host blocks (clock advances);
     /// otherwise the write only occupies device time in the background.
     fn write_page(&self, lba: u64, data: &[u8], sync: bool);
+
+    /// Fallible read. The hardware models never fail (they panic on
+    /// contract violations instead), so the default delegates to
+    /// [`Device::read_page`]; [`FaultyDevice`] overrides this to inject
+    /// transient errors that callers retry via [`RetryPolicy`].
+    fn try_read_page(&self, lba: u64, buf: &mut [u8]) -> SiasResult<()> {
+        self.read_page(lba, buf);
+        Ok(())
+    }
+
+    /// Fallible write; see [`Device::try_read_page`].
+    fn try_write_page(&self, lba: u64, data: &[u8], sync: bool) -> SiasResult<()> {
+        self.write_page(lba, data, sync);
+        Ok(())
+    }
 
     /// Total logical capacity in pages.
     fn capacity_pages(&self) -> u64;
@@ -164,6 +182,48 @@ impl DeviceEnv {
     }
 }
 
+/// Bounded retry policy for transient device errors.
+///
+/// The WAL and the buffer pool wrap their `try_*` I/O in
+/// [`retry_io`]; with [`FaultConfig::max_error_burst`] kept below
+/// `max_attempts` (the defaults are 2 and 4) every injected transient
+/// fault is absorbed and surfaces only as an `io_retries` counter tick.
+/// Backoff is charged in *virtual* time by the faulty device itself
+/// (each injected error advances the clock by the command latency), so
+/// the retry loop here is immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included) before the error propagates.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4 }
+    }
+}
+
+/// Runs `op` up to `policy.max_attempts` times, counting each retry in
+/// `retries`. Returns the last error if every attempt fails.
+pub fn retry_io<T>(
+    policy: RetryPolicy,
+    retries: &Counter,
+    mut op: impl FnMut() -> SiasResult<T>,
+) -> SiasResult<T> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            retries.inc();
+        }
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +240,34 @@ mod tests {
     fn mb_conversion() {
         let s = DeviceStats { host_write_pages: 128, ..Default::default() };
         assert!((s.host_write_mb() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_io_counts_retries_and_recovers() {
+        let retries = Counter::new();
+        let mut fails_left = 2;
+        let out = retry_io(RetryPolicy::default(), &retries, || {
+            if fails_left > 0 {
+                fails_left -= 1;
+                Err(sias_common::SiasError::Device("transient".into()))
+            } else {
+                Ok(7u32)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(retries.get(), 2);
+    }
+
+    #[test]
+    fn retry_io_gives_up_after_max_attempts() {
+        let retries = Counter::new();
+        let mut calls = 0;
+        let out: SiasResult<()> = retry_io(RetryPolicy { max_attempts: 3 }, &retries, || {
+            calls += 1;
+            Err(sias_common::SiasError::Device("hard".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+        assert_eq!(retries.get(), 2);
     }
 }

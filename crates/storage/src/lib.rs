@@ -35,7 +35,10 @@ pub mod trace;
 pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
-pub use device::{Device, DeviceRef, DeviceStats, FlashConfig, HddConfig};
+pub use device::{
+    Device, DeviceRef, DeviceStats, FaultConfig, FaultPlan, FaultyDevice, FlashConfig, HddConfig,
+    RetryPolicy,
+};
 pub use fsm::FreeSpaceMap;
 pub use page::Page;
 pub use stack::{Media, StorageConfig, StorageStack};

@@ -19,7 +19,8 @@ use sias_obs::Registry;
 
 use crate::buffer::BufferPool;
 use crate::device::{
-    Device, DeviceEnv, FlashConfig, FlashDevice, HddConfig, HddDevice, MemDevice, Raid0,
+    Device, DeviceEnv, FaultPlan, FaultyDevice, FlashConfig, FlashDevice, HddConfig, HddDevice,
+    MemDevice, Raid0,
 };
 use crate::tablespace::Tablespace;
 use crate::trace::TraceCollector;
@@ -50,12 +51,19 @@ pub struct StorageConfig {
     pub pool_frames: usize,
     /// Logical data capacity in pages (per RAID member for SSD).
     pub capacity_pages: u64,
+    /// Fault injection for the data and WAL devices (default: none).
+    pub faults: FaultPlan,
 }
 
 impl StorageConfig {
     /// Zero-latency in-memory stack (unit tests, doctests).
     pub fn in_memory() -> Self {
-        StorageConfig { media: Media::Mem, pool_frames: 1024, capacity_pages: 1 << 20 }
+        StorageConfig {
+            media: Media::Mem,
+            pool_frames: 1024,
+            capacity_pages: 1 << 20,
+            faults: FaultPlan::none(),
+        }
     }
 
     /// Alias of [`StorageConfig::in_memory`] kept for readability at call
@@ -70,6 +78,7 @@ impl StorageConfig {
             media: Media::SsdRaid { members, flash: FlashConfig::default() },
             pool_frames: 8192, // 64 MiB
             capacity_pages: 1 << 18,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -84,6 +93,7 @@ impl StorageConfig {
             media: Media::Hdd(HddConfig::default()),
             pool_frames: 8192,
             capacity_pages: 1 << 21,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -96,6 +106,12 @@ impl StorageConfig {
     /// Overrides the logical capacity (pages; per member for RAID).
     pub fn with_capacity_pages(mut self, pages: u64) -> Self {
         self.capacity_pages = pages;
+        self
+    }
+
+    /// Enables fault injection on the data and/or WAL device.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -159,6 +175,11 @@ impl StorageStack {
                 DeviceEnv { clock: Arc::clone(&clock), trace: Arc::clone(&trace), device_id: 0 },
             )),
         };
+        let data: Arc<dyn Device> = if cfg.faults.data.enabled() {
+            Arc::new(FaultyDevice::new(data, cfg.faults.data, Arc::clone(&clock), &obs))
+        } else {
+            data
+        };
         let space = Arc::new(Tablespace::new(data.capacity_pages()));
         let pool = Arc::new(BufferPool::with_registry(
             cfg.pool_frames,
@@ -179,6 +200,11 @@ impl StorageStack {
             Media::Hdd(h) => {
                 Arc::new(HddDevice::new(HddConfig { capacity_pages: 1 << 22, ..*h }, wal_env))
             }
+        };
+        let wal_dev: Arc<dyn Device> = if cfg.faults.wal.enabled() {
+            Arc::new(FaultyDevice::new(wal_dev, cfg.faults.wal, Arc::clone(&clock), &obs))
+        } else {
+            wal_dev
         };
         let wal = Arc::new(Wal::with_registry(wal_dev, &obs));
         StorageStack { clock, trace, data, space, pool, wal, obs }
@@ -235,13 +261,37 @@ mod tests {
     }
 
     #[test]
+    fn faulty_stack_still_round_trips() {
+        use crate::device::FaultConfig;
+        let cfg = StorageConfig::in_memory().with_pool_frames(4).with_faults(FaultPlan {
+            data: FaultConfig { seed: 77, transient_error_ppm: 200_000, ..FaultConfig::none() },
+            wal: FaultConfig::none(),
+        });
+        let s = StorageStack::new(&cfg);
+        let rel = RelId(1);
+        s.space.create_relation(rel);
+        let blocks: Vec<_> = (0..12).map(|_| s.pool.allocate_block(rel).unwrap()).collect();
+        for (i, &b) in blocks.iter().enumerate() {
+            s.pool
+                .with_page_mut(rel, b, |p| {
+                    p.add_item(&[i as u8; 4]).unwrap().unwrap();
+                })
+                .unwrap();
+        }
+        for (i, &b) in blocks.iter().enumerate() {
+            let v = s.pool.with_page(rel, b, |p| p.item(0).unwrap().to_vec()).unwrap();
+            assert_eq!(v, vec![i as u8; 4]);
+        }
+    }
+
+    #[test]
     fn wal_commit_advances_clock_on_real_media() {
         use crate::wal::WalRecord;
         use sias_common::Xid;
         let s = StorageStack::new(&StorageConfig::ssd());
         s.wal.append(&WalRecord::Begin(Xid(1)));
         s.wal.append(&WalRecord::Commit(Xid(1)));
-        s.wal.force();
+        s.wal.force().unwrap();
         assert!(s.clock.now_us() > 0);
         // ... but leaves no events in the data trace.
         s.trace.enable();

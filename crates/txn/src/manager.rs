@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use sias_common::{SiasError, SiasResult, Xid};
 use sias_obs::{Counter, Gauge, Histogram, Registry};
 
@@ -25,6 +25,12 @@ pub struct Txn {
     pub snapshot: Snapshot,
 }
 
+/// Observer invoked right after a transaction commits, with the xid and
+/// its commit sequence number (1-based, dense, allocated in commit
+/// order). Crash-test harnesses use this as the acknowledgement hook:
+/// the callback fires only for commits the engine actually acknowledged.
+pub type CommitHook = Box<dyn Fn(Xid, u64) + Send + Sync>;
+
 /// Shared transaction manager: xid allocation, active set, commit log and
 /// the tuple lock table.
 pub struct TransactionManager {
@@ -38,6 +44,10 @@ pub struct TransactionManager {
     pub locks: LockTable,
     /// Optional serializable-SI extension state (off by default).
     pub ssi: SsiState,
+    /// Dense commit sequence (see [`CommitHook`]).
+    commit_seq: AtomicU64,
+    /// Commit-acknowledgement observer, if installed.
+    commit_hook: RwLock<Option<CommitHook>>,
     /// `txn.manager.*` registry handles.
     commits: Arc<Counter>,
     aborts: Arc<Counter>,
@@ -69,6 +79,8 @@ impl TransactionManager {
             clog: Clog::new(),
             locks: LockTable::new(),
             ssi: SsiState::default(),
+            commit_seq: AtomicU64::new(0),
+            commit_hook: RwLock::new(None),
             commits: obs.counter("txn.manager.commits"),
             aborts: obs.counter("txn.manager.aborts"),
             aborts_serialization: obs.counter("txn.manager.aborts_serialization"),
@@ -113,20 +125,38 @@ impl TransactionManager {
             self.abort(txn);
             return Err(SiasError::SerializationFailure(xid));
         }
+        let seq;
         {
             let mut active = self.active.lock();
             if active.remove(&txn.xid).is_none() {
                 return Err(SiasError::TxnNotActive(txn.xid));
             }
             self.clog.commit(txn.xid);
+            // Sequence allocated under the active lock: seq order is
+            // exactly clog commit order.
+            seq = self.commit_seq.fetch_add(1, Ordering::Relaxed) + 1;
         }
         self.active_gauge.sub(1);
         self.locks.release_all(txn.xid);
         self.commits.inc();
+        if let Some(hook) = self.commit_hook.read().as_ref() {
+            hook(txn.xid, seq);
+        }
         if self.ssi.is_enabled() {
             self.ssi.collect_below(self.horizon());
         }
         Ok(())
+    }
+
+    /// Installs the commit-acknowledgement hook (replacing any previous
+    /// one); see [`CommitHook`].
+    pub fn set_commit_hook(&self, hook: impl Fn(Xid, u64) + Send + Sync + 'static) {
+        *self.commit_hook.write() = Some(Box::new(hook));
+    }
+
+    /// Number of commits sequenced so far.
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq.load(Ordering::Relaxed)
     }
 
     /// Aborts: marks the clog, leaves the active set, releases locks.
@@ -239,6 +269,27 @@ mod tests {
         assert_eq!(m.active_count(), 1);
         m.commit(a).unwrap();
         assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn commit_hook_sees_dense_sequence_in_commit_order() {
+        let m = TransactionManager::new_shared();
+        let log: Arc<Mutex<Vec<(Xid, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let log = Arc::clone(&log);
+            m.set_commit_hook(move |xid, seq| log.lock().push((xid, seq)));
+        }
+        let a = m.begin();
+        let b = m.begin();
+        let c = m.begin();
+        let (xa, xb, xc) = (a.xid, b.xid, c.xid);
+        m.commit(b).unwrap();
+        m.abort(c); // aborts never fire the hook
+        m.commit(a).unwrap();
+        let got = log.lock().clone();
+        assert_eq!(got, vec![(xb, 1), (xa, 2)]);
+        assert_eq!(m.commit_seq(), 2);
+        let _ = xc;
     }
 
     #[test]

@@ -1,12 +1,26 @@
-//! TPC-C consistency conditions.
+//! Consistency and isolation checking.
 //!
-//! A subset of the specification's §3.3.2 consistency requirements,
-//! checkable against any engine. The differential tests run them after
-//! benchmark activity to establish that both engines maintain a
-//! consistent database — which is what makes the performance comparison
-//! meaningful.
+//! Two independent checkers share the [`Violation`] report type:
+//!
+//! 1. **TPC-C conditions** ([`check_consistency`]) — a subset of the
+//!    specification's §3.3.2 consistency requirements, checkable against
+//!    any engine. The differential tests run them after benchmark
+//!    activity to establish that both engines maintain a consistent
+//!    database — which is what makes the performance comparison
+//!    meaningful.
+//! 2. **Black-box SI-anomaly checking** ([`check_anomalies`],
+//!    [`check_durability`]) — in the spirit of Huang et al.'s black-box
+//!    SI checkers and the anomaly taxonomy of Ports & Grittner: the
+//!    chaos harness records a client-side [`History`] of tagged reads
+//!    and writes plus per-transaction outcomes, and these functions
+//!    detect G0 (dirty write), G1a (aborted read), G1b (intermediate
+//!    read), lost update, and — across a crash — acknowledged-commit
+//!    durability and prefix consistency, without looking inside the
+//!    engine.
 
-use sias_common::SiasResult;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use sias_common::{SiasResult, Xid};
 use sias_txn::MvccEngine;
 
 use crate::config::{Tables, TpccConfig};
@@ -151,6 +165,386 @@ pub fn check_consistency<E: MvccEngine + ?Sized>(
     Ok(violations)
 }
 
+// ---------------------------------------------------------------------------
+// Black-box SI-anomaly checking
+// ---------------------------------------------------------------------------
+
+/// Uniquely identifies one write in a chaos history: the writing
+/// transaction plus its per-transaction operation counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteTag {
+    /// The transaction that produced the write.
+    pub xid: Xid,
+    /// Per-transaction operation counter (distinguishes multiple writes
+    /// by the same transaction to the same key).
+    pub seq: u32,
+}
+
+/// Payload length of a tagged chaos write: key, xid, seq, checksum.
+pub const TAG_PAYLOAD_LEN: usize = 8 + 8 + 4 + 4;
+
+fn tag_checksum(key: u64, xid: u64, seq: u32) -> u32 {
+    // splitmix64 finalizer over the three fields — enough to reject the
+    // single-bit flips the fault injector produces.
+    let mut z = key
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(xid.rotate_left(17))
+        .wrapping_add(u64::from(seq).rotate_left(43));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) as u32
+}
+
+impl WriteTag {
+    /// Encodes a self-describing, checksummed payload for a chaos write.
+    pub fn encode_payload(&self, key: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TAG_PAYLOAD_LEN);
+        out.extend_from_slice(&key.to_le_bytes());
+        out.extend_from_slice(&self.xid.0.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&tag_checksum(key, self.xid.0, self.seq).to_le_bytes());
+        out
+    }
+
+    /// Decodes a payload written by [`WriteTag::encode_payload`]. Returns
+    /// `None` on length or checksum mismatch, so bit-rot injected below
+    /// the engine surfaces as a detected read failure rather than a
+    /// spurious anomaly report.
+    pub fn decode_payload(buf: &[u8]) -> Option<(u64, WriteTag)> {
+        if buf.len() != TAG_PAYLOAD_LEN {
+            return None;
+        }
+        let key = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let xid = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let seq = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[20..24].try_into().unwrap());
+        if crc != tag_checksum(key, xid, seq) {
+            return None;
+        }
+        Some((key, WriteTag { xid: Xid(xid), seq }))
+    }
+}
+
+/// One client-visible operation of a chaos transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistOp {
+    /// A read observing the tagged version (or `None` when the key was
+    /// absent from the snapshot).
+    Read {
+        /// The key read.
+        key: u64,
+        /// The version observed, if any.
+        observed: Option<WriteTag>,
+    },
+    /// A write with a fresh tag.
+    Write {
+        /// The key written.
+        key: u64,
+        /// The new version's tag.
+        tag: WriteTag,
+    },
+}
+
+/// The client-side outcome of a chaos transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistOutcome {
+    /// The engine acknowledged the commit.
+    Committed {
+        /// Dense commit sequence number from the acknowledgement hook.
+        commit_seq: u64,
+        /// The WAL durability watermark (in records) the engine
+        /// reported at the moment of acknowledgement: any crash at or
+        /// after that record must preserve this transaction.
+        acked_at_record: u64,
+    },
+    /// Aborted — by the client, by first-updater-wins, or by an error.
+    Aborted,
+    /// Commit was submitted but the engine returned an error before
+    /// acknowledging (e.g. a failed WAL force). The outcome is genuinely
+    /// uncertain: recovery may or may not surface it, and neither result
+    /// is a violation.
+    Unacked,
+}
+
+/// One transaction of a chaos history.
+#[derive(Clone, Debug)]
+pub struct TxnRecord {
+    /// The transaction id.
+    pub xid: Xid,
+    /// Operations in client-issue order.
+    pub ops: Vec<HistOp>,
+    /// Client-visible outcome.
+    pub outcome: HistOutcome,
+}
+
+/// A complete chaos history: what every client did and observed, plus
+/// the per-key committed version order extracted from a clean recovery
+/// of the full log (via chain walks — the engine's own opinion of the
+/// order, not the checker's).
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// All transactions, including aborted and unacknowledged ones.
+    pub txns: Vec<TxnRecord>,
+    /// Per-key committed version order, oldest first.
+    pub version_order: BTreeMap<u64, Vec<WriteTag>>,
+}
+
+impl History {
+    fn outcomes(&self) -> HashMap<Xid, HistOutcome> {
+        self.txns.iter().map(|t| (t.xid, t.outcome)).collect()
+    }
+
+    /// Xids of all acknowledged-committed transactions.
+    pub fn committed(&self) -> BTreeSet<Xid> {
+        self.txns
+            .iter()
+            .filter(|t| matches!(t.outcome, HistOutcome::Committed { .. }))
+            .map(|t| t.xid)
+            .collect()
+    }
+}
+
+/// Checks a history for the SI-forbidden anomalies G0 (dirty write),
+/// G1a (aborted read), G1b (intermediate read) and lost update, treating
+/// the engine as a black box: only client-observed tags and the
+/// recovered version order are consulted.
+pub fn check_anomalies(history: &History) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let outcomes = history.outcomes();
+    let committed = history.committed();
+
+    // Final write per (writer, key) — needed to tell an intermediate
+    // observation from a final one.
+    let mut final_write: HashMap<(Xid, u64), u32> = HashMap::new();
+    for t in &history.txns {
+        for op in &t.ops {
+            if let HistOp::Write { key, tag } = op {
+                let slot = final_write.entry((t.xid, *key)).or_insert(tag.seq);
+                *slot = (*slot).max(tag.seq);
+            }
+        }
+    }
+
+    // G1a / G1b: walk every committed transaction's reads.
+    for t in &history.txns {
+        if !committed.contains(&t.xid) {
+            continue;
+        }
+        for op in &t.ops {
+            let HistOp::Read { key, observed: Some(tag) } = op else { continue };
+            if tag.xid == t.xid {
+                continue; // own writes are always visible
+            }
+            match outcomes.get(&tag.xid) {
+                Some(HistOutcome::Committed { .. }) => {
+                    let final_seq = final_write.get(&(tag.xid, *key)).copied().unwrap_or(tag.seq);
+                    if tag.seq < final_seq {
+                        violations.push(Violation {
+                            condition: "G1b",
+                            detail: format!(
+                                "txn {:?} read intermediate version {:?} of key {key} \
+                                 (writer {:?} later wrote seq {final_seq})",
+                                t.xid, tag, tag.xid
+                            ),
+                        });
+                    }
+                }
+                Some(HistOutcome::Aborted) => violations.push(Violation {
+                    condition: "G1a",
+                    detail: format!(
+                        "txn {:?} read {:?} of key {key}, but writer {:?} aborted",
+                        t.xid, tag, tag.xid
+                    ),
+                }),
+                Some(HistOutcome::Unacked) | None => violations.push(Violation {
+                    condition: "G1a",
+                    detail: format!(
+                        "txn {:?} read {:?} of key {key} from writer {:?}, which never \
+                         acknowledged a commit",
+                        t.xid, tag, tag.xid
+                    ),
+                }),
+            }
+        }
+    }
+
+    // G0: the per-key version orders of any two committed writers must
+    // agree. Two flavours: interleaving within one key, and reversed
+    // direction across two keys.
+    let mut spans: BTreeMap<u64, HashMap<Xid, (usize, usize)>> = BTreeMap::new();
+    for (key, order) in &history.version_order {
+        let per_key = spans.entry(*key).or_default();
+        for (pos, tag) in order.iter().enumerate() {
+            if committed.contains(&tag.xid) {
+                let span = per_key.entry(tag.xid).or_insert((pos, pos));
+                span.0 = span.0.min(pos);
+                span.1 = span.1.max(pos);
+            }
+        }
+    }
+    // Direction per ordered xid pair: true when `small` precedes `big`.
+    let mut direction: HashMap<(Xid, Xid), (bool, u64)> = HashMap::new();
+    for (key, per_key) in &spans {
+        let mut writers: Vec<(&Xid, &(usize, usize))> = per_key.iter().collect();
+        writers.sort();
+        for i in 0..writers.len() {
+            for j in (i + 1)..writers.len() {
+                let (xa, (a_min, a_max)) = writers[i];
+                let (xb, (b_min, b_max)) = writers[j];
+                if a_min < b_max && b_min < a_max {
+                    violations.push(Violation {
+                        condition: "G0",
+                        detail: format!(
+                            "writes of {xa:?} and {xb:?} interleave in the version \
+                             order of key {key}"
+                        ),
+                    });
+                    continue;
+                }
+                let a_first = a_max < b_min;
+                match direction.get(&(*xa, *xb)) {
+                    None => {
+                        direction.insert((*xa, *xb), (a_first, *key));
+                    }
+                    Some((prev, prev_key)) if *prev != a_first => {
+                        violations.push(Violation {
+                            condition: "G0",
+                            detail: format!(
+                                "version order of {xa:?} vs {xb:?} differs between \
+                                 key {prev_key} and key {key}"
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    // Lost update: two committed transactions that both read the same
+    // version of a key and then both wrote that key — one update
+    // overwrote the other without seeing it.
+    let mut rmw_bases: BTreeMap<(u64, WriteTag), Vec<Xid>> = BTreeMap::new();
+    for t in &history.txns {
+        if !committed.contains(&t.xid) {
+            continue;
+        }
+        let mut base: HashMap<u64, WriteTag> = HashMap::new();
+        let mut wrote: BTreeSet<u64> = BTreeSet::new();
+        for op in &t.ops {
+            match op {
+                HistOp::Read { key, observed: Some(tag) } if !wrote.contains(key) => {
+                    base.insert(*key, *tag);
+                }
+                HistOp::Write { key, .. } => {
+                    wrote.insert(*key);
+                }
+                _ => {}
+            }
+        }
+        for key in wrote {
+            if let Some(tag) = base.get(&key) {
+                rmw_bases.entry((key, *tag)).or_default().push(t.xid);
+            }
+        }
+    }
+    for ((key, tag), writers) in rmw_bases {
+        let others: Vec<Xid> = writers.into_iter().filter(|x| *x != tag.xid).collect();
+        if others.len() >= 2 {
+            violations.push(Violation {
+                condition: "LU",
+                detail: format!(
+                    "txns {others:?} all read version {tag:?} of key {key} and then \
+                     wrote it — lost update"
+                ),
+            });
+        }
+    }
+
+    violations
+}
+
+/// What a crash-point probe recovered, compared against what the engine
+/// acknowledged before the crash. All fields are derived outside the
+/// engine: `prefix_commits` and `expected_state` come from decoding the
+/// surviving WAL prefix, `recovered_commits` and `recovered_state` from
+/// reads against the recovered database.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityInput {
+    /// Number of WAL records that survived the crash.
+    pub crash_record_count: u64,
+    /// Xids with a Commit record inside the surviving prefix.
+    pub prefix_commits: BTreeSet<Xid>,
+    /// Xids the recovered database reports as committed.
+    pub recovered_commits: BTreeSet<Xid>,
+    /// Last committed tag per key according to the surviving prefix.
+    pub expected_state: BTreeMap<u64, WriteTag>,
+    /// Visible tag per key read back from the recovered database.
+    pub recovered_state: BTreeMap<u64, WriteTag>,
+}
+
+/// Checks crash durability: every acknowledged commit survives
+/// (DUR-ACK), recovery commits exactly the log-prefix commit set
+/// (DUR-PREFIX), and the recovered visible state is the last committed
+/// write per key in that prefix (DUR-STATE).
+pub fn check_durability(history: &History, input: &DurabilityInput) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    for t in &history.txns {
+        let HistOutcome::Committed { acked_at_record, .. } = t.outcome else { continue };
+        if acked_at_record <= input.crash_record_count && !input.recovered_commits.contains(&t.xid)
+        {
+            violations.push(Violation {
+                condition: "DUR-ACK",
+                detail: format!(
+                    "txn {:?} was acknowledged at record {acked_at_record} but a crash \
+                     at record {} lost it",
+                    t.xid, input.crash_record_count
+                ),
+            });
+        }
+    }
+
+    for xid in input.prefix_commits.difference(&input.recovered_commits) {
+        violations.push(Violation {
+            condition: "DUR-PREFIX",
+            detail: format!(
+                "txn {xid:?} has a Commit record in the surviving prefix but recovery \
+                 did not commit it"
+            ),
+        });
+    }
+    for xid in input.recovered_commits.difference(&input.prefix_commits) {
+        violations.push(Violation {
+            condition: "DUR-PREFIX",
+            detail: format!(
+                "recovery committed txn {xid:?} with no Commit record in the surviving \
+                 prefix"
+            ),
+        });
+    }
+
+    for (key, expected) in &input.expected_state {
+        match input.recovered_state.get(key) {
+            Some(got) if got == expected => {}
+            got => violations.push(Violation {
+                condition: "DUR-STATE",
+                detail: format!("key {key}: expected visible tag {expected:?}, recovered {got:?}"),
+            }),
+        }
+    }
+    for key in input.recovered_state.keys() {
+        if !input.expected_state.contains_key(key) {
+            violations.push(Violation {
+                condition: "DUR-STATE",
+                detail: format!("key {key} is visible after recovery but absent from the prefix"),
+            });
+        }
+    }
+
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +623,262 @@ mod tests {
         db.vacuum_all().unwrap();
         let v = check_consistency(&db, &tables, &cfg).unwrap();
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    // -- black-box anomaly checker ---------------------------------------
+
+    fn tag(xid: u64, seq: u32) -> WriteTag {
+        WriteTag { xid: Xid(xid), seq }
+    }
+
+    fn committed(xid: u64, ops: Vec<HistOp>) -> TxnRecord {
+        TxnRecord {
+            xid: Xid(xid),
+            ops,
+            outcome: HistOutcome::Committed { commit_seq: xid, acked_at_record: 0 },
+        }
+    }
+
+    fn conditions(v: &[Violation]) -> Vec<&'static str> {
+        let mut c: Vec<&'static str> = v.iter().map(|v| v.condition).collect();
+        c.sort();
+        c.dedup();
+        c
+    }
+
+    #[test]
+    fn tag_payload_roundtrips_and_rejects_bit_flips() {
+        let t = tag(42, 7);
+        let enc = t.encode_payload(13);
+        assert_eq!(enc.len(), TAG_PAYLOAD_LEN);
+        assert_eq!(WriteTag::decode_payload(&enc), Some((13, t)));
+        for bit in 0..TAG_PAYLOAD_LEN * 8 {
+            let mut bad = enc.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(WriteTag::decode_payload(&bad), None, "flip of bit {bit} undetected");
+        }
+        assert_eq!(WriteTag::decode_payload(&enc[1..]), None, "short payload");
+    }
+
+    #[test]
+    fn clean_serial_history_has_no_anomalies() {
+        // t1 writes k1; t2 reads it and updates; t3 reads t2's value.
+        let h = History {
+            txns: vec![
+                committed(1, vec![HistOp::Write { key: 1, tag: tag(1, 0) }]),
+                committed(
+                    2,
+                    vec![
+                        HistOp::Read { key: 1, observed: Some(tag(1, 0)) },
+                        HistOp::Write { key: 1, tag: tag(2, 1) },
+                    ],
+                ),
+                committed(3, vec![HistOp::Read { key: 1, observed: Some(tag(2, 1)) }]),
+            ],
+            version_order: [(1, vec![tag(1, 0), tag(2, 1)])].into(),
+        };
+        assert_eq!(check_anomalies(&h), vec![]);
+    }
+
+    #[test]
+    fn aborted_read_is_g1a() {
+        let h = History {
+            txns: vec![
+                TxnRecord {
+                    xid: Xid(1),
+                    ops: vec![HistOp::Write { key: 1, tag: tag(1, 0) }],
+                    outcome: HistOutcome::Aborted,
+                },
+                committed(2, vec![HistOp::Read { key: 1, observed: Some(tag(1, 0)) }]),
+            ],
+            version_order: BTreeMap::new(),
+        };
+        assert_eq!(conditions(&check_anomalies(&h)), vec!["G1a"]);
+    }
+
+    #[test]
+    fn intermediate_read_is_g1b() {
+        let h = History {
+            txns: vec![
+                committed(
+                    1,
+                    vec![
+                        HistOp::Write { key: 1, tag: tag(1, 0) },
+                        HistOp::Write { key: 1, tag: tag(1, 1) },
+                    ],
+                ),
+                committed(2, vec![HistOp::Read { key: 1, observed: Some(tag(1, 0)) }]),
+            ],
+            version_order: [(1, vec![tag(1, 0), tag(1, 1)])].into(),
+        };
+        assert_eq!(conditions(&check_anomalies(&h)), vec!["G1b"]);
+    }
+
+    #[test]
+    fn own_intermediate_reads_are_fine() {
+        let h = History {
+            txns: vec![committed(
+                1,
+                vec![
+                    HistOp::Write { key: 1, tag: tag(1, 0) },
+                    HistOp::Read { key: 1, observed: Some(tag(1, 0)) },
+                    HistOp::Write { key: 1, tag: tag(1, 1) },
+                ],
+            )],
+            version_order: [(1, vec![tag(1, 0), tag(1, 1)])].into(),
+        };
+        assert_eq!(check_anomalies(&h), vec![]);
+    }
+
+    #[test]
+    fn reversed_version_orders_are_g0() {
+        // t1 before t2 on key 1, but t2 before t1 on key 2.
+        let h = History {
+            txns: vec![
+                committed(
+                    1,
+                    vec![
+                        HistOp::Write { key: 1, tag: tag(1, 0) },
+                        HistOp::Write { key: 2, tag: tag(1, 1) },
+                    ],
+                ),
+                committed(
+                    2,
+                    vec![
+                        HistOp::Write { key: 1, tag: tag(2, 0) },
+                        HistOp::Write { key: 2, tag: tag(2, 1) },
+                    ],
+                ),
+            ],
+            version_order: [(1, vec![tag(1, 0), tag(2, 0)]), (2, vec![tag(2, 1), tag(1, 1)])]
+                .into(),
+        };
+        assert_eq!(conditions(&check_anomalies(&h)), vec!["G0"]);
+    }
+
+    #[test]
+    fn interleaved_writes_on_one_key_are_g0() {
+        let h = History {
+            txns: vec![
+                committed(
+                    1,
+                    vec![
+                        HistOp::Write { key: 1, tag: tag(1, 0) },
+                        HistOp::Write { key: 1, tag: tag(1, 1) },
+                    ],
+                ),
+                committed(2, vec![HistOp::Write { key: 1, tag: tag(2, 0) }]),
+            ],
+            version_order: [(1, vec![tag(1, 0), tag(2, 0), tag(1, 1)])].into(),
+        };
+        assert_eq!(conditions(&check_anomalies(&h)), vec!["G0"]);
+    }
+
+    #[test]
+    fn concurrent_rmw_of_same_version_is_lost_update() {
+        let h = History {
+            txns: vec![
+                committed(1, vec![HistOp::Write { key: 5, tag: tag(1, 0) }]),
+                committed(
+                    2,
+                    vec![
+                        HistOp::Read { key: 5, observed: Some(tag(1, 0)) },
+                        HistOp::Write { key: 5, tag: tag(2, 0) },
+                    ],
+                ),
+                committed(
+                    3,
+                    vec![
+                        HistOp::Read { key: 5, observed: Some(tag(1, 0)) },
+                        HistOp::Write { key: 5, tag: tag(3, 0) },
+                    ],
+                ),
+            ],
+            version_order: [(5, vec![tag(1, 0), tag(2, 0), tag(3, 0)])].into(),
+        };
+        assert_eq!(conditions(&check_anomalies(&h)), vec!["LU"]);
+    }
+
+    #[test]
+    fn sequential_rmw_is_not_lost_update() {
+        // t3 read t2's version, not t1's: a proper chain of updates.
+        let h = History {
+            txns: vec![
+                committed(1, vec![HistOp::Write { key: 5, tag: tag(1, 0) }]),
+                committed(
+                    2,
+                    vec![
+                        HistOp::Read { key: 5, observed: Some(tag(1, 0)) },
+                        HistOp::Write { key: 5, tag: tag(2, 0) },
+                    ],
+                ),
+                committed(
+                    3,
+                    vec![
+                        HistOp::Read { key: 5, observed: Some(tag(2, 0)) },
+                        HistOp::Write { key: 5, tag: tag(3, 0) },
+                    ],
+                ),
+            ],
+            version_order: [(5, vec![tag(1, 0), tag(2, 0), tag(3, 0)])].into(),
+        };
+        assert_eq!(check_anomalies(&h), vec![]);
+    }
+
+    #[test]
+    fn durability_flags_lost_acknowledged_commit() {
+        let h = History {
+            txns: vec![TxnRecord {
+                xid: Xid(1),
+                ops: vec![HistOp::Write { key: 1, tag: tag(1, 0) }],
+                outcome: HistOutcome::Committed { commit_seq: 1, acked_at_record: 4 },
+            }],
+            version_order: BTreeMap::new(),
+        };
+        // Crash after the ack watermark, but recovery lost the txn.
+        let input = DurabilityInput { crash_record_count: 6, ..Default::default() };
+        assert_eq!(conditions(&check_durability(&h, &input)), vec!["DUR-ACK"]);
+        // Crash before the ack watermark: losing it is fine.
+        let input = DurabilityInput { crash_record_count: 3, ..Default::default() };
+        assert_eq!(check_durability(&h, &input), vec![]);
+    }
+
+    #[test]
+    fn durability_flags_prefix_and_state_mismatches() {
+        let h = History::default();
+        let input = DurabilityInput {
+            crash_record_count: 10,
+            prefix_commits: [Xid(1), Xid(2)].into(),
+            recovered_commits: [Xid(1), Xid(3)].into(),
+            expected_state: [(1, tag(1, 0)), (2, tag(2, 0))].into(),
+            recovered_state: [(1, tag(1, 0)), (2, tag(9, 0)), (3, tag(3, 0))].into(),
+        };
+        let v = check_durability(&h, &input);
+        assert_eq!(conditions(&v), vec!["DUR-PREFIX", "DUR-STATE"]);
+        assert_eq!(v.iter().filter(|v| v.condition == "DUR-PREFIX").count(), 2);
+        assert_eq!(v.iter().filter(|v| v.condition == "DUR-STATE").count(), 2);
+    }
+
+    #[test]
+    fn unacked_outcome_never_triggers_durability_or_g1a_on_its_own() {
+        let h = History {
+            txns: vec![TxnRecord {
+                xid: Xid(1),
+                ops: vec![HistOp::Write { key: 1, tag: tag(1, 0) }],
+                outcome: HistOutcome::Unacked,
+            }],
+            version_order: [(1, vec![tag(1, 0)])].into(),
+        };
+        assert_eq!(check_anomalies(&h), vec![]);
+        // Whether recovery surfaced it or not, no DUR-ACK fires.
+        for recovered in [BTreeSet::new(), BTreeSet::from([Xid(1)])] {
+            let input = DurabilityInput {
+                crash_record_count: 100,
+                prefix_commits: recovered.clone(),
+                recovered_commits: recovered,
+                ..Default::default()
+            };
+            assert_eq!(check_durability(&h, &input), vec![]);
+        }
     }
 }

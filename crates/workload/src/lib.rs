@@ -11,7 +11,12 @@
 //! * [`txns`] — the five transaction profiles at the standard mix;
 //! * [`driver`] — the multi-terminal discrete-event driver reporting
 //!   NOTPM and response times;
-//! * [`check`] — TPC-C consistency conditions for validating engines.
+//! * [`check`] — TPC-C consistency conditions plus a black-box
+//!   SI-anomaly and durability checker;
+//! * [`chaos`] — deterministic fault-injection harness: a seeded
+//!   multi-terminal workload over tagged keys, crashed at every Nth
+//!   WAL-record boundary and recovered, with the pre-crash history fed
+//!   to the checker.
 //!
 //! Everything is generic over [`sias_txn::MvccEngine`], so SIAS and the
 //! SI baseline run byte-identical logical work.
@@ -19,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod check;
 pub mod config;
 pub mod driver;
@@ -28,7 +34,11 @@ pub mod random;
 pub mod schema;
 pub mod txns;
 
-pub use check::{check_consistency, Violation};
+pub use chaos::{crash_matrix, run_chaos, ChaosConfig, ChaosRun, CrashMatrixReport};
+pub use check::{
+    check_anomalies, check_consistency, check_durability, DurabilityInput, History, Violation,
+    WriteTag,
+};
 pub use config::{Tables, TpccConfig};
 pub use driver::{run_benchmark, BenchResult, DriverConfig};
 pub use loader::load;

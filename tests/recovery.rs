@@ -130,13 +130,58 @@ fn vidmap_rebuild_ignores_uncommitted_tail() {
     let db = SiasDb::open(StorageConfig::in_memory());
     let rel = db.create_relation("t");
     let t = db.begin();
-    db.insert(&t, rel, 1, b"committed").unwrap();
+    db.insert(&t, rel, 1, b"committed v0").unwrap();
+    db.insert(&t, rel, 2, b"single version").unwrap();
     db.commit(t).unwrap();
+    // Deepen key 1's chain with two more committed versions.
+    for round in 1..=2 {
+        let t = db.begin();
+        db.update(&t, rel, 1, format!("committed v{round}").as_bytes()).unwrap();
+        db.commit(t).unwrap();
+    }
     let t = db.begin();
     db.update(&t, rel, 1, b"in flight").unwrap();
     db.abort(t); // the crash resolution
     let rebuilt = db.rebuild_vidmap(rel).unwrap();
     let entry = rebuilt.get(Vid(0)).unwrap();
     let v = sias::core::chain::fetch_version(&db.stack().pool, rel, entry).unwrap();
-    assert_eq!(v.payload.as_ref(), b"committed");
+    assert_eq!(v.payload.as_ref(), b"committed v2");
+
+    // The live map still names the aborted tip (readers skip it via the
+    // clog); the rebuild instead selected the committed head. The tip's
+    // back-pointer must lead exactly there — that link is how the
+    // rebuild walks past uncommitted work.
+    let handle = db.relation_handle(rel).unwrap();
+    let live_entry = handle.vidmap.get(Vid(0)).unwrap();
+    assert_ne!(live_entry, entry, "live entrypoint is the aborted tip");
+    let tip = sias::core::chain::fetch_version(&db.stack().pool, rel, live_entry).unwrap();
+    assert_eq!(tip.payload.as_ref(), b"in flight");
+    assert_eq!(tip.pred, Some(entry), "aborted tip back-points to the committed head");
+
+    // And the surviving chain's back-pointers must be intact: each
+    // version's pred names the next-older version's physical location
+    // (with the matching creator stamp), terminating at the original
+    // insert.
+    let chain = sias::core::chain::collect_chain(&db.stack().pool, rel, entry).unwrap();
+    assert_eq!(chain.len(), 3, "three committed versions of key 1 survive");
+    let payloads: Vec<&[u8]> = chain.iter().map(|(_, v)| v.payload.as_ref()).collect();
+    assert_eq!(payloads, [b"committed v2".as_ref(), b"committed v1", b"committed v0"]);
+    for (i, (_, v)) in chain.iter().enumerate() {
+        match chain.get(i + 1) {
+            Some((older_tid, older)) => {
+                assert_eq!(v.pred, Some(*older_tid), "version {i} back-pointer");
+                assert_eq!(v.pred_create, older.create, "version {i} pred creator stamp");
+                assert!(v.create > older.create, "chain must be newest-first");
+            }
+            None => {
+                assert_eq!(v.pred, None, "oldest version terminates the chain");
+            }
+        }
+    }
+
+    // A single-version item's rebuilt entrypoint has no predecessor.
+    let entry2 = rebuilt.get(Vid(1)).unwrap();
+    let v2 = sias::core::chain::fetch_version(&db.stack().pool, rel, entry2).unwrap();
+    assert_eq!(v2.payload.as_ref(), b"single version");
+    assert_eq!(v2.pred, None);
 }
