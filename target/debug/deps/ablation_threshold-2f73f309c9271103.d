@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_threshold-2f73f309c9271103.d: crates/bench/src/bin/ablation_threshold.rs
+
+/root/repo/target/debug/deps/ablation_threshold-2f73f309c9271103: crates/bench/src/bin/ablation_threshold.rs
+
+crates/bench/src/bin/ablation_threshold.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_threshold-af7e7d92231814aa.d: crates/bench/src/bin/ablation_threshold.rs
+
+/root/repo/target/debug/deps/ablation_threshold-af7e7d92231814aa: crates/bench/src/bin/ablation_threshold.rs
+
+crates/bench/src/bin/ablation_threshold.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_update_ratio-0002ae70bd5aab24.d: crates/bench/src/bin/ablation_update_ratio.rs
+
+/root/repo/target/debug/deps/ablation_update_ratio-0002ae70bd5aab24: crates/bench/src/bin/ablation_update_ratio.rs
+
+crates/bench/src/bin/ablation_update_ratio.rs:

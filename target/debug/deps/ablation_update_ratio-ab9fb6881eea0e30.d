@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_update_ratio-ab9fb6881eea0e30.d: crates/bench/src/bin/ablation_update_ratio.rs
+
+/root/repo/target/debug/deps/ablation_update_ratio-ab9fb6881eea0e30: crates/bench/src/bin/ablation_update_ratio.rs
+
+crates/bench/src/bin/ablation_update_ratio.rs:

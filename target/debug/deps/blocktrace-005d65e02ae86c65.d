@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blocktrace-005d65e02ae86c65.d: crates/bench/src/bin/blocktrace.rs
+
+/root/repo/target/debug/deps/blocktrace-005d65e02ae86c65: crates/bench/src/bin/blocktrace.rs
+
+crates/bench/src/bin/blocktrace.rs:

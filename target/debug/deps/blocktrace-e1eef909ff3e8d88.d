@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blocktrace-e1eef909ff3e8d88.d: crates/bench/src/bin/blocktrace.rs
+
+/root/repo/target/debug/deps/blocktrace-e1eef909ff3e8d88: crates/bench/src/bin/blocktrace.rs
+
+crates/bench/src/bin/blocktrace.rs:

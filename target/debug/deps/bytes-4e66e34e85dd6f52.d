@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-4e66e34e85dd6f52.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4e66e34e85dd6f52.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4e66e34e85dd6f52.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_props-bae9b38092bd8545.d: crates/workload/tests/check_props.rs
+
+/root/repo/target/debug/deps/check_props-bae9b38092bd8545: crates/workload/tests/check_props.rs
+
+crates/workload/tests/check_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-265153b4e7f85b8e.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-265153b4e7f85b8e: tests/concurrency.rs
+
+tests/concurrency.rs:

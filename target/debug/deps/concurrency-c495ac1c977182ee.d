@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-c495ac1c977182ee.d: crates/obs/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-c495ac1c977182ee: crates/obs/tests/concurrency.rs
+
+crates/obs/tests/concurrency.rs:

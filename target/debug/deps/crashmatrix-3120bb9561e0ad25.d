@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crashmatrix-3120bb9561e0ad25.d: crates/bench/src/bin/crashmatrix.rs
+
+/root/repo/target/debug/deps/crashmatrix-3120bb9561e0ad25: crates/bench/src/bin/crashmatrix.rs
+
+crates/bench/src/bin/crashmatrix.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-f496b1bbacbb7096.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f496b1bbacbb7096.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f496b1bbacbb7096.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

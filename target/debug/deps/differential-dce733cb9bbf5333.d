@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-dce733cb9bbf5333.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-dce733cb9bbf5333: tests/differential.rs
+
+tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/endurance-3aaf72336f648b1b.d: crates/bench/src/bin/endurance.rs
+
+/root/repo/target/debug/deps/endurance-3aaf72336f648b1b: crates/bench/src/bin/endurance.rs
+
+crates/bench/src/bin/endurance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/endurance-41b5c51ea6a037c5.d: crates/bench/src/bin/endurance.rs
+
+/root/repo/target/debug/deps/endurance-41b5c51ea6a037c5: crates/bench/src/bin/endurance.rs
+
+crates/bench/src/bin/endurance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-7518cd72a67b8ab9.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-7518cd72a67b8ab9: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-76e870e40d25dea8.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-76e870e40d25dea8: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

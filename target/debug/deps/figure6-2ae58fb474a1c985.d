@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure6-2ae58fb474a1c985.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/debug/deps/figure6-2ae58fb474a1c985: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

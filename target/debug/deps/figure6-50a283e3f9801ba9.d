@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure6-50a283e3f9801ba9.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/debug/deps/figure6-50a283e3f9801ba9: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/histogram_props-fed11f8ad6fe2369.d: crates/obs/tests/histogram_props.rs
+
+/root/repo/target/debug/deps/histogram_props-fed11f8ad6fe2369: crates/obs/tests/histogram_props.rs
+
+crates/obs/tests/histogram_props.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-c32fa4750f770db3.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c32fa4750f770db3.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c32fa4750f770db3.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

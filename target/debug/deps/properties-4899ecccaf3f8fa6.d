@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4899ecccaf3f8fa6.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4899ecccaf3f8fa6: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9b8c0d680fb28011.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9b8c0d680fb28011.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9b8c0d680fb28011.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-32d730de2b3dd180.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-32d730de2b3dd180.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-32d730de2b3dd180.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

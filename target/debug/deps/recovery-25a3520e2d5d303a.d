@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-25a3520e2d5d303a.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-25a3520e2d5d303a: tests/recovery.rs
+
+tests/recovery.rs:

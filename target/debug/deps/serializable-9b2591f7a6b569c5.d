@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serializable-9b2591f7a6b569c5.d: tests/serializable.rs
+
+/root/repo/target/debug/deps/serializable-9b2591f7a6b569c5: tests/serializable.rs
+
+tests/serializable.rs:

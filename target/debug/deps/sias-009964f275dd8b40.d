@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sias-009964f275dd8b40.d: src/lib.rs
+
+/root/repo/target/debug/deps/sias-009964f275dd8b40: src/lib.rs
+
+src/lib.rs:

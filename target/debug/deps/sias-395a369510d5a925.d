@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sias-395a369510d5a925.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsias-395a369510d5a925.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsias-395a369510d5a925.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sias_bench-54eea66521f17c74.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sias_bench-54eea66521f17c74: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sias_bench-a4e8f9f1debdb88c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsias_bench-a4e8f9f1debdb88c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsias_bench-a4e8f9f1debdb88c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sias_common-3b98235f4b2306d7.d: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/sim.rs
+
+/root/repo/target/debug/deps/sias_common-3b98235f4b2306d7: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/sim.rs
+
+crates/common/src/lib.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sias_common-486b880878b513c5.d: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/sim.rs
+
+/root/repo/target/debug/deps/libsias_common-486b880878b513c5.rlib: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/sim.rs
+
+/root/repo/target/debug/deps/libsias_common-486b880878b513c5.rmeta: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/sim.rs
+
+crates/common/src/lib.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/sim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sias_core-7fd9c51152d6aa88.d: crates/core/src/lib.rs crates/core/src/append.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/gc.rs crates/core/src/recovery.rs crates/core/src/version.rs crates/core/src/vidmap.rs
+
+/root/repo/target/debug/deps/libsias_core-7fd9c51152d6aa88.rlib: crates/core/src/lib.rs crates/core/src/append.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/gc.rs crates/core/src/recovery.rs crates/core/src/version.rs crates/core/src/vidmap.rs
+
+/root/repo/target/debug/deps/libsias_core-7fd9c51152d6aa88.rmeta: crates/core/src/lib.rs crates/core/src/append.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/gc.rs crates/core/src/recovery.rs crates/core/src/version.rs crates/core/src/vidmap.rs
+
+crates/core/src/lib.rs:
+crates/core/src/append.rs:
+crates/core/src/chain.rs:
+crates/core/src/engine.rs:
+crates/core/src/gc.rs:
+crates/core/src/recovery.rs:
+crates/core/src/version.rs:
+crates/core/src/vidmap.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sias_core-a446428400a619b2.d: crates/core/src/lib.rs crates/core/src/append.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/gc.rs crates/core/src/recovery.rs crates/core/src/version.rs crates/core/src/vidmap.rs
+
+/root/repo/target/debug/deps/sias_core-a446428400a619b2: crates/core/src/lib.rs crates/core/src/append.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/gc.rs crates/core/src/recovery.rs crates/core/src/version.rs crates/core/src/vidmap.rs
+
+crates/core/src/lib.rs:
+crates/core/src/append.rs:
+crates/core/src/chain.rs:
+crates/core/src/engine.rs:
+crates/core/src/gc.rs:
+crates/core/src/recovery.rs:
+crates/core/src/version.rs:
+crates/core/src/vidmap.rs:

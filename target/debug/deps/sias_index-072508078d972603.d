@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sias_index-072508078d972603.d: crates/index/src/lib.rs crates/index/src/node.rs
+
+/root/repo/target/debug/deps/libsias_index-072508078d972603.rlib: crates/index/src/lib.rs crates/index/src/node.rs
+
+/root/repo/target/debug/deps/libsias_index-072508078d972603.rmeta: crates/index/src/lib.rs crates/index/src/node.rs
+
+crates/index/src/lib.rs:
+crates/index/src/node.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sias_index-94662f2111a8bc41.d: crates/index/src/lib.rs crates/index/src/node.rs
+
+/root/repo/target/debug/deps/sias_index-94662f2111a8bc41: crates/index/src/lib.rs crates/index/src/node.rs
+
+crates/index/src/lib.rs:
+crates/index/src/node.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sias_obs-8f09f129790c8166.d: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsias_obs-8f09f129790c8166.rlib: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsias_obs-8f09f129790c8166.rmeta: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/snapshot.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/snapshot.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sias_obs-98cd7e9d48576ad1.d: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/sias_obs-98cd7e9d48576ad1: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/snapshot.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/snapshot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sias_si-0c92681f403e7176.d: crates/si-baseline/src/lib.rs crates/si-baseline/src/engine.rs crates/si-baseline/src/tuple.rs
+
+/root/repo/target/debug/deps/libsias_si-0c92681f403e7176.rlib: crates/si-baseline/src/lib.rs crates/si-baseline/src/engine.rs crates/si-baseline/src/tuple.rs
+
+/root/repo/target/debug/deps/libsias_si-0c92681f403e7176.rmeta: crates/si-baseline/src/lib.rs crates/si-baseline/src/engine.rs crates/si-baseline/src/tuple.rs
+
+crates/si-baseline/src/lib.rs:
+crates/si-baseline/src/engine.rs:
+crates/si-baseline/src/tuple.rs:

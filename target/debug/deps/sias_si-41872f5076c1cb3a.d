@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sias_si-41872f5076c1cb3a.d: crates/si-baseline/src/lib.rs crates/si-baseline/src/engine.rs crates/si-baseline/src/tuple.rs
+
+/root/repo/target/debug/deps/sias_si-41872f5076c1cb3a: crates/si-baseline/src/lib.rs crates/si-baseline/src/engine.rs crates/si-baseline/src/tuple.rs
+
+crates/si-baseline/src/lib.rs:
+crates/si-baseline/src/engine.rs:
+crates/si-baseline/src/tuple.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sias_storage-f8d8d92d9c01fcbb.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/device/mod.rs crates/storage/src/device/faulty.rs crates/storage/src/device/flash.rs crates/storage/src/device/hdd.rs crates/storage/src/device/mem.rs crates/storage/src/device/raid.rs crates/storage/src/fsm.rs crates/storage/src/page.rs crates/storage/src/stack.rs crates/storage/src/tablespace.rs crates/storage/src/trace.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/sias_storage-f8d8d92d9c01fcbb: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/device/mod.rs crates/storage/src/device/faulty.rs crates/storage/src/device/flash.rs crates/storage/src/device/hdd.rs crates/storage/src/device/mem.rs crates/storage/src/device/raid.rs crates/storage/src/fsm.rs crates/storage/src/page.rs crates/storage/src/stack.rs crates/storage/src/tablespace.rs crates/storage/src/trace.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/device/mod.rs:
+crates/storage/src/device/faulty.rs:
+crates/storage/src/device/flash.rs:
+crates/storage/src/device/hdd.rs:
+crates/storage/src/device/mem.rs:
+crates/storage/src/device/raid.rs:
+crates/storage/src/fsm.rs:
+crates/storage/src/page.rs:
+crates/storage/src/stack.rs:
+crates/storage/src/tablespace.rs:
+crates/storage/src/trace.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sias_txn-8ea4ad25b8997519.d: crates/txn/src/lib.rs crates/txn/src/clog.rs crates/txn/src/engine.rs crates/txn/src/locks.rs crates/txn/src/manager.rs crates/txn/src/metrics.rs crates/txn/src/snapshot.rs crates/txn/src/ssi.rs
+
+/root/repo/target/debug/deps/sias_txn-8ea4ad25b8997519: crates/txn/src/lib.rs crates/txn/src/clog.rs crates/txn/src/engine.rs crates/txn/src/locks.rs crates/txn/src/manager.rs crates/txn/src/metrics.rs crates/txn/src/snapshot.rs crates/txn/src/ssi.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/clog.rs:
+crates/txn/src/engine.rs:
+crates/txn/src/locks.rs:
+crates/txn/src/manager.rs:
+crates/txn/src/metrics.rs:
+crates/txn/src/snapshot.rs:
+crates/txn/src/ssi.rs:

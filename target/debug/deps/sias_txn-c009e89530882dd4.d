@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sias_txn-c009e89530882dd4.d: crates/txn/src/lib.rs crates/txn/src/clog.rs crates/txn/src/engine.rs crates/txn/src/locks.rs crates/txn/src/manager.rs crates/txn/src/metrics.rs crates/txn/src/snapshot.rs crates/txn/src/ssi.rs
+
+/root/repo/target/debug/deps/libsias_txn-c009e89530882dd4.rlib: crates/txn/src/lib.rs crates/txn/src/clog.rs crates/txn/src/engine.rs crates/txn/src/locks.rs crates/txn/src/manager.rs crates/txn/src/metrics.rs crates/txn/src/snapshot.rs crates/txn/src/ssi.rs
+
+/root/repo/target/debug/deps/libsias_txn-c009e89530882dd4.rmeta: crates/txn/src/lib.rs crates/txn/src/clog.rs crates/txn/src/engine.rs crates/txn/src/locks.rs crates/txn/src/manager.rs crates/txn/src/metrics.rs crates/txn/src/snapshot.rs crates/txn/src/ssi.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/clog.rs:
+crates/txn/src/engine.rs:
+crates/txn/src/locks.rs:
+crates/txn/src/manager.rs:
+crates/txn/src/metrics.rs:
+crates/txn/src/snapshot.rs:
+crates/txn/src/ssi.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sias_workload-067b9c8a674318f5.d: crates/workload/src/lib.rs crates/workload/src/chaos.rs crates/workload/src/check.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/keys.rs crates/workload/src/loader.rs crates/workload/src/random.rs crates/workload/src/schema.rs crates/workload/src/txns.rs
+
+/root/repo/target/debug/deps/libsias_workload-067b9c8a674318f5.rlib: crates/workload/src/lib.rs crates/workload/src/chaos.rs crates/workload/src/check.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/keys.rs crates/workload/src/loader.rs crates/workload/src/random.rs crates/workload/src/schema.rs crates/workload/src/txns.rs
+
+/root/repo/target/debug/deps/libsias_workload-067b9c8a674318f5.rmeta: crates/workload/src/lib.rs crates/workload/src/chaos.rs crates/workload/src/check.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/keys.rs crates/workload/src/loader.rs crates/workload/src/random.rs crates/workload/src/schema.rs crates/workload/src/txns.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/chaos.rs:
+crates/workload/src/check.rs:
+crates/workload/src/config.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/loader.rs:
+crates/workload/src/random.rs:
+crates/workload/src/schema.rs:
+crates/workload/src/txns.rs:

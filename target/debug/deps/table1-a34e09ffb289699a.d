@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a34e09ffb289699a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a34e09ffb289699a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

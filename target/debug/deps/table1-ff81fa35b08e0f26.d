@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ff81fa35b08e0f26.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ff81fa35b08e0f26: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

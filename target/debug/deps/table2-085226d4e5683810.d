@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-085226d4e5683810.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-085226d4e5683810: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-aa39e648e0f08fb2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-aa39e648e0f08fb2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

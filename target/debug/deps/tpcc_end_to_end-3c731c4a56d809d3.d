@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpcc_end_to_end-3c731c4a56d809d3.d: tests/tpcc_end_to_end.rs
+
+/root/repo/target/debug/deps/tpcc_end_to_end-3c731c4a56d809d3: tests/tpcc_end_to_end.rs
+
+tests/tpcc_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_crash-dd822f65f5244487.d: tests/wal_crash.rs
+
+/root/repo/target/debug/deps/wal_crash-dd822f65f5244487: tests/wal_crash.rs
+
+tests/wal_crash.rs:

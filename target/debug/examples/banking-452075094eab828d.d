@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/banking-452075094eab828d.d: examples/banking.rs
+
+/root/repo/target/debug/examples/banking-452075094eab828d: examples/banking.rs
+
+examples/banking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blocktrace-ffb67a07f44041ea.d: examples/blocktrace.rs
+
+/root/repo/target/debug/examples/blocktrace-ffb67a07f44041ea: examples/blocktrace.rs
+
+examples/blocktrace.rs:

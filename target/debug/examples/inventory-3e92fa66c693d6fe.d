@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inventory-3e92fa66c693d6fe.d: examples/inventory.rs
+
+/root/repo/target/debug/examples/inventory-3e92fa66c693d6fe: examples/inventory.rs
+
+examples/inventory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1deb09be07c25440.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1deb09be07c25440: examples/quickstart.rs
+
+examples/quickstart.rs:

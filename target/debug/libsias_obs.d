@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsias_obs.rlib: /root/repo/crates/obs/src/lib.rs /root/repo/crates/obs/src/metric.rs /root/repo/crates/obs/src/snapshot.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-f9ab574c23ad46ee.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-f9ab574c23ad46ee.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-f9ab574c23ad46ee.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crashmatrix-3871dcff6fa2c567.d: crates/bench/src/bin/crashmatrix.rs
+
+/root/repo/target/release/deps/crashmatrix-3871dcff6fa2c567: crates/bench/src/bin/crashmatrix.rs
+
+crates/bench/src/bin/crashmatrix.rs:

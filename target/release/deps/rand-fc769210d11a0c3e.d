@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fc769210d11a0c3e.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fc769210d11a0c3e.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fc769210d11a0c3e.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sias-c438dc9906e0a87a.d: src/lib.rs
+
+/root/repo/target/release/deps/libsias-c438dc9906e0a87a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsias-c438dc9906e0a87a.rmeta: src/lib.rs
+
+src/lib.rs:

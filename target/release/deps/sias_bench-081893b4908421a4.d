@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sias_bench-081893b4908421a4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsias_bench-081893b4908421a4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsias_bench-081893b4908421a4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sias_common-7ed85b9e63e2bcc1.d: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/sim.rs
+
+/root/repo/target/release/deps/libsias_common-7ed85b9e63e2bcc1.rlib: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/sim.rs
+
+/root/repo/target/release/deps/libsias_common-7ed85b9e63e2bcc1.rmeta: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/sim.rs
+
+crates/common/src/lib.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/sim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sias_core-b1846c933cc99c99.d: crates/core/src/lib.rs crates/core/src/append.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/gc.rs crates/core/src/recovery.rs crates/core/src/version.rs crates/core/src/vidmap.rs
+
+/root/repo/target/release/deps/libsias_core-b1846c933cc99c99.rlib: crates/core/src/lib.rs crates/core/src/append.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/gc.rs crates/core/src/recovery.rs crates/core/src/version.rs crates/core/src/vidmap.rs
+
+/root/repo/target/release/deps/libsias_core-b1846c933cc99c99.rmeta: crates/core/src/lib.rs crates/core/src/append.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/gc.rs crates/core/src/recovery.rs crates/core/src/version.rs crates/core/src/vidmap.rs
+
+crates/core/src/lib.rs:
+crates/core/src/append.rs:
+crates/core/src/chain.rs:
+crates/core/src/engine.rs:
+crates/core/src/gc.rs:
+crates/core/src/recovery.rs:
+crates/core/src/version.rs:
+crates/core/src/vidmap.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sias_index-8ce3340c5eb279f1.d: crates/index/src/lib.rs crates/index/src/node.rs
+
+/root/repo/target/release/deps/libsias_index-8ce3340c5eb279f1.rlib: crates/index/src/lib.rs crates/index/src/node.rs
+
+/root/repo/target/release/deps/libsias_index-8ce3340c5eb279f1.rmeta: crates/index/src/lib.rs crates/index/src/node.rs
+
+crates/index/src/lib.rs:
+crates/index/src/node.rs:

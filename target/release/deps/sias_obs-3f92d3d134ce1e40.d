@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sias_obs-3f92d3d134ce1e40.d: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/release/deps/libsias_obs-3f92d3d134ce1e40.rlib: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/release/deps/libsias_obs-3f92d3d134ce1e40.rmeta: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/snapshot.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/snapshot.rs:

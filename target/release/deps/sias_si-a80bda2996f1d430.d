@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sias_si-a80bda2996f1d430.d: crates/si-baseline/src/lib.rs crates/si-baseline/src/engine.rs crates/si-baseline/src/tuple.rs
+
+/root/repo/target/release/deps/libsias_si-a80bda2996f1d430.rlib: crates/si-baseline/src/lib.rs crates/si-baseline/src/engine.rs crates/si-baseline/src/tuple.rs
+
+/root/repo/target/release/deps/libsias_si-a80bda2996f1d430.rmeta: crates/si-baseline/src/lib.rs crates/si-baseline/src/engine.rs crates/si-baseline/src/tuple.rs
+
+crates/si-baseline/src/lib.rs:
+crates/si-baseline/src/engine.rs:
+crates/si-baseline/src/tuple.rs:

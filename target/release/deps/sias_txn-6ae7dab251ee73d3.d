@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sias_txn-6ae7dab251ee73d3.d: crates/txn/src/lib.rs crates/txn/src/clog.rs crates/txn/src/engine.rs crates/txn/src/locks.rs crates/txn/src/manager.rs crates/txn/src/metrics.rs crates/txn/src/snapshot.rs crates/txn/src/ssi.rs
+
+/root/repo/target/release/deps/libsias_txn-6ae7dab251ee73d3.rlib: crates/txn/src/lib.rs crates/txn/src/clog.rs crates/txn/src/engine.rs crates/txn/src/locks.rs crates/txn/src/manager.rs crates/txn/src/metrics.rs crates/txn/src/snapshot.rs crates/txn/src/ssi.rs
+
+/root/repo/target/release/deps/libsias_txn-6ae7dab251ee73d3.rmeta: crates/txn/src/lib.rs crates/txn/src/clog.rs crates/txn/src/engine.rs crates/txn/src/locks.rs crates/txn/src/manager.rs crates/txn/src/metrics.rs crates/txn/src/snapshot.rs crates/txn/src/ssi.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/clog.rs:
+crates/txn/src/engine.rs:
+crates/txn/src/locks.rs:
+crates/txn/src/manager.rs:
+crates/txn/src/metrics.rs:
+crates/txn/src/snapshot.rs:
+crates/txn/src/ssi.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sias_workload-d7f068b571ce824f.d: crates/workload/src/lib.rs crates/workload/src/chaos.rs crates/workload/src/check.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/keys.rs crates/workload/src/loader.rs crates/workload/src/random.rs crates/workload/src/schema.rs crates/workload/src/txns.rs
+
+/root/repo/target/release/deps/libsias_workload-d7f068b571ce824f.rlib: crates/workload/src/lib.rs crates/workload/src/chaos.rs crates/workload/src/check.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/keys.rs crates/workload/src/loader.rs crates/workload/src/random.rs crates/workload/src/schema.rs crates/workload/src/txns.rs
+
+/root/repo/target/release/deps/libsias_workload-d7f068b571ce824f.rmeta: crates/workload/src/lib.rs crates/workload/src/chaos.rs crates/workload/src/check.rs crates/workload/src/config.rs crates/workload/src/driver.rs crates/workload/src/keys.rs crates/workload/src/loader.rs crates/workload/src/random.rs crates/workload/src/schema.rs crates/workload/src/txns.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/chaos.rs:
+crates/workload/src/check.rs:
+crates/workload/src/config.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/loader.rs:
+crates/workload/src/random.rs:
+crates/workload/src/schema.rs:
+crates/workload/src/txns.rs:
