@@ -38,8 +38,11 @@ fn small_ssd() -> StorageConfig {
             },
         },
         pool_frames: 512,
+        pool_shards: 0,
         capacity_pages: 32 * 1024,
         faults: sias_storage::FaultPlan::none(),
+        wal: sias_storage::WalConfig::default(),
+        trace_capacity: sias_storage::DEFAULT_TRACE_CAPACITY,
     }
 }
 

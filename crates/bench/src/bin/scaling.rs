@@ -1,0 +1,218 @@
+//! **Multi-core scaling** — commit throughput vs. terminal threads.
+//!
+//! The paper's experiments are device-bound; this experiment is
+//! engine-bound: it measures how the *hot paths* — sharded buffer pool,
+//! leader/follower WAL group commit, lock-free VID map — scale when real
+//! OS threads drive one shared engine. The WAL device is given a
+//! real-time force latency (`force_sleep_us`), the cost every durable
+//! commit must pay, so single-terminal throughput is force-latency-bound
+//! while concurrent terminals amortize each force across a whole commit
+//! group — the classic group-commit win, and the reason the 4-thread
+//! cell must beat the 1-thread cell even on one core.
+//!
+//! Sweeps SIAS-t2 and the SI baseline over 1/2/4/8 threads and writes
+//! `results/BENCH_scaling.json`.
+//!
+//! ```text
+//! cargo run --release -p sias-bench --bin scaling \
+//!     [-- --threads 8 --txns 200 --quick --engine both]
+//! ```
+//!
+//! `--threads N` sweeps the powers of two up to `N`; `--quick` shrinks
+//! the per-thread transaction count for CI smoke runs.
+
+use sias_bench::{arg_value, write_results, EngineKind};
+use sias_core::SiasDb;
+use sias_si::SiDb;
+use sias_storage::{StorageConfig, WalConfig};
+use sias_txn::MvccEngine;
+use sias_workload::{drive_threaded, ThreadedConfig};
+
+/// WAL force latency (µs of real time per device force). Chosen near a
+/// fast SSD's fsync so group-commit amortization, not raw CPU, decides
+/// the sweep.
+const FORCE_SLEEP_US: u64 = 150;
+
+struct Cell {
+    engine: &'static str,
+    threads: usize,
+    committed: u64,
+    aborted: u64,
+    conflicts: u64,
+    wall_secs: f64,
+    commits_per_sec: f64,
+    wal_forces: u64,
+    group_p50: u64,
+    group_max: u64,
+    pool_shards: usize,
+}
+
+fn storage() -> StorageConfig {
+    StorageConfig::in_memory().with_wal_config(WalConfig {
+        group_timeout_ticks: 64,
+        max_batch: 64,
+        force_sleep_us: FORCE_SLEEP_US,
+    })
+}
+
+fn run(kind: EngineKind, threads: usize, txns_per_thread: usize, seed: u64) -> Cell {
+    let tcfg = ThreadedConfig {
+        threads,
+        txns_per_thread,
+        keys: 256,
+        ops_per_txn: 4,
+        update_pct: 60,
+        abort_ppm: 0,
+        seed,
+    };
+    let (run, snap, shards) = match kind {
+        EngineKind::Si => {
+            let db = SiDb::open(storage());
+            let run = drive_threaded(&db, &tcfg);
+            let shards = db.stack().pool.shard_count();
+            (run, db.metrics_snapshot(), shards)
+        }
+        _ => {
+            let db = SiasDb::open(storage());
+            let run = drive_threaded(&db, &tcfg);
+            let shards = db.stack().pool.shard_count();
+            (run, db.metrics_snapshot(), shards)
+        }
+    };
+    let group = snap.histogram("storage.wal.group_size");
+    Cell {
+        engine: kind.label(),
+        threads,
+        committed: run.committed,
+        aborted: run.aborted,
+        conflicts: run.conflicts,
+        wall_secs: run.wall.as_secs_f64(),
+        commits_per_sec: run.commits_per_sec(),
+        wal_forces: snap.counter("storage.wal.forces").unwrap_or(0),
+        group_p50: group.map(|h| h.p50).unwrap_or(0),
+        group_max: group.map(|h| h.max).unwrap_or(0),
+        pool_shards: shards,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let max_threads: usize =
+        arg_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let txns_per_thread: usize = arg_value(&args, "--txns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 100 } else { 400 });
+    let engine_sel = arg_value(&args, "--engine").unwrap_or_else(|| "both".to_string());
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+
+    let mut sweep: Vec<usize> = Vec::new();
+    let mut t = 1;
+    while t <= max_threads.max(1) {
+        sweep.push(t);
+        t *= 2;
+    }
+    if *sweep.last().unwrap() != max_threads.max(1) {
+        sweep.push(max_threads);
+    }
+
+    let mut kinds: Vec<EngineKind> = Vec::new();
+    if engine_sel == "both" || EngineKind::parse(&engine_sel) == Some(EngineKind::SiasT2) {
+        kinds.push(EngineKind::SiasT2);
+    }
+    if engine_sel == "both" || EngineKind::parse(&engine_sel) == Some(EngineKind::Si) {
+        kinds.push(EngineKind::Si);
+    }
+
+    println!(
+        "scaling: threads {sweep:?}, {txns_per_thread} txns/thread, \
+         force latency {FORCE_SLEEP_US} us"
+    );
+    println!(
+        "{:<8} {:>7} {:>9} {:>8} {:>9} {:>11} {:>7} {:>9} {:>9}",
+        "engine",
+        "threads",
+        "commits",
+        "aborted",
+        "wall(s)",
+        "commits/s",
+        "forces",
+        "group p50",
+        "shards"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &kind in &kinds {
+        for &threads in &sweep {
+            let cell = run(kind, threads, txns_per_thread, seed);
+            println!(
+                "{:<8} {:>7} {:>9} {:>8} {:>9.3} {:>11.0} {:>7} {:>9} {:>9}",
+                cell.engine,
+                cell.threads,
+                cell.committed,
+                cell.aborted,
+                cell.wall_secs,
+                cell.commits_per_sec,
+                cell.wal_forces,
+                cell.group_p50,
+                cell.pool_shards
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Acceptance view: SIAS 4-thread vs 1-thread commit throughput, and
+    // forces per commit at the widest SIAS cell.
+    let sias_tp = |threads: usize| {
+        cells
+            .iter()
+            .find(|c| c.engine == "SIAS-t2" && c.threads == threads)
+            .map(|c| c.commits_per_sec)
+    };
+    let speedup = match (sias_tp(1), sias_tp(4)) {
+        (Some(t1), Some(t4)) if t1 > 0.0 => Some(t4 / t1),
+        _ => None,
+    };
+    if let Some(s) = speedup {
+        println!("SIAS 4-thread / 1-thread commit throughput: {s:.2}x");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"txns_per_thread\": {txns_per_thread}, \"keys\": 256, \
+         \"ops_per_txn\": 4, \"update_pct\": 60, \"seed\": {seed}, \
+         \"force_sleep_us\": {FORCE_SLEEP_US}, \"group_timeout_ticks\": 64, \
+         \"max_batch\": 64, \"quick\": {quick}}},\n"
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"threads\": {}, \"committed\": {}, \
+             \"aborted\": {}, \"conflicts\": {}, \"wall_secs\": {:.6}, \
+             \"commits_per_sec\": {:.1}, \"wal_forces\": {}, \
+             \"wal_group_size_p50\": {}, \"wal_group_size_max\": {}, \
+             \"pool_shards\": {}}}{}\n",
+            c.engine,
+            c.threads,
+            c.committed,
+            c.aborted,
+            c.conflicts,
+            c.wall_secs,
+            c.commits_per_sec,
+            c.wal_forces,
+            c.group_p50,
+            c.group_max,
+            c.pool_shards,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    match speedup {
+        Some(s) => json.push_str(&format!("  \"sias_speedup_4_over_1\": {s:.3}\n")),
+        None => json.push_str("  \"sias_speedup_4_over_1\": null\n"),
+    }
+    json.push_str("}\n");
+
+    let path = write_results("BENCH_scaling.json", &json);
+    println!("wrote {}", path.display());
+}

@@ -28,8 +28,12 @@ use sias_txn::{EngineMetrics, MvccEngine, TransactionManager, Txn};
 
 use crate::append::{AppendRegion, FlushPolicy};
 use crate::chain::{fetch_version, visible_version, visible_version_depth};
+use crate::scanpool::ScanPool;
 use crate::version::TupleVersion;
 use crate::vidmap::VidMap;
+
+/// Upper bound on shared scan workers (§4.2.1 parallel access path).
+const MAX_SCAN_WORKERS: usize = 16;
 
 /// One SIAS-managed relation: data blocks + VID map + append region +
 /// primary-key index.
@@ -56,6 +60,8 @@ pub struct SiasDb {
     bgwriter_budget: usize,
     /// Pre-resolved metric handles (same names as the SI baseline).
     pub(crate) metrics: EngineMetrics,
+    /// Long-lived workers shared by every parallel VID-map scan.
+    scan_pool: ScanPool,
 }
 
 impl SiasDb {
@@ -70,6 +76,7 @@ impl SiasDb {
         let stack = StorageStack::new(&cfg);
         let txm = Arc::new(TransactionManager::with_registry(&stack.obs));
         let metrics = EngineMetrics::register(&stack.obs);
+        let scan_pool = ScanPool::with_registry(MAX_SCAN_WORKERS, &stack.obs);
         SiasDb {
             stack,
             txm,
@@ -79,6 +86,7 @@ impl SiasDb {
             policy,
             bgwriter_budget: 128,
             metrics,
+            scan_pool,
         }
     }
 
@@ -307,10 +315,12 @@ impl SiasDb {
 
     /// Parallel scan over the VID map — §4.2.1: "Note: This access path
     /// is parallelizable and therefore complements the parallelism of the
-    /// Flash storage." The VID range is partitioned across `threads`
-    /// workers, each walking its items' chains independently (versions
-    /// are immutable and the map is latch-free, so no coordination is
-    /// needed). Results are identical to [`SiasDb::scan_vidmap`].
+    /// Flash storage." The VID range is partitioned into `threads` chunks
+    /// executed on the engine's shared [`ScanPool`] (workers persist
+    /// across calls instead of being spawned per scan); each worker walks
+    /// its items' chains independently (versions are immutable and the
+    /// map is latch-free, so no coordination is needed). Results are
+    /// identical to [`SiasDb::scan_vidmap`].
     pub fn scan_vidmap_parallel(
         &self,
         txn: &Txn,
@@ -321,37 +331,36 @@ impl SiasDb {
         let mut entries: Vec<(Vid, Tid)> = Vec::new();
         r.vidmap.for_each(|vid, tid| entries.push((vid, tid)));
         let threads = threads.max(1).min(entries.len().max(1));
+        if threads <= 1 {
+            return self.scan_vidmap(txn, rel);
+        }
         let chunk = entries.len().div_ceil(threads);
-        let mut out: Vec<(Vid, Bytes)> = Vec::with_capacity(entries.len());
-        let results: Vec<SiasResult<Vec<(Vid, Bytes)>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = entries
-                .chunks(chunk.max(1))
-                .map(|part| {
-                    scope.spawn(move || {
-                        let mut local = Vec::with_capacity(part.len());
-                        for &(vid, entry) in part {
-                            if let Some((_, v)) = visible_version(
-                                &self.stack.pool,
-                                rel,
-                                entry,
-                                &txn.snapshot,
-                                &self.txm.clog,
-                            )? {
-                                if !v.tombstone {
-                                    local.push((vid, v.payload));
-                                }
-                            }
-                        }
-                        Ok(local)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+        let chunks: Vec<Vec<(Vid, Tid)>> =
+            entries.chunks(chunk.max(1)).map(|c| c.to_vec()).collect();
+        let pool = Arc::clone(&self.stack.pool);
+        let txm = Arc::clone(&self.txm);
+        let snapshot = txn.snapshot.clone();
+        let results: Vec<SiasResult<Vec<(Vid, Bytes)>>> = self.scan_pool.run(chunks, move |part| {
+            let mut local = Vec::with_capacity(part.len());
+            for (vid, entry) in part {
+                if let Some((_, v)) = visible_version(&pool, rel, entry, &snapshot, &txm.clog)? {
+                    if !v.tombstone {
+                        local.push((vid, v.payload));
+                    }
+                }
+            }
+            Ok(local)
         });
+        let mut out: Vec<(Vid, Bytes)> = Vec::new();
         for part in results {
             out.extend(part?);
         }
         Ok(out)
+    }
+
+    /// The shared scan pool (diagnostics).
+    pub fn scan_pool(&self) -> &ScanPool {
+        &self.scan_pool
     }
 
     /// The traditional full-relation scan (§4.2.1): reads **every** tuple
@@ -605,15 +614,17 @@ impl MvccEngine for SiasDb {
     }
 
     fn commit(&self, txn: Txn) -> SiasResult<()> {
-        self.stack.wal.append(&WalRecord::Commit(txn.xid));
-        // The commit is acknowledged only once the log force succeeds.
-        // On failure the transaction aborts locally; its Commit record
-        // stays pending and may yet become durable through a later
-        // force (outcome uncertainty — the client saw an error and must
-        // treat the result as unknown). The durability checker only
-        // requires *acknowledged* commits to survive, and this path
+        let lsn = self.stack.wal.append(&WalRecord::Commit(txn.xid));
+        // The commit is acknowledged only once the log is durable through
+        // its own Commit record — `force_through` lets a concurrent
+        // group-commit leader satisfy this committer without a second
+        // device force. On failure the transaction aborts locally; its
+        // Commit record stays pending and may yet become durable through
+        // a later force (outcome uncertainty — the client saw an error
+        // and must treat the result as unknown). The durability checker
+        // only requires *acknowledged* commits to survive, and this path
         // never acknowledges.
-        if let Err(e) = self.stack.wal.force() {
+        if let Err(e) = self.stack.wal.force_through(lsn) {
             self.txm.abort(txn);
             return Err(e);
         }
@@ -676,6 +687,7 @@ impl MvccEngine for SiasDb {
 
     fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.sync_vidmap_metrics();
+        self.stack.pool.sync_stats();
         self.stack.obs.snapshot()
     }
 }

@@ -439,8 +439,11 @@ mod tests {
         let storage = sias_storage::StorageConfig {
             media: Media::SsdRaid { members: 1, flash: FlashConfig::default() },
             pool_frames: 256,
+            pool_shards: 0,
             capacity_pages: 1 << 14,
             faults: sias_storage::FaultPlan::none(),
+            wal: sias_storage::WalConfig::default(),
+            trace_capacity: sias_storage::DEFAULT_TRACE_CAPACITY,
         };
         let db = SiasDb::open_with_policy(storage, FlushPolicy::T2);
         let rel = db.create_relation("t");

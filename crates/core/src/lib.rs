@@ -29,6 +29,7 @@ pub mod chain;
 pub mod engine;
 pub mod gc;
 pub mod recovery;
+pub mod scanpool;
 pub mod version;
 pub mod vidmap;
 
@@ -36,5 +37,6 @@ pub use append::{AppendRegion, FlushPolicy};
 pub use engine::{SiasDb, SiasRelation};
 pub use gc::{GcStats, DEFAULT_VACUUM_THRESHOLD};
 pub use recovery::RecoveryStats;
+pub use scanpool::ScanPool;
 pub use version::TupleVersion;
 pub use vidmap::VidMap;

@@ -17,10 +17,24 @@
 //!   `C_W = 2 * C_R` accounting);
 //! * buckets can be persisted to pages at shutdown and reloaded, or the
 //!   whole map can be rebuilt by scanning the relation (§6 *Recovery*).
+//!
+//! # Lock-free bucket directory
+//!
+//! The directory itself follows the same §4.1.3 discipline as the
+//! slots: it is an **append-only two-level pointer array** with an
+//! atomically published length, not a latched `Vec`. The root is a
+//! fixed array of segment cells; each segment is a fixed array of
+//! bucket cells; cells are write-once ([`std::sync::OnceLock`]), so a
+//! reader either sees an initialized bucket — with all its slot writes
+//! ordered behind the cell's release-publish — or an empty cell, never
+//! a partially-built bucket. Growth never moves existing buckets (no
+//! rehash, no epoch reclamation needed) and `get`/`set`/
+//! `compare_and_set` touch no lock of any kind: a lookup is two
+//! dependent acquire-loads plus the slot's atomic op.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-use parking_lot::RwLock;
 use sias_common::config::VIDMAP_SLOTS_PER_BUCKET;
 use sias_common::RelId;
 use sias_common::{SiasResult, Tid, Vid};
@@ -39,9 +53,23 @@ impl Bucket {
     }
 }
 
+/// Buckets per directory segment.
+const SEGMENT_BUCKETS: usize = 256;
+/// Segments in the root array: 4096 × 256 buckets × 1024 slots ≈ 2³⁰
+/// addressable VIDs per relation, far beyond any simulated workload.
+const ROOT_SEGMENTS: usize = 4096;
+
+/// Second directory level: a fixed array of write-once bucket cells.
+type Segment = Box<[OnceLock<Bucket>]>;
+
 /// The VID → entrypoint-TID map of one relation.
 pub struct VidMap {
-    buckets: RwLock<Vec<Bucket>>,
+    /// Two-level append-only directory (see module docs).
+    root: Box<[OnceLock<Segment>]>,
+    /// Published directory length in buckets: `fetch_max`-raised after a
+    /// bucket is materialized. Iteration (`for_each`, `save_to`) walks
+    /// `0..published`; readers of individual VIDs don't consult it.
+    published: AtomicUsize,
     next_vid: AtomicU64,
     /// Entrypoint lookups served (always-on; the engine publishes this
     /// as `core.vidmap.lookups` at snapshot time).
@@ -59,8 +87,10 @@ impl Default for VidMap {
 impl VidMap {
     /// Creates an empty map.
     pub fn new() -> Self {
+        let root: Vec<OnceLock<Segment>> = (0..ROOT_SEGMENTS).map(|_| OnceLock::new()).collect();
         VidMap {
-            buckets: RwLock::new(Vec::new()),
+            root: root.into_boxed_slice(),
+            published: AtomicUsize::new(0),
             next_vid: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             resizes: AtomicU64::new(0),
@@ -92,20 +122,33 @@ impl VidMap {
         )
     }
 
-    fn ensure_bucket(&self, bucket: usize) {
-        {
-            let buckets = self.buckets.read();
-            if bucket < buckets.len() {
-                return;
-            }
+    /// Read-only bucket access: two dependent acquire-loads, no locks.
+    #[inline]
+    fn bucket(&self, b: usize) -> Option<&Bucket> {
+        self.root.get(b / SEGMENT_BUCKETS)?.get()?[b % SEGMENT_BUCKETS].get()
+    }
+
+    /// Materializes bucket `b` (and its segment) if absent and raises
+    /// the published directory length past it. Write-once cells make the
+    /// race benign: every contender observes the same winner's bucket,
+    /// and `fetch_max` ensures the published length only grows.
+    fn ensure_bucket(&self, bucket: usize) -> &Bucket {
+        let seg = self
+            .root
+            .get(bucket / SEGMENT_BUCKETS)
+            .unwrap_or_else(|| panic!("vid map directory exhausted (bucket {bucket})"))
+            .get_or_init(|| {
+                (0..SEGMENT_BUCKETS).map(|_| OnceLock::new()).collect::<Vec<_>>().into_boxed_slice()
+            });
+        let cell = &seg[bucket % SEGMENT_BUCKETS];
+        if let Some(b) = cell.get() {
+            return b;
         }
-        let mut buckets = self.buckets.write();
-        if buckets.len() <= bucket {
+        let b = cell.get_or_init(Bucket::new);
+        if self.published.fetch_max(bucket + 1, Ordering::AcqRel) <= bucket {
             self.resizes.fetch_add(1, Ordering::Relaxed);
         }
-        while buckets.len() <= bucket {
-            buckets.push(Bucket::new());
-        }
+        b
     }
 
     /// Returns the entrypoint TID of `vid`, or `None` when the slot is
@@ -113,9 +156,7 @@ impl VidMap {
     pub fn get(&self, vid: Vid) -> Option<Tid> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let (b, s) = Self::locate(vid);
-        let buckets = self.buckets.read();
-        let bucket = buckets.get(b)?;
-        Tid::unpack(bucket.slots[s].load(Ordering::Acquire))
+        Tid::unpack(self.bucket(b)?.slots[s].load(Ordering::Acquire))
     }
 
     /// Number of entrypoint lookups served so far.
@@ -132,19 +173,15 @@ impl VidMap {
     /// empty or the caller holds the tuple lock).
     pub fn set(&self, vid: Vid, tid: Tid) {
         let (b, s) = Self::locate(vid);
-        self.ensure_bucket(b);
-        let buckets = self.buckets.read();
-        buckets[b].slots[s].store(tid.pack(), Ordering::Release);
+        self.ensure_bucket(b).slots[s].store(tid.pack(), Ordering::Release);
     }
 
     /// Atomically swings the entrypoint from `expected` to `new`
     /// (update path). Returns `false` when the slot changed concurrently.
     pub fn compare_and_set(&self, vid: Vid, expected: Option<Tid>, new: Tid) -> bool {
         let (b, s) = Self::locate(vid);
-        self.ensure_bucket(b);
-        let buckets = self.buckets.read();
         let cur = expected.map_or(0, Tid::pack);
-        buckets[b].slots[s]
+        self.ensure_bucket(b).slots[s]
             .compare_exchange(cur, new.pack(), Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
@@ -152,15 +189,17 @@ impl VidMap {
     /// Clears a slot (GC of fully-dead data items).
     pub fn remove(&self, vid: Vid) {
         let (b, s) = Self::locate(vid);
-        let buckets = self.buckets.read();
-        if let Some(bucket) = buckets.get(b) {
+        if let Some(bucket) = self.bucket(b) {
             bucket.slots[s].store(0, Ordering::Release);
         }
     }
 
-    /// Number of buckets currently allocated.
+    /// Published directory length in buckets. Like the `Vec` length it
+    /// replaces, this covers every bucket up to the highest touched VID
+    /// (intervening buckets may not be materialized yet — they read as
+    /// empty).
     pub fn bucket_count(&self) -> usize {
-        self.buckets.read().len()
+        self.published.load(Ordering::Acquire)
     }
 
     /// Resident memory footprint in bytes (§4.1.2 asks for "a low memory
@@ -172,17 +211,16 @@ impl VidMap {
 
     /// Number of occupied slots (O(capacity); diagnostics only).
     pub fn occupied(&self) -> u64 {
-        let buckets = self.buckets.read();
-        buckets
-            .iter()
+        (0..self.bucket_count())
+            .filter_map(|bi| self.bucket(bi))
             .map(|b| b.slots.iter().filter(|s| s.load(Ordering::Relaxed) != 0).count() as u64)
             .sum()
     }
 
     /// Visits every occupied slot in VID order.
     pub fn for_each(&self, mut f: impl FnMut(Vid, Tid)) {
-        let buckets = self.buckets.read();
-        for (bi, bucket) in buckets.iter().enumerate() {
+        for bi in 0..self.bucket_count() {
+            let Some(bucket) = self.bucket(bi) else { continue };
             for (si, slot) in bucket.slots.iter().enumerate() {
                 if let Some(tid) = Tid::unpack(slot.load(Ordering::Acquire)) {
                     f(Vid((bi * VIDMAP_SLOTS_PER_BUCKET + si) as u64), tid);
@@ -197,19 +235,25 @@ impl VidMap {
     /// shutdown path.
     pub fn save_to(&self, pool: &BufferPool, rel: RelId) -> SiasResult<usize> {
         pool.space().create_relation(rel);
-        let buckets = self.buckets.read();
-        for (bi, bucket) in buckets.iter().enumerate() {
+        let nbuckets = self.bucket_count();
+        for bi in 0..nbuckets {
             while pool.space().relation_blocks(rel) <= bi as u32 {
                 pool.allocate_block(rel)?;
             }
+            let bucket = self.bucket(bi);
             pool.with_page_mut(rel, bi as u32, |page: &mut Page| {
                 // 7 bytes per slot (presence flag + 32-bit block + 16-bit
                 // slot): 1024 records fit the page body, mirroring the
-                // paper's 6-byte TIDs + per-TID offset bits.
+                // paper's 6-byte TIDs + per-TID offset bits. Buckets the
+                // directory never materialized persist as all-empty pages.
                 let body = page.body_mut();
-                for (si, slot) in bucket.slots.iter().enumerate() {
+                for si in 0..VIDMAP_SLOTS_PER_BUCKET {
                     let off = si * 7;
-                    match Tid::unpack(slot.load(Ordering::Acquire)) {
+                    let packed = match bucket {
+                        Some(b) => b.slots[si].load(Ordering::Acquire),
+                        None => 0,
+                    };
+                    match Tid::unpack(packed) {
                         Some(tid) => {
                             body[off] = 1;
                             body[off + 1..off + 5].copy_from_slice(&tid.block.to_le_bytes());
@@ -223,11 +267,11 @@ impl VidMap {
         }
         // Persist the VID high-water mark in block 0's LSN field... kept
         // in the header of the first page via set_lsn.
-        if !buckets.is_empty() {
+        if nbuckets > 0 {
             let bound = self.vid_bound();
             pool.with_page_mut(rel, 0, |page| page.set_lsn(bound))?;
         }
-        Ok(buckets.len())
+        Ok(nbuckets)
     }
 
     /// Reloads a map persisted by [`VidMap::save_to`].

@@ -382,11 +382,12 @@ impl MvccEngine for SiDb {
     }
 
     fn commit(&self, txn: Txn) -> SiasResult<()> {
-        self.stack.wal.append(&WalRecord::Commit(txn.xid));
+        let lsn = self.stack.wal.append(&WalRecord::Commit(txn.xid));
         // Same acknowledgement contract as the SIAS engine: a failed
         // force aborts locally and the client must treat the outcome as
-        // unknown (the Commit record stays pending).
-        if let Err(e) = self.stack.wal.force() {
+        // unknown (the Commit record stays pending). `force_through`
+        // lets a group-commit leader acknowledge this committer.
+        if let Err(e) = self.stack.wal.force_through(lsn) {
             self.txm.abort(txn);
             return Err(e);
         }
@@ -432,6 +433,11 @@ impl MvccEngine for SiDb {
 
     fn obs_registry(&self) -> Option<&Arc<Registry>> {
         Some(&self.stack.obs)
+    }
+
+    fn metrics_snapshot(&self) -> sias_obs::MetricsSnapshot {
+        self.stack.pool.sync_stats();
+        self.stack.obs.snapshot()
     }
 }
 

@@ -17,13 +17,23 @@
 //!
 //! # Locking discipline
 //!
+//! The page table is **lock-striped**: keys hash to one of N shards,
+//! each owning a disjoint range of frames, its own `Mutex<HashMap>`
+//! mapping table, its own clock hand, and its own statistic cells
+//! (folded into the shared registry at snapshot time). Page pins from
+//! different terminals therefore only contend when they touch the same
+//! shard, and a clock sweep never scans or evicts another shard's
+//! frames. The invariant that makes this sound: a key's shard is a pure
+//! function of the key, so a frame owned by shard *s* only ever caches
+//! keys that hash to *s*.
+//!
 //! `with_page` / `with_page_mut` run a closure under the frame latch.
 //! **Closures must not re-enter the buffer pool** — nested calls can
-//! deadlock against the table lock. All engines in this workspace copy
-//! tuple bytes out of the closure and operate page-at-a-time.
+//! deadlock against the shard table lock. All engines in this workspace
+//! copy tuple bytes out of the closure and operate page-at-a-time.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -89,15 +99,45 @@ struct Frame {
     usage: AtomicU32,
 }
 
-/// A clock-sweep buffer pool over one device + tablespace.
-pub struct BufferPool {
-    frames: Vec<Frame>,
+/// Per-shard statistic cells. Hot-path increments land here (one cache
+/// line per shard instead of one shared counter for the whole pool) and
+/// are folded into the registry-backed [`StatCell`] counters by
+/// [`BufferPool::sync_stats`] at snapshot time.
+#[derive(Default)]
+struct ShardCell {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    eviction_writes: AtomicU64,
+}
+
+/// One lock stripe of the page table: a disjoint range of frames
+/// (`lo .. lo + len`), the mapping table for keys hashing here, and a
+/// private clock hand sweeping only this shard's frames.
+struct Shard {
     table: Mutex<HashMap<(RelId, BlockId), usize>>,
     hand: AtomicUsize,
+    lo: usize,
+    len: usize,
+    cell: ShardCell,
+}
+
+/// A sharded clock-sweep buffer pool over one device + tablespace.
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    shards: Vec<Shard>,
     device: Arc<dyn Device>,
     space: Arc<Tablespace>,
     retry: RetryPolicy,
     stats: StatCell,
+}
+
+/// SplitMix64 finalizer — cheap, well-mixed shard selection.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl BufferPool {
@@ -110,29 +150,72 @@ impl BufferPool {
 
     /// Like [`BufferPool::new`], but registers the `storage.buffer.*`
     /// counters in `obs` so they show up in that registry's snapshots.
+    /// The shard count is chosen automatically (one stripe per ~128
+    /// frames, at most 8); use [`BufferPool::with_registry_sharded`] to
+    /// pick it explicitly.
     pub fn with_registry(
         nframes: usize,
         device: Arc<dyn Device>,
         space: Arc<Tablespace>,
         obs: &Registry,
     ) -> Self {
+        Self::with_registry_sharded(nframes, 0, device, space, obs)
+    }
+
+    /// Like [`BufferPool::with_registry`] with an explicit shard count.
+    /// `nshards == 0` selects the automatic heuristic. The effective
+    /// count is clamped so every shard owns at least two frames (a shard
+    /// must always be able to hold one pinned page and one victim).
+    pub fn with_registry_sharded(
+        nframes: usize,
+        nshards: usize,
+        device: Arc<dyn Device>,
+        space: Arc<Tablespace>,
+        obs: &Registry,
+    ) -> Self {
         assert!(nframes >= 2, "pool needs at least two frames");
-        let frames = (0..nframes)
+        let auto = (nframes / 128).clamp(1, 8);
+        let nshards = if nshards == 0 { auto } else { nshards }.clamp(1, nframes / 2);
+        let frames: Vec<Frame> = (0..nframes)
             .map(|_| Frame {
                 data: RwLock::new(FrameData { key: None, page: Page::new(), dirty: false }),
                 pins: AtomicU32::new(0),
                 usage: AtomicU32::new(0),
             })
             .collect();
+        // Partition frames into contiguous per-shard ranges; the first
+        // `nframes % nshards` shards take one extra frame.
+        let base = nframes / nshards;
+        let extra = nframes % nshards;
+        let mut lo = 0usize;
+        let shards = (0..nshards)
+            .map(|s| {
+                let len = base + usize::from(s < extra);
+                let shard = Shard {
+                    table: Mutex::new(HashMap::new()),
+                    hand: AtomicUsize::new(0),
+                    lo,
+                    len,
+                    cell: ShardCell::default(),
+                };
+                lo += len;
+                shard
+            })
+            .collect();
         BufferPool {
             frames,
-            table: Mutex::new(HashMap::new()),
-            hand: AtomicUsize::new(0),
+            shards,
             device,
             space,
             retry: RetryPolicy::default(),
             stats: StatCell::register(obs),
         }
+    }
+
+    /// The shard a key hashes to.
+    fn shard_of(&self, key: (RelId, BlockId)) -> &Shard {
+        let h = mix64(((key.0 .0 as u64) << 32) | key.1 as u64);
+        &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
     /// Overrides the transient-error retry policy (builder style).
@@ -156,8 +239,27 @@ impl BufferPool {
         self.frames.len()
     }
 
+    /// Number of lock stripes in the page table.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Folds the per-shard stat cells into the shared registry counters.
+    /// Called by [`BufferPool::stats`]; engines also call it right
+    /// before taking a registry snapshot so `storage.buffer.*` counters
+    /// are current.
+    pub fn sync_stats(&self) {
+        for s in &self.shards {
+            self.stats.hits.add(s.cell.hits.swap(0, Ordering::Relaxed));
+            self.stats.misses.add(s.cell.misses.swap(0, Ordering::Relaxed));
+            self.stats.evictions.add(s.cell.evictions.swap(0, Ordering::Relaxed));
+            self.stats.eviction_writes.add(s.cell.eviction_writes.swap(0, Ordering::Relaxed));
+        }
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> BufferStats {
+        self.sync_stats();
         BufferStats {
             hits: self.stats.hits.get(),
             misses: self.stats.misses.get(),
@@ -170,6 +272,7 @@ impl BufferPool {
 
     /// Resets counters (between benchmark phases).
     pub fn reset_stats(&self) {
+        self.sync_stats(); // drain shard cells so stale deltas don't resurface
         self.stats.hits.reset();
         self.stats.misses.reset();
         self.stats.evictions.reset();
@@ -229,25 +332,29 @@ impl BufferPool {
     }
 
     /// Looks the page up, reading it in on a miss. Returns the frame
-    /// index with one pin held by the caller.
+    /// index with one pin held by the caller. All table work happens in
+    /// the key's shard: the hit probe, the victim sweep (only this
+    /// shard's frames) and the mapping update, so fetches of keys in
+    /// different shards never serialize on one lock.
     fn fetch(&self, rel: RelId, block: BlockId, fresh: bool) -> SiasResult<usize> {
         let key = (rel, block);
-        let mut table = self.table.lock();
+        let shard = self.shard_of(key);
+        let mut table = shard.table.lock();
         if let Some(&idx) = table.get(&key) {
             let frame = &self.frames[idx];
             frame.pins.fetch_add(1, Ordering::Acquire);
             if frame.usage.load(Ordering::Relaxed) < 3 {
                 frame.usage.fetch_add(1, Ordering::Relaxed);
             }
-            self.stats.hits.inc();
+            shard.cell.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(idx);
         }
-        self.stats.misses.inc();
-        // Victim search: classic clock sweep.
-        let n = self.frames.len();
+        shard.cell.misses.fetch_add(1, Ordering::Relaxed);
+        // Victim search: classic clock sweep over this shard's frames.
+        let n = shard.len;
         let mut victim = None;
         for _ in 0..5 * n {
-            let idx = self.hand.fetch_add(1, Ordering::Relaxed) % n;
+            let idx = shard.lo + shard.hand.fetch_add(1, Ordering::Relaxed) % n;
             let frame = &self.frames[idx];
             if frame.pins.load(Ordering::Acquire) > 0 {
                 continue;
@@ -267,6 +374,8 @@ impl BufferPool {
         // reader can observe stale contents.
         let mut guard = frame.data.write();
         if let Some(old_key) = guard.key {
+            // A frame owned by this shard only ever holds keys hashing
+            // to this shard, so the victim's mapping lives in `table`.
             table.remove(&old_key);
             if old_key == key {
                 // The clock hand landed on our own key (possible when the
@@ -291,13 +400,13 @@ impl BufferPool {
             });
             if let Err(e) = res {
                 drop(guard);
-                // Lock order is table → frame everywhere else, so the
-                // frame latch is released before re-taking the table
+                // Lock order is shard table → frame everywhere else, so
+                // the frame latch is released before re-taking the table
                 // lock. A concurrent fetch of `key` in this window sees
                 // the stale mapping and the old frame key — benign for
                 // the single-threaded chaos harness this path serves,
                 // and self-correcting once the mapping is reverted.
-                let mut table = self.table.lock();
+                let mut table = shard.table.lock();
                 if table.get(&key) == Some(&idx) {
                     table.remove(&key);
                 }
@@ -306,10 +415,10 @@ impl BufferPool {
                 frame.pins.fetch_sub(1, Ordering::Release);
                 return Err(e);
             }
-            self.stats.eviction_writes.inc();
+            shard.cell.eviction_writes.fetch_add(1, Ordering::Relaxed);
         }
         if guard.key.is_some() {
-            self.stats.evictions.inc();
+            shard.cell.evictions.fetch_add(1, Ordering::Relaxed);
         }
         guard.key = Some(key);
         guard.dirty = false;
@@ -326,7 +435,7 @@ impl BufferPool {
                 // back or clean) nor the new one: unmap it entirely.
                 guard.key = None;
                 drop(guard);
-                let mut table = self.table.lock();
+                let mut table = shard.table.lock();
                 if table.get(&key) == Some(&idx) {
                     table.remove(&key);
                 }
@@ -344,7 +453,7 @@ impl BufferPool {
     /// host blocks on the device write.
     pub fn flush_block(&self, rel: RelId, block: BlockId, sync: bool) -> SiasResult<bool> {
         let idx = {
-            let table = self.table.lock();
+            let table = self.shard_of((rel, block)).table.lock();
             match table.get(&(rel, block)) {
                 Some(&idx) => idx,
                 None => return Ok(false),
@@ -432,7 +541,7 @@ impl BufferPool {
     /// left alone (caller retries later); the TRIM is issued regardless.
     pub fn discard_block(&self, rel: RelId, block: BlockId) -> SiasResult<()> {
         let idx = {
-            let mut table = self.table.lock();
+            let mut table = self.shard_of((rel, block)).table.lock();
             match table.get(&(rel, block)).copied() {
                 Some(idx) if self.frames[idx].pins.load(Ordering::Acquire) == 0 => {
                     table.remove(&(rel, block));
@@ -459,6 +568,31 @@ impl BufferPool {
     /// Number of dirty resident pages (diagnostics, flush policies).
     pub fn dirty_count(&self) -> usize {
         self.frames.iter().filter(|f| f.data.read().dirty).count()
+    }
+
+    /// Checks the table ↔ frame agreement invariants at quiescence
+    /// (tests only — takes every shard lock and every frame latch).
+    /// Panics on violation: a mapping must point into its own shard's
+    /// frame range, the frame must carry exactly that key, no two
+    /// mappings may share a frame, and no pin may be leaked.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        let mut seen = std::collections::HashSet::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let table = shard.table.lock();
+            for (&key, &idx) in table.iter() {
+                assert!(
+                    idx >= shard.lo && idx < shard.lo + shard.len,
+                    "shard {s} maps {key:?} to foreign frame {idx}"
+                );
+                assert!(seen.insert(idx), "frame {idx} mapped twice");
+                let guard = self.frames[idx].data.read();
+                assert_eq!(guard.key, Some(key), "frame {idx} key disagrees with table");
+            }
+        }
+        for (idx, frame) in self.frames.iter().enumerate() {
+            assert_eq!(frame.pins.load(Ordering::Acquire), 0, "frame {idx} leaked a pin");
+        }
     }
 }
 
@@ -646,6 +780,38 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn sharded_pool_keeps_keys_in_their_shard() {
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::standalone(1 << 16));
+        let space = Arc::new(Tablespace::new(1 << 16));
+        space.create_relation(RelId(1));
+        let p = BufferPool::with_registry_sharded(16, 4, Arc::clone(&dev), space, &Registry::new());
+        assert_eq!(p.shard_count(), 4);
+        let rel = RelId(1);
+        let blocks: Vec<BlockId> = (0..40).map(|_| p.allocate_block(rel).unwrap()).collect();
+        for (i, &b) in blocks.iter().enumerate() {
+            p.with_page_mut(rel, b, |page| {
+                page.add_item(&[i as u8; 16]).unwrap().unwrap();
+            })
+            .unwrap();
+        }
+        for (i, &b) in blocks.iter().enumerate() {
+            let v = p.with_page(rel, b, |page| page.item(0).unwrap().to_vec()).unwrap();
+            assert_eq!(v, vec![i as u8; 16]);
+        }
+        p.debug_validate();
+        let st = p.stats();
+        assert!(st.evictions > 0, "40 blocks over 16 frames must evict");
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_two_frames_per_shard() {
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::standalone(1 << 12));
+        let space = Arc::new(Tablespace::new(1 << 12));
+        let p = BufferPool::with_registry_sharded(4, 64, dev, space, &Registry::new());
+        assert_eq!(p.shard_count(), 2);
     }
 
     #[test]

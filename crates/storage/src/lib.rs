@@ -43,5 +43,5 @@ pub use fsm::FreeSpaceMap;
 pub use page::Page;
 pub use stack::{Media, StorageConfig, StorageStack};
 pub use tablespace::Tablespace;
-pub use trace::{IoDir, TraceCollector, TraceEvent, TraceSummary};
-pub use wal::{Wal, WalRecord, WalStats};
+pub use trace::{IoDir, TraceCollector, TraceEvent, TraceSummary, DEFAULT_TRACE_CAPACITY};
+pub use wal::{Wal, WalConfig, WalRecord, WalStats};

@@ -23,8 +23,8 @@ use crate::device::{
     MemDevice, Raid0,
 };
 use crate::tablespace::Tablespace;
-use crate::trace::TraceCollector;
-use crate::wal::Wal;
+use crate::trace::{TraceCollector, DEFAULT_TRACE_CAPACITY};
+use crate::wal::{Wal, WalConfig};
 
 /// The kind of data device to build.
 #[derive(Clone, Debug)]
@@ -49,10 +49,16 @@ pub struct StorageConfig {
     pub media: Media,
     /// Buffer pool size in 8 KiB frames.
     pub pool_frames: usize,
+    /// Page-table lock stripes in the buffer pool (0 = automatic).
+    pub pool_shards: usize,
     /// Logical data capacity in pages (per RAID member for SSD).
     pub capacity_pages: u64,
     /// Fault injection for the data and WAL devices (default: none).
     pub faults: FaultPlan,
+    /// WAL group-commit knobs.
+    pub wal: WalConfig,
+    /// Block-trace ring-buffer bound in events.
+    pub trace_capacity: usize,
 }
 
 impl StorageConfig {
@@ -61,8 +67,11 @@ impl StorageConfig {
         StorageConfig {
             media: Media::Mem,
             pool_frames: 1024,
+            pool_shards: 0,
             capacity_pages: 1 << 20,
             faults: FaultPlan::none(),
+            wal: WalConfig::default(),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -77,8 +86,11 @@ impl StorageConfig {
         StorageConfig {
             media: Media::SsdRaid { members, flash: FlashConfig::default() },
             pool_frames: 8192, // 64 MiB
+            pool_shards: 0,
             capacity_pages: 1 << 18,
             faults: FaultPlan::none(),
+            wal: WalConfig::default(),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -92,8 +104,11 @@ impl StorageConfig {
         StorageConfig {
             media: Media::Hdd(HddConfig::default()),
             pool_frames: 8192,
+            pool_shards: 0,
             capacity_pages: 1 << 21,
             faults: FaultPlan::none(),
+            wal: WalConfig::default(),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -112,6 +127,24 @@ impl StorageConfig {
     /// Enables fault injection on the data and/or WAL device.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Overrides the buffer-pool shard count (0 = automatic).
+    pub fn with_pool_shards(mut self, shards: usize) -> Self {
+        self.pool_shards = shards;
+        self
+    }
+
+    /// Overrides the WAL group-commit knobs.
+    pub fn with_wal_config(mut self, wal: WalConfig) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// Overrides the block-trace ring bound (events).
+    pub fn with_trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events;
         self
     }
 }
@@ -145,7 +178,7 @@ impl StorageStack {
     /// Builds a stack whose pool and WAL report into `obs`.
     pub fn with_registry(cfg: &StorageConfig, obs: Arc<Registry>) -> Self {
         let clock = VirtualClock::new();
-        let trace = TraceCollector::new();
+        let trace = TraceCollector::with_registry(cfg.trace_capacity, &obs);
         let data: Arc<dyn Device> = match &cfg.media {
             Media::Mem => Arc::new(MemDevice::new(
                 cfg.capacity_pages,
@@ -181,8 +214,9 @@ impl StorageStack {
             data
         };
         let space = Arc::new(Tablespace::new(data.capacity_pages()));
-        let pool = Arc::new(BufferPool::with_registry(
+        let pool = Arc::new(BufferPool::with_registry_sharded(
             cfg.pool_frames,
+            cfg.pool_shards,
             Arc::clone(&data),
             Arc::clone(&space),
             &obs,
@@ -206,7 +240,7 @@ impl StorageStack {
         } else {
             wal_dev
         };
-        let wal = Arc::new(Wal::with_registry(wal_dev, &obs));
+        let wal = Arc::new(Wal::with_registry(wal_dev, &obs).with_config(cfg.wal));
         StorageStack { clock, trace, data, space, pool, wal, obs }
     }
 }

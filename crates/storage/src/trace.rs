@@ -7,12 +7,13 @@
 //! address and direction, and can be exported as CSV for plotting or
 //! summarized in MB.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sias_common::PAGE_SIZE;
-use sias_obs::{MetricSample, MetricsSnapshot, SampleValue};
+use sias_obs::{Counter, MetricSample, MetricsSnapshot, Registry, SampleValue};
 
 /// Direction of a traced I/O.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -86,21 +87,66 @@ impl From<TraceSummary> for MetricsSnapshot {
     }
 }
 
+/// Default ring-buffer bound: 2²⁰ events (≈ 24 MiB) — enough for every
+/// figure in the paper, small enough that a days-long chaos run cannot
+/// grow memory without bound.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
 /// Shared, optionally-enabled trace collector.
 ///
 /// Tracing is off by default; the experiment binaries enable it around the
 /// measured interval exactly like `blktrace` is started around a benchmark
-/// run.
-#[derive(Debug, Default)]
+/// run. The event store is a bounded ring: once `capacity` events are
+/// held, each new event evicts the oldest and bumps the
+/// `storage.trace.dropped` counter, so long chaos runs keep the *tail*
+/// of the trace at a fixed memory ceiling.
+#[derive(Debug)]
 pub struct TraceCollector {
     enabled: AtomicBool,
-    events: Mutex<Vec<TraceEvent>>,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: Arc<Counter>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        TraceCollector {
+            enabled: AtomicBool::new(false),
+            capacity: DEFAULT_TRACE_CAPACITY,
+            events: Mutex::new(VecDeque::new()),
+            // Detached counter; `with_registry` shares a real one.
+            dropped: Registry::new().counter("storage.trace.dropped"),
+        }
+    }
 }
 
 impl TraceCollector {
-    /// Creates a disabled collector.
+    /// Creates a disabled collector with the default ring capacity and a
+    /// private drop counter.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    /// Creates a disabled collector bounded at `capacity` events whose
+    /// `storage.trace.dropped` counter lives in `obs`.
+    pub fn with_registry(capacity: usize, obs: &Registry) -> Arc<Self> {
+        assert!(capacity > 0, "trace ring needs room for at least one event");
+        Arc::new(TraceCollector {
+            enabled: AtomicBool::new(false),
+            capacity,
+            events: Mutex::new(VecDeque::new()),
+            dropped: obs.counter("storage.trace.dropped"),
+        })
+    }
+
+    /// The ring-buffer bound in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
     }
 
     /// Starts recording.
@@ -118,10 +164,16 @@ impl TraceCollector {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Records one event if enabled. Called by device models only.
+    /// Records one event if enabled, evicting the oldest event once the
+    /// ring is full. Called by device models only.
     pub fn record(&self, ev: TraceEvent) {
         if self.is_enabled() {
-            self.events.lock().push(ev);
+            let mut events = self.events.lock();
+            if events.len() >= self.capacity {
+                events.pop_front();
+                self.dropped.inc();
+            }
+            events.push_back(ev);
         }
     }
 
@@ -130,9 +182,9 @@ impl TraceCollector {
         self.events.lock().clear();
     }
 
-    /// Snapshot of the recorded events.
+    /// Snapshot of the recorded events (oldest first).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
+        self.events.lock().iter().copied().collect()
     }
 
     /// Number of recorded events.
@@ -243,6 +295,21 @@ mod tests {
         assert_eq!(lines[0], "time_s,device,lba,pages,dir");
         assert_eq!(lines[1], "1.000000,0,9,1,R");
         assert_eq!(lines[2], "2.000000,0,7,1,W");
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest_and_counts_drops() {
+        let obs = Registry::new_shared();
+        let c = TraceCollector::with_registry(4, &obs);
+        c.enable();
+        for i in 0..10 {
+            c.record(ev(i, i, IoDir::Write));
+        }
+        assert_eq!(c.len(), 4, "ring holds only the newest `capacity` events");
+        assert_eq!(c.dropped(), 6);
+        let kept: Vec<u64> = c.events().iter().map(|e| e.time_us).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "tail of the trace survives");
+        assert_eq!(obs.snapshot().counter("storage.trace.dropped"), Some(6));
     }
 
     #[test]

@@ -322,7 +322,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
     let (clean, _) =
         SiasDb::recover_from_wal(&records, StorageConfig::in_memory(), FlushPolicy::T2)
             .expect("clean full-log recovery");
-    history.version_order = extract_version_order(&clean, &history.committed());
+    history.version_order = extract_version_order(&clean, "chaos", &history.committed());
 
     ChaosRun {
         history,
@@ -336,11 +336,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
     }
 }
 
-/// Walks every chain of the recovered database oldest-first and decodes
-/// the tag stream per key, keeping only acknowledged-committed writers.
-fn extract_version_order(db: &SiasDb, committed: &BTreeSet<Xid>) -> BTreeMap<u64, Vec<WriteTag>> {
+/// Walks every chain of the database oldest-first and decodes the tag
+/// stream per key, keeping only acknowledged-committed writers. Shared
+/// with the threaded driver, whose stress test needs the engine's own
+/// opinion of each key's committed order for the G0 check.
+pub(crate) fn extract_version_order(
+    db: &SiasDb,
+    rel_name: &str,
+    committed: &BTreeSet<Xid>,
+) -> BTreeMap<u64, Vec<WriteTag>> {
     let mut order = BTreeMap::new();
-    let Some(rel) = db.relation("chaos") else { return order };
+    let Some(rel) = db.relation(rel_name) else { return order };
     let handle = db.relation_handle(rel).expect("chaos relation handle");
     let mut entries = Vec::new();
     handle.vidmap.for_each(|_, tid| entries.push(tid));

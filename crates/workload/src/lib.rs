@@ -16,7 +16,10 @@
 //! * [`chaos`] — deterministic fault-injection harness: a seeded
 //!   multi-terminal workload over tagged keys, crashed at every Nth
 //!   WAL-record boundary and recovered, with the pre-crash history fed
-//!   to the checker.
+//!   to the checker;
+//! * [`threaded`] — real OS-thread driver over one shared engine,
+//!   measuring wall-clock multi-core throughput and producing merged
+//!   checker-compatible histories.
 //!
 //! Everything is generic over [`sias_txn::MvccEngine`], so SIAS and the
 //! SI baseline run byte-identical logical work.
@@ -32,6 +35,7 @@ pub mod keys;
 pub mod loader;
 pub mod random;
 pub mod schema;
+pub mod threaded;
 pub mod txns;
 
 pub use chaos::{crash_matrix, run_chaos, ChaosConfig, ChaosRun, CrashMatrixReport};
@@ -42,4 +46,5 @@ pub use check::{
 pub use config::{Tables, TpccConfig};
 pub use driver::{run_benchmark, BenchResult, DriverConfig};
 pub use loader::load;
+pub use threaded::{drive_threaded, fill_sias_version_order, ThreadedConfig, ThreadedRun};
 pub use txns::{run_txn, Outcome, TxnKind};
