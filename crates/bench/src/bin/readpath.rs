@@ -1,0 +1,314 @@
+//! Read-path ablation: scalar vs batched (page-grouped) chain traversal
+//! and locked vs lock-free CLOG.
+//!
+//! Sweeps chain depth × scan threads on a SIAS relation whose reader
+//! holds a snapshot **older than every update**, so each scan walks the
+//! full chain of every item — the paper's worst-case selective-read
+//! pattern (§4.2.1). Every cell asserts the batched scan is
+//! byte-identical to the scalar scan (the CI smoke job relies on the
+//! process exiting non-zero on disagreement), then reports wall-clock
+//! and the pin/fetch accounting from `core.engine.scan_*` counters.
+//!
+//! A second micro-section hammers `Clog::status` from many threads and
+//! compares against a `RwLock<Vec<u8>>` CLOG equivalent to the
+//! pre-overhaul implementation.
+//!
+//! ```text
+//! cargo run --release -p sias-bench --bin readpath -- [--items N]
+//!     [--reps N] [--quick] [--metrics-out PATH]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use sias_bench::{arg_value, dump_metrics, metrics_out, write_results};
+use sias_common::Xid;
+use sias_core::SiasDb;
+use sias_storage::StorageConfig;
+use sias_txn::{Clog, MvccEngine, TxnStatus};
+
+/// One (depth, threads) sweep cell.
+struct Cell {
+    depth: u64,
+    threads: usize,
+    items: usize,
+    scalar_ns: u128,
+    batched_ns: u128,
+    page_visits: u64,
+    versions_fetched: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.batched_ns.max(1) as f64
+    }
+}
+
+/// The pre-overhaul CLOG shape: 2-bit statuses packed four per byte
+/// behind a reader-writer lock that every probe acquires.
+struct LockedClog {
+    bytes: RwLock<Vec<u8>>,
+}
+
+impl LockedClog {
+    fn new() -> Self {
+        LockedClog { bytes: RwLock::new(Vec::new()) }
+    }
+
+    fn set(&self, xid: Xid, v: u8) {
+        let byte = (xid.0 / 4) as usize;
+        let shift = ((xid.0 % 4) * 2) as u32;
+        let mut bytes = self.bytes.write();
+        if bytes.len() <= byte {
+            bytes.resize(byte + 1, 0);
+        }
+        bytes[byte] = (bytes[byte] & !(0b11 << shift)) | (v << shift);
+    }
+
+    fn status(&self, xid: Xid) -> u8 {
+        let byte = (xid.0 / 4) as usize;
+        let shift = ((xid.0 % 4) * 2) as u32;
+        let bytes = self.bytes.read();
+        bytes.get(byte).map_or(0, |b| (b >> shift) & 0b11)
+    }
+}
+
+/// Builds a relation of `items` rows whose chains are exactly `depth`
+/// versions deep, plus a reader snapshot that predates every update (so
+/// its scans walk each chain to the bottom). Returns the db, relation,
+/// and the reader transaction.
+fn build_history(items: usize, depth: u64) -> (SiasDb, sias_common::RelId, sias_txn::Txn) {
+    let db = SiasDb::open(StorageConfig::in_memory().with_pool_frames(4096));
+    let rel = db.create_relation("readpath");
+    let t = db.begin();
+    let vids: Vec<_> =
+        (0..items).map(|i| db.insert_item(&t, rel, &(i as u64).to_le_bytes()).unwrap()).collect();
+    db.commit(t).unwrap();
+    let reader = db.begin(); // old snapshot: every later update is invisible
+    for round in 1..depth {
+        let t = db.begin();
+        for &vid in &vids {
+            db.update_item(&t, rel, vid, &round.to_le_bytes()).unwrap();
+        }
+        db.commit(t).unwrap();
+    }
+    (db, rel, reader)
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (u128, R) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_nanos());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn run_cell(items: usize, depth: u64, threads: usize, reps: usize) -> Cell {
+    let (db, rel, reader) = build_history(items, depth);
+    // Correctness gate: all four scan paths must agree byte-for-byte.
+    let serial = db.scan_vidmap(&reader, rel).expect("serial scan");
+    assert_eq!(serial.len(), items, "old reader must see every item");
+    for (scan, label) in [
+        (db.scan_vidmap_batched(&reader, rel).expect("batched"), "batched"),
+        (db.scan_vidmap_parallel(&reader, rel, threads).expect("parallel"), "parallel"),
+        (db.scan_vidmap_parallel_scalar(&reader, rel, threads).expect("scalar"), "parallel-scalar"),
+    ] {
+        assert_eq!(scan, serial, "{label} scan diverged from scalar at depth {depth}");
+    }
+
+    let (scalar_ns, _) =
+        best_of(reps, || db.scan_vidmap_parallel_scalar(&reader, rel, threads).expect("scalar"));
+    // Count one batched scan's pins/fetches before timing it.
+    let before = db.metrics_snapshot();
+    db.scan_vidmap_parallel(&reader, rel, threads).expect("batched");
+    let after = db.metrics_snapshot();
+    let counter = |name: &str| after.counter(name).expect(name) - before.counter(name).expect(name);
+    let page_visits = counter("core.engine.scan_page_visits");
+    let versions_fetched = counter("core.engine.scan_versions_fetched");
+    let (batched_ns, _) =
+        best_of(reps, || db.scan_vidmap_parallel(&reader, rel, threads).expect("batched"));
+    let memo = reader.snapshot.memo();
+    let cell = Cell {
+        depth,
+        threads,
+        items,
+        scalar_ns,
+        batched_ns,
+        page_visits,
+        versions_fetched,
+        memo_hits: memo.hits(),
+        memo_misses: memo.misses(),
+    };
+    db.commit(reader).unwrap();
+    cell
+}
+
+/// Locked-vs-lock-free CLOG status probes: `threads` workers each replay
+/// `probes` status loads over a 4096-xid window (every byte shared by
+/// four lanes), with one commit per 64 probes mixed in.
+fn clog_ops_per_sec(threads: usize, probes: u64, lock_free: bool) -> f64 {
+    let locked = Arc::new(LockedClog::new());
+    let atomic = Arc::new(Clog::new());
+    for x in 0..4096u64 {
+        if x % 3 == 0 {
+            locked.set(Xid(x), 0b01);
+            atomic.commit(Xid(x));
+        }
+    }
+    let sink = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let locked = Arc::clone(&locked);
+            let atomic = Arc::clone(&atomic);
+            let sink = Arc::clone(&sink);
+            s.spawn(move || {
+                let mut acc = 0u64;
+                let mut x = t as u64 * 97;
+                for i in 0..probes {
+                    x = (x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                        >> 33)
+                        % 4096;
+                    if lock_free {
+                        acc += (atomic.status(Xid(x)) == TxnStatus::Committed) as u64;
+                        if i % 64 == 0 {
+                            atomic.commit(Xid(x));
+                        }
+                    } else {
+                        acc += (locked.status(Xid(x)) == 0b01) as u64;
+                        if i % 64 == 0 {
+                            locked.set(Xid(x), 0b01);
+                        }
+                    }
+                }
+                sink.fetch_add(acc, Ordering::Relaxed);
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    (threads as u64 * probes) as f64 / secs.max(1e-9)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let items: usize = arg_value(&args, "--items")
+        .map(|v| v.parse().expect("--items"))
+        .unwrap_or(if quick { 512 } else { 2048 });
+    let reps: usize = arg_value(&args, "--reps").map(|v| v.parse().expect("--reps")).unwrap_or(5);
+    let depths: Vec<u64> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
+    let threads: Vec<usize> = if quick { vec![1, 8] } else { vec![1, 2, 4, 8] };
+    let clog_probes: u64 = if quick { 200_000 } else { 1_000_000 };
+
+    println!("readpath: items={items} reps={reps} depths={depths:?} threads={threads:?}");
+    println!(
+        "{:>5} {:>7} {:>12} {:>12} {:>8} {:>10} {:>10} {:>9}",
+        "depth", "threads", "scalar_ms", "batched_ms", "speedup", "pages", "fetched", "memo_hit%"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for &depth in &depths {
+        for &th in &threads {
+            let c = run_cell(items, depth, th, reps);
+            assert!(
+                c.page_visits <= c.versions_fetched,
+                "page visits ({}) must not exceed versions fetched ({})",
+                c.page_visits,
+                c.versions_fetched
+            );
+            println!(
+                "{:>5} {:>7} {:>12.3} {:>12.3} {:>7.2}x {:>10} {:>10} {:>8.1}%",
+                c.depth,
+                c.threads,
+                c.scalar_ns as f64 / 1e6,
+                c.batched_ns as f64 / 1e6,
+                c.speedup(),
+                c.page_visits,
+                c.versions_fetched,
+                100.0 * c.memo_hits as f64 / (c.memo_hits + c.memo_misses).max(1) as f64,
+            );
+            cells.push(c);
+        }
+    }
+
+    println!("\nclog: probes={clog_probes}/thread, {{status : commit}} = 64:1");
+    println!("{:>7} {:>14} {:>14} {:>8}", "threads", "locked_mops", "lockfree_mops", "ratio");
+    let mut clog_rows = String::new();
+    for &th in &threads {
+        let locked = clog_ops_per_sec(th, clog_probes, false);
+        let free = clog_ops_per_sec(th, clog_probes, true);
+        println!("{:>7} {:>14.2} {:>14.2} {:>7.2}x", th, locked / 1e6, free / 1e6, free / locked);
+        if !clog_rows.is_empty() {
+            clog_rows.push(',');
+        }
+        clog_rows.push_str(&format!(
+            "\n    {{\"threads\": {th}, \"locked_ops_per_sec\": {locked:.0}, \
+             \"lock_free_ops_per_sec\": {free:.0}, \"ratio\": {:.3}}}",
+            free / locked
+        ));
+    }
+
+    // Acceptance: batched ≥ 1.5× scalar at depth ≥ 4 on the 8-thread
+    // sweep, and page visits never exceed versions fetched.
+    let max_threads = *threads.iter().max().expect("threads");
+    let gate: Vec<&Cell> =
+        cells.iter().filter(|c| c.depth >= 4 && c.threads == max_threads).collect();
+    let gate_speedup = gate.iter().map(|c| c.speedup()).fold(f64::INFINITY, f64::min);
+    println!("\nacceptance: min speedup at depth>=4, {max_threads} threads = {gate_speedup:.2}x");
+
+    let mut cell_rows = String::new();
+    for c in &cells {
+        if !cell_rows.is_empty() {
+            cell_rows.push(',');
+        }
+        cell_rows.push_str(&format!(
+            "\n    {{\"depth\": {}, \"threads\": {}, \"items\": {}, \"scalar_ns\": {}, \
+             \"batched_ns\": {}, \"speedup\": {:.3}, \"page_visits\": {}, \
+             \"versions_fetched\": {}, \"memo_hits\": {}, \"memo_misses\": {}}}",
+            c.depth,
+            c.threads,
+            c.items,
+            c.scalar_ns,
+            c.batched_ns,
+            c.speedup(),
+            c.page_visits,
+            c.versions_fetched,
+            c.memo_hits,
+            c.memo_misses
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"readpath\",\n  \"items\": {items},\n  \"reps\": {reps},\n  \
+         \"quick\": {quick},\n  \"cells\": [{cell_rows}\n  ],\n  \"clog\": [{clog_rows}\n  ],\n  \
+         \"acceptance\": {{\n    \"gate_threads\": {max_threads},\n    \
+         \"min_speedup_depth_ge_4\": {gate_speedup:.3},\n    \
+         \"page_visits_le_versions_fetched\": true,\n    \
+         \"batched_equals_scalar\": true\n  }}\n}}\n"
+    );
+    let path = write_results("BENCH_readpath.json", &json);
+    println!("wrote {}", path.display());
+
+    if let Some(dest) = metrics_out(&args) {
+        let (db, rel, reader) = build_history(items.min(512), 4);
+        db.scan_vidmap_parallel(&reader, rel, max_threads).expect("metrics scan");
+        db.commit(reader).unwrap();
+        let runs = vec![("readpath/metrics".to_string(), db.metrics_snapshot())];
+        if let Some(p) = dump_metrics(Some(&dest), &runs) {
+            println!("metrics dumped to {}", p.display());
+        }
+    }
+
+    assert!(
+        gate_speedup >= 1.5,
+        "acceptance: batched must be >= 1.5x scalar at depth >= 4 \
+         ({max_threads} threads), got {gate_speedup:.2}x"
+    );
+}

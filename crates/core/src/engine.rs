@@ -27,7 +27,7 @@ use sias_storage::{StorageConfig, StorageStack, WalRecord};
 use sias_txn::{EngineMetrics, MvccEngine, TransactionManager, Txn};
 
 use crate::append::{AppendRegion, FlushPolicy};
-use crate::chain::{fetch_version, visible_version, visible_version_depth};
+use crate::chain::{fetch_version, visible_version_depth, visible_versions_batch};
 use crate::scanpool::ScanPool;
 use crate::version::TupleVersion;
 use crate::vidmap::VidMap;
@@ -292,21 +292,69 @@ impl SiasDb {
         }
     }
 
+    /// Snapshots the VID map into an entry list, preallocated from the
+    /// map's VID bound (scan setup should not reallocate mid-walk).
+    fn vidmap_entries(r: &SiasRelation) -> Vec<(Vid, Tid)> {
+        let mut entries: Vec<(Vid, Tid)> = Vec::with_capacity(r.vidmap.vid_bound() as usize);
+        r.vidmap.for_each(|vid, tid| entries.push((vid, tid)));
+        entries
+    }
+
+    /// Splits `v` into `parts` contiguous pieces by moving tails out with
+    /// `split_off` — no per-chunk clone of the entries.
+    fn partition<T>(mut v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+        let chunk = v.len().div_ceil(parts.max(1)).max(1);
+        let mut out = Vec::with_capacity(parts);
+        while v.len() > chunk {
+            let tail = v.split_off(chunk);
+            out.push(std::mem::replace(&mut v, tail));
+        }
+        out.push(v);
+        out
+    }
+
     /// Scan over the VID map (Algorithm 1): for each data item, walk its
     /// chain from the entrypoint and return the first visible version.
     /// This is the Flash-friendly access path — selective random reads
     /// instead of reading every tuple version in the relation.
     pub fn scan_vidmap(&self, txn: &Txn, rel: RelId) -> SiasResult<Vec<(Vid, Bytes)>> {
         let r = self.relation_handle(rel)?;
-        let mut entries: Vec<(Vid, Tid)> = Vec::new();
-        r.vidmap.for_each(|vid, tid| entries.push((vid, tid)));
+        let entries = Self::vidmap_entries(&r);
         let mut out = Vec::new();
         for (vid, entry) in entries {
-            if let Some((_, v)) =
-                visible_version(&self.stack.pool, rel, entry, &txn.snapshot, &self.txm.clog)?
-            {
+            let (found, depth) =
+                visible_version_depth(&self.stack.pool, rel, entry, &txn.snapshot, &self.txm.clog)?;
+            self.metrics.chain_depth.record(depth);
+            self.metrics.scan_versions_fetched.add(depth);
+            if let Some((_, v)) = found {
                 if !v.tombstone {
                     out.push((vid, v.payload));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched ("vectorized") scan over the VID map: same results as
+    /// [`SiasDb::scan_vidmap`], but all chains are walked together with
+    /// page-grouped traversal ([`visible_versions_batch`]) — each page is
+    /// pinned once per round and serves every cursor resident on it,
+    /// instead of one pin per version per item. Page visits and versions
+    /// fetched land in `core.engine.scan_page_visits` /
+    /// `core.engine.scan_versions_fetched`.
+    pub fn scan_vidmap_batched(&self, txn: &Txn, rel: RelId) -> SiasResult<Vec<(Vid, Bytes)>> {
+        let r = self.relation_handle(rel)?;
+        let entries = Self::vidmap_entries(&r);
+        let (resolved, stats) =
+            visible_versions_batch(&self.stack.pool, rel, &entries, &txn.snapshot, &self.txm.clog)?;
+        self.metrics.scan_page_visits.add(stats.page_visits);
+        self.metrics.scan_versions_fetched.add(stats.versions_fetched);
+        let mut out = Vec::with_capacity(resolved.len());
+        for c in resolved {
+            self.metrics.chain_depth.record(c.depth);
+            if let Some((_, v)) = c.visible {
+                if !v.tombstone {
+                    out.push((c.vid, v.payload));
                 }
             }
         }
@@ -316,11 +364,13 @@ impl SiasDb {
     /// Parallel scan over the VID map — §4.2.1: "Note: This access path
     /// is parallelizable and therefore complements the parallelism of the
     /// Flash storage." The VID range is partitioned into `threads` chunks
-    /// executed on the engine's shared [`ScanPool`] (workers persist
-    /// across calls instead of being spawned per scan); each worker walks
-    /// its items' chains independently (versions are immutable and the
-    /// map is latch-free, so no coordination is needed). Results are
-    /// identical to [`SiasDb::scan_vidmap`].
+    /// (moved, not cloned, into the workers) executed on the engine's
+    /// shared [`ScanPool`] (workers persist across calls instead of being
+    /// spawned per scan); each worker resolves its partition with the
+    /// batched page-grouped traversal (versions are immutable and the map
+    /// is latch-free, so no coordination is needed — and the snapshot's
+    /// visibility memo is shared, so workers warm it for one another).
+    /// Results are identical to [`SiasDb::scan_vidmap`].
     pub fn scan_vidmap_parallel(
         &self,
         txn: &Txn,
@@ -328,22 +378,71 @@ impl SiasDb {
         threads: usize,
     ) -> SiasResult<Vec<(Vid, Bytes)>> {
         let r = self.relation_handle(rel)?;
-        let mut entries: Vec<(Vid, Tid)> = Vec::new();
-        r.vidmap.for_each(|vid, tid| entries.push((vid, tid)));
+        let entries = Self::vidmap_entries(&r);
+        let threads = threads.max(1).min(entries.len().max(1));
+        if threads <= 1 {
+            return self.scan_vidmap_batched(txn, rel);
+        }
+        let chunks = Self::partition(entries, threads);
+        let pool = Arc::clone(&self.stack.pool);
+        let txm = Arc::clone(&self.txm);
+        let snapshot = txn.snapshot.clone();
+        let chain_depth = Arc::clone(&self.metrics.chain_depth);
+        let page_visits = Arc::clone(&self.metrics.scan_page_visits);
+        let versions_fetched = Arc::clone(&self.metrics.scan_versions_fetched);
+        let results: Vec<SiasResult<Vec<(Vid, Bytes)>>> = self.scan_pool.run(chunks, move |part| {
+            let (resolved, stats) =
+                visible_versions_batch(&pool, rel, &part, &snapshot, &txm.clog)?;
+            page_visits.add(stats.page_visits);
+            versions_fetched.add(stats.versions_fetched);
+            let mut local = Vec::with_capacity(resolved.len());
+            for c in resolved {
+                chain_depth.record(c.depth);
+                if let Some((_, v)) = c.visible {
+                    if !v.tombstone {
+                        local.push((c.vid, v.payload));
+                    }
+                }
+            }
+            Ok(local)
+        });
+        let mut out: Vec<(Vid, Bytes)> = Vec::new();
+        for part in results {
+            out.extend(part?);
+        }
+        Ok(out)
+    }
+
+    /// Scalar-traversal variant of [`SiasDb::scan_vidmap_parallel`]: the
+    /// same partitioning and worker pool, but each worker walks its items
+    /// one chain at a time (one pin per version). Kept as the ablation
+    /// baseline the `readpath` bench compares the batched engine against.
+    pub fn scan_vidmap_parallel_scalar(
+        &self,
+        txn: &Txn,
+        rel: RelId,
+        threads: usize,
+    ) -> SiasResult<Vec<(Vid, Bytes)>> {
+        let r = self.relation_handle(rel)?;
+        let entries = Self::vidmap_entries(&r);
         let threads = threads.max(1).min(entries.len().max(1));
         if threads <= 1 {
             return self.scan_vidmap(txn, rel);
         }
-        let chunk = entries.len().div_ceil(threads);
-        let chunks: Vec<Vec<(Vid, Tid)>> =
-            entries.chunks(chunk.max(1)).map(|c| c.to_vec()).collect();
+        let chunks = Self::partition(entries, threads);
         let pool = Arc::clone(&self.stack.pool);
         let txm = Arc::clone(&self.txm);
         let snapshot = txn.snapshot.clone();
+        let chain_depth = Arc::clone(&self.metrics.chain_depth);
+        let versions_fetched = Arc::clone(&self.metrics.scan_versions_fetched);
         let results: Vec<SiasResult<Vec<(Vid, Bytes)>>> = self.scan_pool.run(chunks, move |part| {
             let mut local = Vec::with_capacity(part.len());
             for (vid, entry) in part {
-                if let Some((_, v)) = visible_version(&pool, rel, entry, &snapshot, &txm.clog)? {
+                let (found, depth) =
+                    visible_version_depth(&pool, rel, entry, &snapshot, &txm.clog)?;
+                chain_depth.record(depth);
+                versions_fetched.add(depth);
+                if let Some((_, v)) = found {
                     if !v.tombstone {
                         local.push((vid, v.payload));
                     }
@@ -1048,8 +1147,71 @@ mod tests {
         for threads in [1, 2, 4, 7] {
             let par = db.scan_vidmap_parallel(&t, rel, threads).unwrap();
             assert_eq!(par, serial, "{threads} threads");
+            let scalar = db.scan_vidmap_parallel_scalar(&t, rel, threads).unwrap();
+            assert_eq!(scalar, serial, "{threads} threads (scalar)");
         }
         db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn batched_scan_matches_serial_with_aborts_and_tombstones() {
+        let (db, rel) = db();
+        let t = db.begin();
+        for k in 0..200u64 {
+            db.insert(&t, rel, k, &k.to_le_bytes()).unwrap();
+        }
+        db.commit(t).unwrap();
+        // Aborted writer: its versions sit at chain heads but must be
+        // invisible to everyone.
+        let t = db.begin();
+        for k in (0..200u64).step_by(5) {
+            db.update(&t, rel, k, b"rolled back").unwrap();
+        }
+        db.abort(t);
+        // Committed updates + tombstones.
+        let t = db.begin();
+        for k in (1..200u64).step_by(7) {
+            db.update(&t, rel, k, b"upd").unwrap();
+        }
+        for k in 180..200u64 {
+            db.delete(&t, rel, k).unwrap();
+        }
+        db.commit(t).unwrap();
+        let t = db.begin();
+        let serial = db.scan_vidmap(&t, rel).unwrap();
+        assert_eq!(db.scan_vidmap_batched(&t, rel).unwrap(), serial);
+        for threads in [2, 3, 5] {
+            assert_eq!(db.scan_vidmap_parallel(&t, rel, threads).unwrap(), serial);
+        }
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn scan_metrics_tick_on_batched_paths() {
+        let (db, rel) = db();
+        let t = db.begin();
+        for k in 0..64u64 {
+            db.insert(&t, rel, k, b"v0").unwrap();
+        }
+        db.commit(t).unwrap();
+        let reader = db.begin(); // forced to walk past the update below
+        let t = db.begin();
+        for k in 0..64u64 {
+            db.update(&t, rel, k, b"v1").unwrap();
+        }
+        db.commit(t).unwrap();
+
+        let before = db.metrics_snapshot();
+        let visits0 = before.counter("core.engine.scan_page_visits").unwrap();
+        let fetched0 = before.counter("core.engine.scan_versions_fetched").unwrap();
+        let n = db.scan_vidmap_batched(&reader, rel).unwrap().len();
+        assert_eq!(n, 64);
+        let after = db.metrics_snapshot();
+        let visits = after.counter("core.engine.scan_page_visits").unwrap() - visits0;
+        let fetched = after.counter("core.engine.scan_versions_fetched").unwrap() - fetched0;
+        assert_eq!(fetched, 128, "old reader fetches head + predecessor per item");
+        assert!(visits >= 1 && visits <= fetched, "page visits bounded by versions fetched");
+        db.commit(reader).unwrap();
     }
 
     #[test]

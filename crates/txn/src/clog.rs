@@ -6,8 +6,36 @@
 //! paper's visibility predicate (Algorithm 1, line 19) implicitly assumes
 //! the inserting transaction committed; this structure makes that check
 //! explicit, exactly as PostgreSQL's pg_clog does for the prototype.
+//!
+//! # Lock-free structure
+//!
+//! The CLOG sits on the read hot path: every chain step of every reader
+//! probes it, so a lock here is a global serialization point (the
+//! PostgreSQL-SSI lock-contention lesson). The status array is therefore
+//! an **append-only two-level directory of write-once `AtomicU8` chunks**
+//! — the same discipline as the VID map's bucket directory:
+//!
+//! * the root is a fixed array of segment cells; each segment a fixed
+//!   array of chunk cells; cells are write-once ([`std::sync::OnceLock`]),
+//!   so a reader either sees a fully initialized chunk or an empty cell,
+//!   never a half-built one;
+//! * [`Clog::status`] is a pure relaxed byte load (plus two dependent
+//!   `OnceLock` reads to find the chunk) — no lock, no RMW;
+//! * [`Clog::commit`] / [`Clog::abort`] are a CAS on the xid's 2-bit lane
+//!   that only fires while the lane is still `IN_PROGRESS`, making every
+//!   status transition **monotonic**: `InProgress → {Committed, Aborted}`
+//!   exactly once, and a terminal verdict never changes afterwards. That
+//!   monotonicity is what makes snapshot-local visibility memoization
+//!   ([`crate::snapshot::VisibilityMemo`]) sound.
+//!
+//! Relaxed loads suffice for `status`: the status byte is the only
+//! payload read through this structure, and all data it gates (tuple
+//! versions, snapshots) is published through page latches and the
+//! transaction manager's mutex respectively.
 
-use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
 use sias_common::Xid;
 
 /// Final (or current) status of a transaction.
@@ -22,31 +50,94 @@ pub enum TxnStatus {
     Aborted,
 }
 
-/// Dense 2-bit-per-xid status array (grown on demand).
-#[derive(Default)]
-pub struct Clog {
-    // Two bits per xid, packed; index = xid.0.
-    bits: RwLock<Vec<u8>>,
-}
-
 const IN_PROGRESS: u8 = 0b00;
 const COMMITTED: u8 = 0b01;
 const ABORTED: u8 = 0b10;
 
+/// Xids per status byte (2 bits each).
+const XIDS_PER_BYTE: usize = 4;
+/// Bytes per write-once chunk (4096 xids).
+const CHUNK_BYTES: usize = 1024;
+/// Chunk cells per directory segment.
+const SEGMENT_CHUNKS: usize = 256;
+/// Segments in the root array: 1024 × 256 chunks × 4096 xids = 2³⁰
+/// addressable xids, far beyond any simulated workload.
+const ROOT_SEGMENTS: usize = 1024;
+
+/// One chunk: a fixed byte array of packed 2-bit statuses.
+type Chunk = Box<[AtomicU8]>;
+/// Second directory level: a fixed array of write-once chunk cells.
+type Segment = Box<[OnceLock<Chunk>]>;
+
+/// Dense 2-bit-per-xid status array (chunks materialized on demand).
+pub struct Clog {
+    root: Box<[OnceLock<Segment>]>,
+}
+
+impl Default for Clog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Clog {
     /// Creates an empty commit log.
     pub fn new() -> Self {
-        Self::default()
+        let root: Vec<OnceLock<Segment>> = (0..ROOT_SEGMENTS).map(|_| OnceLock::new()).collect();
+        Clog { root: root.into_boxed_slice() }
     }
 
+    /// Read-only cell access: two dependent `OnceLock` loads, no locks.
+    /// `None` means the chunk was never materialized — every xid in it is
+    /// still in progress.
+    #[inline]
+    fn cell(&self, byte: usize) -> Option<&AtomicU8> {
+        let chunk = byte / CHUNK_BYTES;
+        let c = self.root.get(chunk / SEGMENT_CHUNKS)?.get()?[chunk % SEGMENT_CHUNKS].get()?;
+        Some(&c[byte % CHUNK_BYTES])
+    }
+
+    /// Materializes the chunk holding `byte` if absent. Write-once cells
+    /// make the race benign: every contender observes the same winner's
+    /// chunk, zero-initialized (all xids in progress).
+    fn ensure_cell(&self, byte: usize) -> &AtomicU8 {
+        let chunk = byte / CHUNK_BYTES;
+        let seg = self
+            .root
+            .get(chunk / SEGMENT_CHUNKS)
+            .unwrap_or_else(|| panic!("clog directory exhausted (chunk {chunk})"))
+            .get_or_init(|| {
+                (0..SEGMENT_CHUNKS).map(|_| OnceLock::new()).collect::<Vec<_>>().into_boxed_slice()
+            });
+        let c = seg[chunk % SEGMENT_CHUNKS].get_or_init(|| {
+            (0..CHUNK_BYTES).map(|_| AtomicU8::new(0)).collect::<Vec<_>>().into_boxed_slice()
+        });
+        &c[byte % CHUNK_BYTES]
+    }
+
+    /// Sets the xid's 2-bit lane to `v` iff it is still `IN_PROGRESS`.
+    /// The CAS retries only when a *different lane of the same byte*
+    /// moved underneath us — this lane itself is written at most once
+    /// (first terminal status wins; transitions are monotonic).
     fn set(&self, xid: Xid, v: u8) {
         let idx = xid.0 as usize;
-        let (byte, shift) = (idx / 4, (idx % 4) * 2);
-        let mut bits = self.bits.write();
-        if bits.len() <= byte {
-            bits.resize(byte + 1024, 0);
+        let (byte, shift) = (idx / XIDS_PER_BYTE, (idx % XIDS_PER_BYTE) * 2);
+        let cell = self.ensure_cell(byte);
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            if (cur >> shift) & 0b11 != IN_PROGRESS {
+                return; // already terminal: keep the first verdict
+            }
+            match cell.compare_exchange_weak(
+                cur,
+                cur | (v << shift),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
         }
-        bits[byte] = (bits[byte] & !(0b11 << shift)) | (v << shift);
     }
 
     /// Marks `xid` committed.
@@ -59,12 +150,14 @@ impl Clog {
         self.set(xid, ABORTED);
     }
 
-    /// Returns the recorded status of `xid`.
+    /// Returns the recorded status of `xid`. Pure load — no lock, no RMW.
     pub fn status(&self, xid: Xid) -> TxnStatus {
         let idx = xid.0 as usize;
-        let (byte, shift) = (idx / 4, (idx % 4) * 2);
-        let bits = self.bits.read();
-        let v = if bits.len() <= byte { IN_PROGRESS } else { (bits[byte] >> shift) & 0b11 };
+        let (byte, shift) = (idx / XIDS_PER_BYTE, (idx % XIDS_PER_BYTE) * 2);
+        let v = match self.cell(byte) {
+            Some(cell) => (cell.load(Ordering::Relaxed) >> shift) & 0b11,
+            None => IN_PROGRESS,
+        };
         match v {
             COMMITTED => TxnStatus::Committed,
             ABORTED => TxnStatus::Aborted,
@@ -129,6 +222,39 @@ mod tests {
     }
 
     #[test]
+    fn chunk_boundaries_are_seamless() {
+        // Statuses straddling every structural boundary: byte, chunk
+        // (4096 xids) and segment (4096 × 256 xids).
+        let c = Clog::new();
+        let boundaries = [4u64, 4096, 4096 * 256];
+        for &b in &boundaries {
+            c.commit(Xid(b - 1));
+            c.abort(Xid(b));
+        }
+        for &b in &boundaries {
+            assert_eq!(c.status(Xid(b - 1)), TxnStatus::Committed, "below {b}");
+            assert_eq!(c.status(Xid(b)), TxnStatus::Aborted, "at {b}");
+        }
+    }
+
+    #[test]
+    fn terminal_status_is_write_once() {
+        // Monotonic transitions: the first terminal verdict wins and
+        // never changes — the property the snapshot visibility memo and
+        // concurrent lock-free readers rely on.
+        let c = Clog::new();
+        c.commit(Xid(5));
+        c.abort(Xid(5));
+        assert_eq!(c.status(Xid(5)), TxnStatus::Committed);
+        c.abort(Xid(6));
+        c.commit(Xid(6));
+        assert_eq!(c.status(Xid(6)), TxnStatus::Aborted);
+        // Idempotent re-marking is a no-op, not a corruption.
+        c.commit(Xid(5));
+        assert_eq!(c.status(Xid(5)), TxnStatus::Committed);
+    }
+
+    #[test]
     fn concurrent_updates() {
         use std::sync::Arc;
         let c = Arc::new(Clog::new());
@@ -148,6 +274,40 @@ mod tests {
         for t in 0..4u64 {
             for i in 0..1000u64 {
                 assert!(c.is_committed(Xid(t * 4096 + i)));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_same_byte_updates_lose_nothing() {
+        // Every status byte packs 4 xids, so writers of neighbouring
+        // xids hit the *same* `AtomicU8`. Thread `t` takes the xids
+        // ≡ t (mod 8): each byte is contended by 4 distinct threads,
+        // which a naive read-modify-write (load, or, store) would
+        // corrupt with lost updates. The CAS loop must not.
+        use std::sync::Arc;
+        let c = Arc::new(Clog::new());
+        let mut handles = vec![];
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let xid = Xid(i * 8 + t);
+                    if t % 2 == 0 {
+                        c.commit(xid);
+                    } else {
+                        c.abort(xid);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..1000u64 {
+            for t in 0..8u64 {
+                let expect = if t % 2 == 0 { TxnStatus::Committed } else { TxnStatus::Aborted };
+                assert_eq!(c.status(Xid(i * 8 + t)), expect, "xid {}", i * 8 + t);
             }
         }
     }

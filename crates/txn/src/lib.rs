@@ -35,5 +35,5 @@ pub use engine::MvccEngine;
 pub use locks::{LockOutcome, LockTable};
 pub use manager::{TransactionManager, Txn};
 pub use metrics::EngineMetrics;
-pub use snapshot::Snapshot;
+pub use snapshot::{Snapshot, VisibilityMemo};
 pub use ssi::{SsiState, SsiVerdict};

@@ -54,6 +54,10 @@ pub struct TransactionManager {
     aborts_serialization: Arc<Counter>,
     active_gauge: Arc<Gauge>,
     begin_hist: Arc<Histogram>,
+    /// `txn.snapshot.memo_*`: per-snapshot visibility-memo hit/miss
+    /// totals, folded in when a transaction ends.
+    memo_hits: Arc<Counter>,
+    memo_misses: Arc<Counter>,
 }
 
 impl Default for TransactionManager {
@@ -86,7 +90,17 @@ impl TransactionManager {
             aborts_serialization: obs.counter("txn.manager.aborts_serialization"),
             active_gauge: obs.gauge("txn.manager.active"),
             begin_hist: obs.histogram("txn.manager.begin"),
+            memo_hits: obs.counter("txn.snapshot.memo_hits"),
+            memo_misses: obs.counter("txn.snapshot.memo_misses"),
         }
+    }
+
+    /// Folds a finished transaction's visibility-memo counts into the
+    /// registry (the memo itself dies with the snapshot).
+    fn fold_memo(&self, txn: &Txn) {
+        let memo = txn.snapshot.memo();
+        self.memo_hits.add(memo.hits());
+        self.memo_misses.add(memo.misses());
     }
 
     /// Shared-handle constructor.
@@ -125,6 +139,7 @@ impl TransactionManager {
             self.abort(txn);
             return Err(SiasError::SerializationFailure(xid));
         }
+        self.fold_memo(&txn);
         let seq;
         {
             let mut active = self.active.lock();
@@ -161,6 +176,7 @@ impl TransactionManager {
 
     /// Aborts: marks the clog, leaves the active set, releases locks.
     pub fn abort(&self, txn: Txn) {
+        self.fold_memo(&txn);
         {
             let mut active = self.active.lock();
             if active.remove(&txn.xid).is_some() {
@@ -290,6 +306,28 @@ mod tests {
         assert_eq!(got, vec![(xb, 1), (xa, 2)]);
         assert_eq!(m.commit_seq(), 2);
         let _ = xc;
+    }
+
+    #[test]
+    fn memo_counts_fold_into_registry_at_txn_end() {
+        let obs = Registry::new();
+        let m = TransactionManager::with_registry(&obs);
+        let a = m.begin();
+        m.commit(a).unwrap();
+        let b = m.begin();
+        // Probe the committed xid repeatedly: 1 miss, then hits.
+        for _ in 0..4 {
+            b.snapshot.sees(Xid(1), &m.clog);
+        }
+        m.commit(b).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("txn.snapshot.memo_misses"), Some(1));
+        assert_eq!(snap.counter("txn.snapshot.memo_hits"), Some(3));
+        // Aborting transactions fold too.
+        let c = m.begin();
+        c.snapshot.sees(Xid(1), &m.clog);
+        m.abort(c);
+        assert_eq!(obs.snapshot().counter("txn.snapshot.memo_misses"), Some(2));
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub struct EngineMetrics {
     /// `core.engine.chain_depth` — versions traversed per visibility
     /// resolution (the paper's chain-length cost).
     pub chain_depth: Arc<Histogram>,
+    /// `core.engine.scan_page_visits` — pages pinned by batched scans
+    /// (one pin serves every cursor resident on the page; stays zero on
+    /// scalar paths and on the SI baseline).
+    pub scan_page_visits: Arc<Counter>,
+    /// `core.engine.scan_versions_fetched` — tuple versions fetched and
+    /// decoded by VID-map scans (the paper's `C_R` count for scans).
+    pub scan_versions_fetched: Arc<Counter>,
     /// `core.vidmap.lookups` — VID map (or SI index) entrypoint lookups.
     pub vidmap_lookups: Arc<Counter>,
     /// `core.vidmap.resizes` — VID map bucket-directory growth events.
@@ -64,6 +71,8 @@ impl EngineMetrics {
             get: obs.histogram("core.engine.get"),
             scan: obs.histogram("core.engine.scan"),
             chain_depth: obs.histogram("core.engine.chain_depth"),
+            scan_page_visits: obs.counter("core.engine.scan_page_visits"),
+            scan_versions_fetched: obs.counter("core.engine.scan_versions_fetched"),
             vidmap_lookups: obs.counter("core.vidmap.lookups"),
             vidmap_resizes: obs.counter("core.vidmap.resizes"),
             gc_runs: obs.counter("core.gc.runs"),

@@ -11,20 +11,132 @@
 //! later than us and (b) was not still running when we started. A real
 //! system needs the commit log as well — versions of *aborted*
 //! transactions are never visible — which [`Snapshot::sees`] folds in.
+//!
+//! # Snapshot-local visibility memo
+//!
+//! A chain walk evaluates the predicate once per version, and hot rows
+//! are dominated by *repeated creator xids* (TPC-C stock rows see the
+//! same few writers over and over). Each snapshot therefore carries a
+//! small xid → verdict cache ([`VisibilityMemo`]): a repeated creator
+//! resolves in one array read instead of a binary search over the
+//! concurrent set plus a CLOG probe.
+//!
+//! **Soundness.** Caching a verdict is safe because, for a fixed
+//! snapshot, `sees(create)` can never change over the snapshot's
+//! lifetime:
+//!
+//! * `create > xid` or `create ∈ concurrent` — invisible forever, by
+//!   values frozen at begin;
+//! * otherwise `create < xid` and `create ∉ concurrent` — the creator
+//!   had already left the active set before our begin. The transaction
+//!   manager marks the CLOG *before* removing a transaction from the
+//!   active set (both under the same mutex that `begin` snapshots the
+//!   set under), and CLOG transitions are monotonic (`InProgress →
+//!   terminal`, write-once), so the status we probe is terminal and
+//!   frozen.
+//!
+//! The own-xid fast path (`create == xid`) is checked before the memo
+//! and never cached. Memo hit/miss counts are folded into the
+//! `txn.snapshot.memo_{hits,misses}` counters by the transaction
+//! manager when the transaction ends.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use sias_common::Xid;
 
 use crate::clog::Clog;
 
+/// Slots in the per-transaction visibility memo. Direct-mapped by
+/// `xid % MEMO_SLOTS`; xids are allocated sequentially, so concurrent
+/// hot writers spread evenly. 64 slots × 8 bytes = one cache line pair.
+const MEMO_SLOTS: usize = 64;
+
+/// Slot encoding: `xid << 2 | OCCUPIED | visible`. Zero = empty (an
+/// occupied entry for `Xid(0)` still differs from an empty slot through
+/// the occupied bit).
+const OCCUPIED: u64 = 0b10;
+const VISIBLE: u64 = 0b01;
+
+/// A small, lock-free xid → visibility-verdict cache shared by every
+/// clone of one snapshot (scan workers included). See the module docs
+/// for the argument that verdicts are stable for a snapshot's lifetime.
+pub struct VisibilityMemo {
+    slots: [AtomicU64; MEMO_SLOTS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VisibilityMemo {
+    fn new() -> Self {
+        VisibilityMemo {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cached verdict for `xid`, if present.
+    #[inline]
+    fn lookup(&self, xid: Xid) -> Option<bool> {
+        let e = self.slots[xid.0 as usize % MEMO_SLOTS].load(Ordering::Relaxed);
+        if e & OCCUPIED != 0 && e >> 2 == xid.0 {
+            Some(e & VISIBLE != 0)
+        } else {
+            None
+        }
+    }
+
+    /// Records a verdict (colliding entries are simply overwritten —
+    /// the memo is a cache, not a map).
+    #[inline]
+    fn store(&self, xid: Xid, visible: bool) {
+        let e = (xid.0 << 2) | OCCUPIED | if visible { VISIBLE } else { 0 };
+        self.slots[xid.0 as usize % MEMO_SLOTS].store(e, Ordering::Relaxed);
+    }
+
+    /// Verdicts served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Verdicts computed (binary search + CLOG probe) and cached.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for VisibilityMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VisibilityMemo")
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish_non_exhaustive()
+    }
+}
+
 /// An SI snapshot: own xid + transactions running at start.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Snapshot {
     /// This transaction's id (and SI timestamp).
     pub xid: Xid,
     /// Sorted xids of transactions in progress when this one started
     /// (`tx_concurrent`). Never contains `xid` itself.
     pub concurrent: Vec<Xid>,
+    /// Per-transaction visibility memo, shared across clones so scan
+    /// workers warm one another's cache.
+    memo: Arc<VisibilityMemo>,
 }
+
+/// Snapshot identity is (xid, concurrent); the memo is derived state.
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.xid == other.xid && self.concurrent == other.concurrent
+    }
+}
+
+impl Eq for Snapshot {}
 
 impl Snapshot {
     /// Creates a snapshot; `concurrent` must be sorted.
@@ -32,7 +144,7 @@ impl Snapshot {
         concurrent.sort_unstable();
         concurrent.dedup();
         concurrent.retain(|&x| x != xid);
-        Snapshot { xid, concurrent }
+        Snapshot { xid, concurrent, memo: Arc::new(VisibilityMemo::new()) }
     }
 
     /// True when `create` is in the concurrent set.
@@ -41,17 +153,33 @@ impl Snapshot {
         self.concurrent.binary_search(&create).is_ok()
     }
 
+    /// The visibility memo (hit/miss accounting; the transaction
+    /// manager folds the counts into `txn.snapshot.memo_*` at txn end).
+    pub fn memo(&self) -> &VisibilityMemo {
+        &self.memo
+    }
+
     /// The paper's visibility predicate plus the commit-status check: a
     /// tuple version created by `create` is visible to this snapshot iff
     ///
     /// * we created it ourselves (a transaction sees its own writes), or
     /// * `create <= xid`, `create` was not concurrently running at our
     ///   start, and `create` committed.
+    ///
+    /// Verdicts are memoized per snapshot (see the module docs for the
+    /// soundness argument).
     pub fn sees(&self, create: Xid, clog: &Clog) -> bool {
         if create == self.xid {
             return true;
         }
-        create <= self.xid && !self.is_concurrent(create) && clog.is_committed(create)
+        if let Some(v) = self.memo.lookup(create) {
+            self.memo.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let v = create <= self.xid && !self.is_concurrent(create) && clog.is_committed(create);
+        self.memo.store(create, v);
+        self.memo.misses.fetch_add(1, Ordering::Relaxed);
+        v
     }
 }
 
@@ -119,5 +247,62 @@ mod tests {
         assert_eq!(s.concurrent, vec![Xid(3), Xid(7)]);
         assert!(s.is_concurrent(Xid(3)));
         assert!(!s.is_concurrent(Xid(5)));
+    }
+
+    #[test]
+    fn memo_serves_repeated_creators() {
+        let clog = clog_with_committed(&[2]);
+        clog.abort(Xid(3));
+        let s = Snapshot::new(Xid(5), vec![]);
+        // First probes compute and cache, repeats hit.
+        assert!(s.sees(Xid(2), &clog));
+        assert!(!s.sees(Xid(3), &clog));
+        assert_eq!(s.memo().misses(), 2);
+        assert_eq!(s.memo().hits(), 0);
+        for _ in 0..5 {
+            assert!(s.sees(Xid(2), &clog));
+            assert!(!s.sees(Xid(3), &clog));
+        }
+        assert_eq!(s.memo().hits(), 10);
+        assert_eq!(s.memo().misses(), 2);
+        // Own writes bypass the memo entirely.
+        assert!(s.sees(Xid(5), &clog));
+        assert_eq!(s.memo().hits(), 10);
+        assert_eq!(s.memo().misses(), 2);
+    }
+
+    #[test]
+    fn memo_collisions_are_overwritten_not_confused() {
+        // Xid(2) and Xid(2 + 64) map to the same direct-mapped slot;
+        // verdicts must never be served for the wrong xid.
+        let clog = clog_with_committed(&[2]);
+        let s = Snapshot::new(Xid(100), vec![]);
+        assert!(s.sees(Xid(2), &clog));
+        assert!(!s.sees(Xid(66), &clog), "xid 66 never committed");
+        // The colliding store evicted xid 2's entry: recomputed, same
+        // verdict.
+        assert!(s.sees(Xid(2), &clog));
+        assert_eq!(s.memo().misses(), 3, "collision evicts, never lies");
+    }
+
+    #[test]
+    fn memo_is_shared_across_clones() {
+        let clog = clog_with_committed(&[1]);
+        let s = Snapshot::new(Xid(5), vec![]);
+        assert!(s.sees(Xid(1), &clog));
+        let c = s.clone();
+        assert!(c.sees(Xid(1), &clog));
+        assert_eq!(s.memo().hits(), 1, "clone's probe hit the shared memo");
+        assert_eq!(c.memo().misses(), 1);
+    }
+
+    #[test]
+    fn snapshot_equality_ignores_memo_state() {
+        let clog = clog_with_committed(&[1]);
+        let a = Snapshot::new(Xid(5), vec![Xid(3)]);
+        let b = Snapshot::new(Xid(5), vec![Xid(3)]);
+        assert!(a.sees(Xid(1), &clog));
+        assert_eq!(a, b, "memo contents are not identity");
+        assert_ne!(a, Snapshot::new(Xid(6), vec![Xid(3)]));
     }
 }

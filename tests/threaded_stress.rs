@@ -13,6 +13,7 @@
 
 use sias_core::SiasDb;
 use sias_storage::{StorageConfig, WalConfig};
+use sias_txn::MvccEngine;
 use sias_workload::threaded::{drive_threaded, fill_sias_version_order, ThreadedConfig};
 use sias_workload::{check_anomalies, History};
 
@@ -57,4 +58,47 @@ fn group_commit_with_real_force_latency_stays_anomaly_free() {
     assert!(committed > 20);
     let violations = check_anomalies(&history);
     assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn batched_scan_matches_scalar_after_contended_run() {
+    // The relation left behind by a contended multi-threaded run is the
+    // adversarial input for the batched traversal engine: chains of
+    // mixed depth, aborted heads from first-updater-wins losers and
+    // abort_ppm rollbacks, and tombstone residue. After the anomaly
+    // checker certifies the history, every scan engine must agree
+    // byte-for-byte on what a fresh snapshot sees.
+    let db = SiasDb::open(StorageConfig::in_memory());
+    let cfg = ThreadedConfig {
+        threads: 8,
+        txns_per_thread: 40,
+        keys: 24,
+        ops_per_txn: 5,
+        update_pct: 70,
+        abort_ppm: 30_000,
+        seed: 0xBA7C4,
+    };
+    let mut run = drive_threaded(&db, &cfg);
+    fill_sias_version_order(&db, &mut run.history);
+    let violations = check_anomalies(&run.history);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    let rel = db.create_relation("threaded"); // resolves the existing relation
+    let reader = db.begin();
+    let serial = db.scan_vidmap(&reader, rel).unwrap();
+    assert!(!serial.is_empty(), "contended run left visible rows");
+    assert_eq!(db.scan_vidmap_batched(&reader, rel).unwrap(), serial, "batched");
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            db.scan_vidmap_parallel(&reader, rel, threads).unwrap(),
+            serial,
+            "parallel({threads})"
+        );
+        assert_eq!(
+            db.scan_vidmap_parallel_scalar(&reader, rel, threads).unwrap(),
+            serial,
+            "parallel_scalar({threads})"
+        );
+    }
+    db.commit(reader).unwrap();
 }
