@@ -1,0 +1,161 @@
+//! Restart bench: recovery time and replay work vs log length, with and
+//! without a fuzzy checkpoint.
+//!
+//! For each log size the same serial update workload is logged twice —
+//! once straight through, once with a checkpoint taken after ~90% of the
+//! transactions — and each durable record stream is recovered from a
+//! device scan while timing the replay. The checkpointed run must report
+//! a replay suffix (`records_after_checkpoint`) strictly smaller than
+//! the whole log: that inequality is the bounded-restart contract, and
+//! the process exits non-zero if any cell breaks it.
+//!
+//! ```text
+//! cargo run --release -p sias-bench --bin restart -- \
+//!     [--keys 64] [--reps 3] [--quick]
+//! ```
+//!
+//! Writes `results/BENCH_restart.json`.
+
+use std::time::Instant;
+
+use sias_bench::{arg_value, write_results};
+use sias_core::{FlushPolicy, RecoveryStats, SiasDb};
+use sias_storage::{StorageConfig, Wal, WalRecord};
+use sias_txn::MvccEngine;
+
+/// One (log size, checkpoint?) cell.
+struct Cell {
+    txns: u64,
+    checkpointed: bool,
+    stats: RecoveryStats,
+    recover_ns: u128,
+}
+
+/// Logs `txns` serial two-key update transactions over `keys` keys,
+/// checkpointing after 90% of them when asked, and returns the durable
+/// record stream a post-crash process would scan off the device.
+fn build_log(txns: u64, keys: u64, checkpoint: bool) -> Vec<WalRecord> {
+    let db = SiasDb::open(StorageConfig::in_memory().with_pool_frames(512));
+    let rel = db.create_relation("restart");
+    let t = db.begin();
+    for k in 0..keys {
+        db.insert(&t, rel, k, format!("init {k}").as_bytes()).unwrap();
+    }
+    db.commit(t).unwrap();
+
+    let ckpt_at = txns * 9 / 10;
+    for i in 0..txns {
+        if checkpoint && i == ckpt_at {
+            let stats = db.checkpoint().expect("checkpoint");
+            assert!(stats.redo_records > 0, "checkpoint must cover the prefix");
+        }
+        let t = db.begin();
+        for (slot, key) in [(i * 2) % keys, (i * 2 + 1) % keys].into_iter().enumerate() {
+            db.update(&t, rel, key, format!("txn {i} slot {slot}").as_bytes()).unwrap();
+        }
+        db.commit(t).unwrap();
+    }
+    db.stack().wal.force().unwrap();
+    let (records, _) = Wal::scan_device(db.stack().wal.device().as_ref());
+    records
+}
+
+/// Recovers `records` onto a fresh stack `reps` times, returning the
+/// best wall time and the (identical) replay counters.
+fn recover_cell(records: &[WalRecord], reps: usize) -> (u128, RecoveryStats) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (db, stats) =
+            SiasDb::recover_from_wal(records, StorageConfig::in_memory(), FlushPolicy::T2)
+                .expect("recovery");
+        best = best.min(t0.elapsed().as_nanos());
+        drop(db);
+        out = Some(stats);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let keys: u64 = arg_value(&args, "--keys").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let reps: usize = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let sizes: Vec<u64> = if quick { vec![100, 400] } else { vec![100, 400, 1600, 6400] };
+
+    println!("restart: keys={keys} reps={reps} txn counts={sizes:?}");
+    println!(
+        "{:>6} {:>5} {:>9} {:>9} {:>9} {:>9} {:>11}",
+        "txns", "ckpt", "records", "suffix", "replayed", "after_ck", "recover_ms"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &txns in &sizes {
+        for checkpointed in [false, true] {
+            let records = build_log(txns, keys, checkpointed);
+            let (recover_ns, stats) = recover_cell(&records, reps);
+            println!(
+                "{:>6} {:>5} {:>9} {:>9} {:>9} {:>9} {:>11.3}",
+                txns,
+                if checkpointed { "yes" } else { "no" },
+                stats.records_scanned,
+                stats.records_after_checkpoint,
+                stats.versions_replayed,
+                stats.versions_replayed_after_checkpoint,
+                recover_ns as f64 / 1e6,
+            );
+            cells.push(Cell { txns, checkpointed, stats, recover_ns });
+        }
+    }
+
+    // Acceptance: every checkpointed cell reports a bounded replay
+    // suffix, every plain cell reports the whole log as its suffix.
+    let mut ok = true;
+    for c in &cells {
+        if c.checkpointed {
+            if c.stats.checkpoints_seen != 1
+                || c.stats.records_after_checkpoint >= c.stats.records_scanned
+                || c.stats.versions_replayed_after_checkpoint >= c.stats.versions_replayed
+            {
+                println!("FAIL: txns={} checkpointed cell is not bounded", c.txns);
+                ok = false;
+            }
+        } else if c.stats.checkpoints_seen != 0
+            || c.stats.records_after_checkpoint != c.stats.records_scanned
+        {
+            println!("FAIL: txns={} plain cell misreported a checkpoint", c.txns);
+            ok = false;
+        }
+    }
+
+    let mut rows = String::new();
+    for c in &cells {
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"txns\": {}, \"checkpointed\": {}, \"records_scanned\": {}, \
+             \"records_after_checkpoint\": {}, \"versions_replayed\": {}, \
+             \"versions_replayed_after_checkpoint\": {}, \
+             \"versions_skipped_idempotent\": {}, \"recover_ns\": {}}}",
+            c.txns,
+            c.checkpointed,
+            c.stats.records_scanned,
+            c.stats.records_after_checkpoint,
+            c.stats.versions_replayed,
+            c.stats.versions_replayed_after_checkpoint,
+            c.stats.versions_skipped_idempotent,
+            c.recover_ns,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"restart\",\n  \"keys\": {keys},\n  \"reps\": {reps},\n  \
+         \"quick\": {quick},\n  \"cells\": [{rows}\n  ],\n  \"acceptance\": {{\n    \
+         \"suffix_bounded_with_checkpoint\": {ok}\n  }}\n}}\n"
+    );
+    let path = write_results("BENCH_restart.json", &json);
+    println!("wrote {}", path.display());
+
+    assert!(ok, "acceptance: checkpointed restarts must replay a bounded suffix");
+}

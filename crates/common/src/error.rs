@@ -49,6 +49,19 @@ pub enum SiasError {
         /// Data item being updated.
         vid: Vid,
     },
+    /// A data page failed checksum verification on read: the stored CRC
+    /// does not match the page image. The page must not be decoded; the
+    /// scrubber can quarantine and repair it from WAL history.
+    CorruptPage {
+        /// Relation the page belongs to.
+        rel: RelId,
+        /// Block number within the relation.
+        block: u32,
+        /// CRC stored in the page header.
+        expected: u32,
+        /// CRC computed over the page image as read.
+        actual: u32,
+    },
     /// Device-level failure (simulated media error, out of capacity).
     Device(String),
     /// Write-ahead-log failure.
@@ -78,6 +91,13 @@ impl fmt::Display for SiasError {
             SiasError::TxnNotActive(xid) => write!(f, "transaction {xid} is not active"),
             SiasError::StaleUpdate { vid } => {
                 write!(f, "stale update: non-entrypoint or invisible version of vid={vid}")
+            }
+            SiasError::CorruptPage { rel, block, expected, actual } => {
+                write!(
+                    f,
+                    "corrupt page {rel} block {block}: stored crc {expected:#010x}, \
+                     computed {actual:#010x}"
+                )
             }
             SiasError::Device(msg) => write!(f, "device error: {msg}"),
             SiasError::Wal(msg) => write!(f, "wal error: {msg}"),

@@ -90,10 +90,11 @@ impl AppendRegion {
                 None => {
                     let b = match st.free.pop_first() {
                         Some(b) => {
-                            // Recycled block: reset to an empty page.
-                            self.pool.with_page_mut(self.rel, b, |p| {
-                                *p = sias_storage::Page::new();
-                            })?;
+                            // Recycled block: reset to an empty page in
+                            // place. `reset_block` never reads the dead
+                            // (TRIMmed, possibly once-corrupt) image back
+                            // from the device.
+                            self.pool.reset_block(self.rel, b)?;
                             b
                         }
                         None => self.pool.allocate_block(self.rel)?,

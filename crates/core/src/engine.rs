@@ -478,8 +478,10 @@ impl SiasDb {
                 continue;
             }
             let items: Vec<(u16, Vec<u8>)> = self.stack.pool.with_page(rel, block, |p| {
-                p.live_slots().map(|s| (s, p.item(s).expect("live slot").to_vec())).collect()
-            })?;
+                p.live_slots()
+                    .map(|s| p.item(s).map(|i| (s, i.to_vec())))
+                    .collect::<SiasResult<Vec<_>>>()
+            })??;
             for (slot, bytes) in items {
                 let v = TupleVersion::decode(&bytes)?;
                 if txn.snapshot.sees(v.create, &self.txm.clog) {
@@ -492,7 +494,7 @@ impl SiasDb {
         let mut out: Vec<(Vid, Bytes)> = Vec::new();
         for (vid, mut versions) in candidates {
             versions.sort_by_key(|(_, v)| std::cmp::Reverse(v.create));
-            let (_, newest) = versions.into_iter().next().expect("non-empty");
+            let Some((_, newest)) = versions.into_iter().next() else { continue };
             if !newest.tombstone {
                 out.push((vid, newest.payload));
             }
@@ -529,15 +531,10 @@ impl SiasDb {
     }
 
     /// Persists the in-memory SIAS structures (VID maps) and checkpoints
-    /// — the shutdown path of §6 *Recovery*.
+    /// — the shutdown path of §6 *Recovery*. A clean shutdown is simply
+    /// a fuzzy checkpoint taken with no writers left.
     pub fn shutdown(&self) -> SiasResult<()> {
-        for r in self.relation_handles() {
-            let map_rel = RelId(r.rel.0 + 2); // data, index, map triple
-            r.vidmap.save_to(&self.stack.pool, map_rel)?;
-        }
-        self.stack.wal.append(&WalRecord::Checkpoint);
-        self.stack.wal.force()?;
-        self.stack.pool.flush_all();
+        self.checkpoint()?;
         Ok(())
     }
 
@@ -555,8 +552,10 @@ impl SiasDb {
                 continue;
             }
             let items: Vec<(u16, Vec<u8>)> = self.stack.pool.with_page(rel, block, |p| {
-                p.live_slots().map(|s| (s, p.item(s).expect("live slot").to_vec())).collect()
-            })?;
+                p.live_slots()
+                    .map(|s| p.item(s).map(|i| (s, i.to_vec())))
+                    .collect::<SiasResult<Vec<_>>>()
+            })??;
             for (slot, bytes) in items {
                 let v = TupleVersion::decode(&bytes)?;
                 if matches!(self.txm.clog.status(v.create), sias_txn::TxnStatus::Aborted) {
@@ -772,11 +771,9 @@ impl MvccEngine for SiasDb {
             }
         }
         if checkpoint {
-            self.stack.wal.append(&WalRecord::Checkpoint);
-            // Best-effort: a failed checkpoint force leaves the marker
-            // pending for the next force; maintenance cannot propagate.
-            let _ = self.stack.wal.force();
-            self.stack.pool.flush_all();
+            // Best-effort: maintenance cannot propagate errors; a failed
+            // checkpoint leaves the previous redo point in force.
+            let _ = self.checkpoint();
         }
     }
 

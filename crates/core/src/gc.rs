@@ -114,8 +114,10 @@ impl SiasDb {
             }
             stats.pages_examined += 1;
             let versions: Vec<(u16, Vec<u8>)> = self.stack.pool.with_page(rel, block, |p| {
-                p.live_slots().map(|s| (s, p.item(s).expect("live").to_vec())).collect()
-            })?;
+                p.live_slots()
+                    .map(|s| p.item(s).map(|i| (s, i.to_vec())))
+                    .collect::<SiasResult<Vec<_>>>()
+            })??;
             if versions.is_empty() {
                 continue;
             }

@@ -19,24 +19,30 @@
 //!   thresholds (§1, §5.2);
 //! * [`engine`] — insert/update/delete/scan, first-updater-wins,
 //!   ⟨key, VID⟩ indexing, recovery (Algorithms 1–3, §4.2–4.3, §6);
-//! * [`gc`] — victim-page space reclamation (§6).
+//! * [`gc`] — victim-page space reclamation (§6);
+//! * [`checkpoint`] — fuzzy checkpoints bounding restart work (§6);
+//! * [`scrub`] — integrity sweeps and WAL-history self-repair (§6).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod append;
 pub mod chain;
+pub mod checkpoint;
 pub mod engine;
 pub mod gc;
 pub mod recovery;
 pub mod scanpool;
+pub mod scrub;
 pub mod version;
 pub mod vidmap;
 
 pub use append::{AppendRegion, FlushPolicy};
+pub use checkpoint::CheckpointStats;
 pub use engine::{SiasDb, SiasRelation};
 pub use gc::{GcStats, DEFAULT_VACUUM_THRESHOLD};
 pub use recovery::RecoveryStats;
 pub use scanpool::ScanPool;
+pub use scrub::{ScrubStats, Scrubber};
 pub use version::TupleVersion;
 pub use vidmap::VidMap;

@@ -51,6 +51,24 @@ pub struct RecoveryStats {
     pub index_records_replayed: u64,
     /// Relations recreated.
     pub relations: u64,
+    /// Total records in the scanned log.
+    pub records_scanned: u64,
+    /// Checkpoint records encountered.
+    pub checkpoints_seen: u64,
+    /// Redo point of the *last* checkpoint: records preceding it are
+    /// covered by pages that checkpoint flushed.
+    pub checkpoint_redo_records: u64,
+    /// Records at or past the last checkpoint's redo point — the replay
+    /// suffix a deployment that keeps its data device must redo. With a
+    /// checkpoint in the log this is strictly less than
+    /// `records_scanned`; that inequality is the bounded-restart
+    /// contract.
+    pub records_after_checkpoint: u64,
+    /// Version images whose Insert record lies past the redo point.
+    pub versions_replayed_after_checkpoint: u64,
+    /// Version images skipped because the item's chain head already
+    /// carried an identical version (idempotent re-replay).
+    pub versions_skipped_idempotent: u64,
 }
 
 impl SiasDb {
@@ -61,9 +79,17 @@ impl SiasDb {
         cfg: StorageConfig,
         policy: FlushPolicy,
     ) -> SiasResult<(SiasDb, RecoveryStats)> {
-        // Pass 1: transaction outcomes.
+        // Pass 1: transaction outcomes, and the last checkpoint's
+        // watermarks. Everything before that checkpoint's redo point was
+        // flushed (pages + VID map) when it was taken, so a deployment
+        // retaining its data device only redoes the suffix; this replay
+        // targets a fresh stack, so it rebuilds the whole log but
+        // *accounts* for the suffix to prove the bound.
         let mut committed: HashSet<Xid> = HashSet::new();
         let mut seen: HashSet<Xid> = HashSet::new();
+        let mut redo_records = 0u64;
+        let mut ckpt_next_xid = 0u64;
+        let mut checkpoints_seen = 0u64;
         for rec in records {
             match rec {
                 WalRecord::Begin(x) => {
@@ -72,6 +98,12 @@ impl SiasDb {
                 WalRecord::Commit(x) => {
                     committed.insert(*x);
                 }
+                WalRecord::Checkpoint { redo_records: r, next_xid, .. } => {
+                    checkpoints_seen += 1;
+                    // Last checkpoint wins; watermarks are monotone.
+                    redo_records = *r;
+                    ckpt_next_xid = *next_xid;
+                }
                 _ => {}
             }
         }
@@ -79,10 +111,15 @@ impl SiasDb {
         let mut stats = RecoveryStats {
             committed_txns: committed.len() as u64,
             discarded_txns: (seen.len() as u64).saturating_sub(committed.len() as u64),
+            records_scanned: records.len() as u64,
+            checkpoints_seen,
+            checkpoint_redo_records: redo_records,
+            records_after_checkpoint: (records.len() as u64).saturating_sub(redo_records),
             ..Default::default()
         };
         // Pass 2: replay in log order.
-        for rec in records {
+        for (i, rec) in records.iter().enumerate() {
+            let past_redo = i as u64 >= redo_records;
             match rec {
                 WalRecord::CreateRelation { rel, name } => {
                     let assigned = db.create_relation(name);
@@ -96,8 +133,14 @@ impl SiasDb {
                 WalRecord::Insert { xid, rel, vid, payload, .. } if committed.contains(xid) => {
                     let logged = TupleVersion::decode(payload)?;
                     debug_assert_eq!(logged.vid, *vid);
-                    db.replay_version(*rel, logged)?;
-                    stats.versions_replayed += 1;
+                    if db.replay_version(*rel, logged)? {
+                        stats.versions_replayed += 1;
+                        if past_redo {
+                            stats.versions_replayed_after_checkpoint += 1;
+                        }
+                    } else {
+                        stats.versions_skipped_idempotent += 1;
+                    }
                 }
                 WalRecord::IndexInsert { xid, rel, key, value } if committed.contains(xid) => {
                     let r = db.relation_handle(*rel)?;
@@ -108,10 +151,14 @@ impl SiasDb {
             }
         }
         // Pass 3: admit the recovered transactions so snapshots see them
-        // and the xid allocator resumes past the crash point.
+        // and the xid allocator resumes past the crash point. The last
+        // checkpoint's xid high-water mark also applies: transactions
+        // that allocated an xid but logged nothing durable must never be
+        // reissued the same id.
         for &xid in &committed {
             db.txm().admit_recovered(xid);
         }
+        db.txm().reserve_xids_below(ckpt_next_xid);
         Ok((db, stats))
     }
 
@@ -132,14 +179,26 @@ impl SiasDb {
 
     /// Re-appends one logged version image, re-linking it to the item's
     /// current chain head (replay runs in log order, so the head is
-    /// exactly the version's original predecessor).
-    fn replay_version(&self, rel: sias_common::RelId, logged: TupleVersion) -> SiasResult<()> {
+    /// exactly the version's original predecessor). Idempotent: when the
+    /// current head already carries this exact version — a replay over
+    /// state that survived — nothing is appended and `false` is
+    /// returned.
+    fn replay_version(&self, rel: sias_common::RelId, logged: TupleVersion) -> SiasResult<bool> {
         let r = self.relation_handle(rel)?;
         let vid = logged.vid;
         r.vidmap.reserve_through(vid);
         let prev = r.vidmap.get(vid);
         let prev_create = match prev {
-            Some(tid) => crate::chain::fetch_version(&self.stack.pool, rel, tid)?.create,
+            Some(tid) => {
+                let head = crate::chain::fetch_version(&self.stack.pool, rel, tid)?;
+                if head.create == logged.create
+                    && head.tombstone == logged.tombstone
+                    && head.payload == logged.payload
+                {
+                    return Ok(false);
+                }
+                head.create
+            }
             None => Xid::INVALID,
         };
         let rebuilt = TupleVersion {
@@ -159,7 +218,7 @@ impl SiasDb {
             }
             None => r.vidmap.set(vid, tid),
         }
-        Ok(())
+        Ok(true)
     }
 }
 
@@ -278,6 +337,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn restart_is_bounded_by_the_checkpoint_suffix() {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let rel = db.create_relation("accounts");
+        // Pre-checkpoint history: the bulk of the log.
+        let t = db.begin();
+        for k in 0..60u64 {
+            db.insert(&t, rel, k, format!("v0 {k}").as_bytes()).unwrap();
+        }
+        db.commit(t).unwrap();
+        for round in 1..6u32 {
+            let t = db.begin();
+            for k in (0..60u64).step_by(3) {
+                db.update(&t, rel, k, format!("v{round} {k}").as_bytes()).unwrap();
+            }
+            db.commit(t).unwrap();
+        }
+        let ckpt = db.checkpoint().unwrap();
+        // Post-checkpoint suffix: a sliver of new work.
+        let t = db.begin();
+        for k in 0..5u64 {
+            db.update(&t, rel, k, b"post-ckpt").unwrap();
+        }
+        db.commit(t).unwrap();
+        db.stack().wal.force().unwrap(); // crash point
+        let records = db.stack().wal.durable_records().unwrap();
+        let (recovered, stats) =
+            SiasDb::recover_from_wal(&records, StorageConfig::in_memory(), FlushPolicy::T2)
+                .unwrap();
+        // The bounded-restart contract: with a checkpoint in the log the
+        // redo suffix is a strict (and here: small) subset of the log.
+        assert_eq!(stats.checkpoints_seen, 1);
+        assert_eq!(stats.checkpoint_redo_records, ckpt.redo_records);
+        assert!(stats.checkpoint_redo_records > 0);
+        assert!(stats.records_after_checkpoint < stats.records_scanned);
+        assert!(
+            stats.records_after_checkpoint < stats.records_scanned / 4,
+            "suffix {} should be a small fraction of {}",
+            stats.records_after_checkpoint,
+            stats.records_scanned
+        );
+        assert!(stats.versions_replayed_after_checkpoint < stats.versions_replayed);
+        // The checkpoint's xid high-water mark holds after restart.
+        assert!(recovered.txm().xid_bound() >= ckpt.next_xid);
+        // And the recovered state is exactly the pre-crash state.
+        assert_eq!(visible(&db, "accounts"), visible(&recovered, "accounts"));
     }
 
     #[test]

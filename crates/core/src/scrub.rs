@@ -1,0 +1,393 @@
+//! Integrity scrubbing and WAL-history self-repair (§6 *Recovery*).
+//!
+//! Flash media decays: retention errors and read disturb flip bits long
+//! after a page was durably written. The storage layer detects this —
+//! every data page carries a CRC32 verified on read, and a failing page
+//! is quarantined by the buffer pool so no caller ever consumes torn
+//! bytes. This module closes the loop by *repairing* what the
+//! quarantine fences off:
+//!
+//! 1. **Sweep** — every sealed, in-use block of a relation is probed
+//!    through the buffer pool; a checksum mismatch surfaces as
+//!    [`SiasError::CorruptPage`] and quarantines the block
+//!    (`storage.scrub.scanned`, `storage.scrub.corrupt`).
+//! 2. **Blast radius** — a corrupt page takes whole *chains* with it:
+//!    any data item whose version walk crosses the page is unreadable,
+//!    because `*ptr` predecessors always stay within the item's own
+//!    chain. Affected items are found by walking every entrypoint and
+//!    collecting the walks that fault.
+//! 3. **Repair** — SIAS never overwrites, so the WAL holds the full
+//!    version history of every item. Each affected chain is rebuilt by
+//!    re-appending its committed version images in log order — the
+//!    exact mechanism crash recovery uses — and the VID map is swung to
+//!    the rebuilt head. Chains re-link naturally; indexes need no
+//!    repair because ⟨key, VID⟩ entries survive (VIDs are stable).
+//! 4. **Reclaim** — the corrupt block is recycled: TRIMmed, dropped
+//!    from quarantine, and handed back to the append region as free
+//!    space (`storage.scrub.repaired`).
+//!
+//! Like vacuum, scrubbing requires a quiescent system: chain rebuilds
+//! swing VID-map entrypoints, which in-flight walks must not observe.
+//!
+//! A note on garbage collection: vacuum relocations are not WAL-logged,
+//! so a rebuilt chain can be *longer* than the physical chain it
+//! replaces — dead pre-relocation versions reappear. They are invisible
+//! to every snapshot (same visibility rules) and the next vacuum
+//! reclaims them; correctness is unaffected.
+
+use std::collections::{BTreeMap, HashSet};
+
+use sias_common::{BlockId, RelId, SiasError, SiasResult, Tid, Vid, Xid};
+use sias_storage::WalRecord;
+
+use crate::chain::collect_chain;
+use crate::engine::SiasDb;
+use crate::version::TupleVersion;
+
+/// Counters describing one scrub pass (or, via [`Scrubber`], the running
+/// totals of many).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Sealed in-use pages probed.
+    pub pages_scanned: u64,
+    /// Pages failing checksum verification.
+    pub pages_corrupt: u64,
+    /// Corrupt pages repaired and reclaimed.
+    pub pages_repaired: u64,
+    /// Data items whose chains were rebuilt from WAL history.
+    pub chains_rebuilt: u64,
+    /// Version images re-appended during chain rebuilds.
+    pub versions_reappended: u64,
+}
+
+impl ScrubStats {
+    /// Folds another pass's counters into these.
+    pub fn merge(&mut self, other: &ScrubStats) {
+        self.pages_scanned += other.pages_scanned;
+        self.pages_corrupt += other.pages_corrupt;
+        self.pages_repaired += other.pages_repaired;
+        self.chains_rebuilt += other.chains_rebuilt;
+        self.versions_reappended += other.versions_reappended;
+    }
+}
+
+/// Long-lived scrub driver: sweeps every relation on demand and keeps
+/// running totals, the way a background media patrol would.
+#[derive(Debug, Default)]
+pub struct Scrubber {
+    totals: ScrubStats,
+    sweeps: u64,
+}
+
+impl Scrubber {
+    /// Creates a scrubber with zeroed totals.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sweeps every relation of `db` once; returns this sweep's counters
+    /// and folds them into the running totals.
+    pub fn sweep(&mut self, db: &SiasDb) -> SiasResult<ScrubStats> {
+        let pass = db.scrub_all()?;
+        self.totals.merge(&pass);
+        self.sweeps += 1;
+        Ok(pass)
+    }
+
+    /// Running totals across all sweeps.
+    pub fn totals(&self) -> ScrubStats {
+        self.totals
+    }
+
+    /// Number of completed sweeps.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+}
+
+impl SiasDb {
+    /// Scrubs every relation (see the module docs for the protocol).
+    pub fn scrub_all(&self) -> SiasResult<ScrubStats> {
+        let mut total = ScrubStats::default();
+        for r in self.relation_handles() {
+            total.merge(&self.scrub_relation(r.rel)?);
+        }
+        Ok(total)
+    }
+
+    /// Scrubs one data relation: sweep, quarantine, repair, reclaim.
+    /// Errors unless the system is quiescent. Ticks
+    /// `storage.scrub.{scanned,corrupt,repaired}`.
+    pub fn scrub_relation(&self, rel: RelId) -> SiasResult<ScrubStats> {
+        if self.txm.active_count() != 0 {
+            return Err(SiasError::Device(
+                "scrub requires a quiescent system (no active transactions)".into(),
+            ));
+        }
+        let r = self.relation_handle(rel)?;
+        let mut stats = ScrubStats::default();
+        // (1) Sweep: probe every sealed in-use block through the pool.
+        // A failing probe quarantines the block as a side effect.
+        let nblocks = self.stack.space.relation_blocks(rel);
+        let mut corrupt: Vec<BlockId> = Vec::new();
+        for block in 0..nblocks {
+            if r.append.open_block() == Some(block) || r.append.is_free(block) {
+                continue;
+            }
+            stats.pages_scanned += 1;
+            match self.stack.pool.with_page(rel, block, |_| ()) {
+                Ok(()) => {}
+                Err(SiasError::CorruptPage { .. }) => {
+                    stats.pages_corrupt += 1;
+                    corrupt.push(block);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.stack.obs.counter("storage.scrub.scanned").add(stats.pages_scanned);
+        self.stack.obs.counter("storage.scrub.corrupt").add(stats.pages_corrupt);
+        if corrupt.is_empty() {
+            return Ok(stats);
+        }
+        // (2) Blast radius: an item is affected iff its chain walk
+        // faults (pred pointers never leave the chain, so a clean walk
+        // proves the item never touches a corrupt page).
+        let mut entries: Vec<(Vid, Tid)> = Vec::new();
+        r.vidmap.for_each(|vid, tid| entries.push((vid, tid)));
+        let mut affected: Vec<Vid> = Vec::new();
+        for (vid, entry) in entries {
+            match collect_chain(&self.stack.pool, rel, entry) {
+                Ok(_) => {}
+                Err(SiasError::CorruptPage { .. }) => affected.push(vid),
+                Err(e) => return Err(e),
+            }
+        }
+        // (3) Repair: rebuild each affected chain from the committed
+        // version history in the durable log, oldest first — exactly the
+        // crash-recovery mechanism.
+        self.stack.wal.force()?;
+        let records = self.stack.wal.durable_records()?;
+        let mut committed: HashSet<Xid> = HashSet::new();
+        for rec in &records {
+            if let WalRecord::Commit(x) = rec {
+                committed.insert(*x);
+            }
+        }
+        let wanted: HashSet<Vid> = affected.iter().copied().collect();
+        let mut history: BTreeMap<Vid, Vec<TupleVersion>> = BTreeMap::new();
+        for rec in &records {
+            let WalRecord::Insert { xid, rel: r2, payload, .. } = rec else { continue };
+            if *r2 != rel || !committed.contains(xid) {
+                continue;
+            }
+            let v = TupleVersion::decode(payload)?;
+            if !wanted.contains(&v.vid) {
+                continue;
+            }
+            let versions = history.entry(v.vid).or_default();
+            // Defensive dedupe: identical adjacent images (e.g. from a
+            // log that was itself produced by replay) rebuild once.
+            if versions.last().is_some_and(|p| {
+                p.create == v.create && p.tombstone == v.tombstone && p.payload == v.payload
+            }) {
+                continue;
+            }
+            versions.push(v);
+        }
+        for vid in &affected {
+            let Some(versions) = history.get(vid) else {
+                return Err(SiasError::Wal(format!(
+                    "scrub cannot repair {vid:?}: no committed history in the log"
+                )));
+            };
+            let mut prev: Option<Tid> = None;
+            let mut prev_create = Xid::INVALID;
+            for v in versions {
+                let rebuilt = TupleVersion {
+                    create: v.create,
+                    vid: *vid,
+                    pred: prev,
+                    pred_create: prev_create,
+                    tombstone: v.tombstone,
+                    payload: v.payload.clone(),
+                };
+                let tid = r.append.append(&rebuilt.encode())?;
+                prev = Some(tid);
+                prev_create = v.create;
+                stats.versions_reappended += 1;
+            }
+            if let Some(head) = prev {
+                r.vidmap.set(*vid, head);
+                stats.chains_rebuilt += 1;
+            }
+        }
+        // (4) Reclaim: TRIM the corrupt blocks, drop their quarantine
+        // state, and hand them back to the append region.
+        for block in corrupt {
+            r.append.recycle(block);
+            stats.pages_repaired += 1;
+        }
+        self.stack.obs.counter("storage.scrub.repaired").add(stats.pages_repaired);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::append::FlushPolicy;
+    use sias_common::PAGE_SIZE;
+    use sias_storage::StorageConfig;
+    use sias_txn::MvccEngine;
+
+    fn workload() -> (SiasDb, RelId) {
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let rel = db.create_relation("t");
+        let t = db.begin();
+        for k in 0..200u64 {
+            db.insert(&t, rel, k, format!("v0 {k}").as_bytes()).unwrap();
+        }
+        db.commit(t).unwrap();
+        for round in 1..4u32 {
+            let t = db.begin();
+            for k in (0..200u64).step_by(2) {
+                db.update(&t, rel, k, format!("v{round} {k}").as_bytes()).unwrap();
+            }
+            db.commit(t).unwrap();
+        }
+        db.checkpoint().unwrap(); // seal + flush everything flushable
+        (db, rel)
+    }
+
+    fn visible(db: &SiasDb, rel: RelId) -> Vec<(u64, Vec<u8>)> {
+        let t = db.begin();
+        let v = db.scan_all(&t, rel).unwrap().into_iter().map(|(k, b)| (k, b.to_vec())).collect();
+        db.commit(t).unwrap();
+        v
+    }
+
+    /// Flips one bit in a sealed block's on-media image and drops the
+    /// clean cached copy, simulating Flash retention bit-rot.
+    fn rot_block(db: &SiasDb, rel: RelId, block: u32) {
+        let pool = &db.stack().pool;
+        let lba = pool.space().resolve(rel, block).unwrap();
+        let dev = pool.device();
+        let mut img = vec![0u8; PAGE_SIZE];
+        dev.read_page(lba, &mut img);
+        img[100] ^= 0x40;
+        dev.write_page(lba, &img, true);
+        // Drop any clean cached copy so the next read verifies the media.
+        pool.invalidate_block(rel, block);
+    }
+
+    fn sealed_block(db: &SiasDb, rel: RelId) -> u32 {
+        let r = db.relation_handle(rel).unwrap();
+        let nblocks = db.stack().space.relation_blocks(rel);
+        (0..nblocks)
+            .find(|b| r.append.open_block() != Some(*b) && !r.append.is_free(*b))
+            .expect("workload must seal at least one block")
+    }
+
+    #[test]
+    fn clean_sweep_reports_nothing_corrupt() {
+        let (db, _) = workload();
+        let stats = db.scrub_all().unwrap();
+        assert!(stats.pages_scanned > 0);
+        assert_eq!(stats.pages_corrupt, 0);
+        assert_eq!(stats.pages_repaired, 0);
+        assert_eq!(stats.versions_reappended, 0);
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("storage.scrub.scanned"), Some(stats.pages_scanned));
+        assert_eq!(snap.counter("storage.scrub.corrupt"), Some(0));
+    }
+
+    #[test]
+    fn bit_rot_is_detected_repaired_and_reclaimed() {
+        let (db, rel) = workload();
+        let before = visible(&db, rel);
+        let block = sealed_block(&db, rel);
+        rot_block(&db, rel, block);
+        let stats = db.scrub_relation(rel).unwrap();
+        assert_eq!(stats.pages_corrupt, 1);
+        assert_eq!(stats.pages_repaired, 1);
+        assert!(stats.chains_rebuilt > 0, "a data page carries at least one chain");
+        assert!(stats.versions_reappended >= stats.chains_rebuilt);
+        // The block is recycled: free again and out of quarantine.
+        let r = db.relation_handle(rel).unwrap();
+        assert!(r.append.is_free(block));
+        assert!(!db.stack().pool.is_quarantined(rel, block));
+        // Every row reads exactly as before the rot.
+        assert_eq!(before, visible(&db, rel));
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("storage.scrub.corrupt"), snap.counter("storage.scrub.repaired"));
+    }
+
+    #[test]
+    fn multi_block_rot_repairs_every_chain() {
+        let (db, rel) = workload();
+        let before = visible(&db, rel);
+        let r = db.relation_handle(rel).unwrap();
+        let nblocks = db.stack().space.relation_blocks(rel);
+        let victims: Vec<u32> = (0..nblocks)
+            .filter(|b| r.append.open_block() != Some(*b) && !r.append.is_free(*b))
+            .take(3)
+            .collect();
+        assert!(victims.len() >= 2, "workload must seal several blocks");
+        for &b in &victims {
+            rot_block(&db, rel, b);
+        }
+        let stats = db.scrub_relation(rel).unwrap();
+        assert_eq!(stats.pages_corrupt, victims.len() as u64);
+        assert_eq!(stats.pages_repaired, victims.len() as u64);
+        assert_eq!(before, visible(&db, rel));
+        // A second sweep is clean: the repair really healed the media.
+        let again = db.scrub_relation(rel).unwrap();
+        assert_eq!(again.pages_corrupt, 0);
+    }
+
+    #[test]
+    fn scrubbed_database_survives_vacuum_and_restart() {
+        let (db, rel) = workload();
+        let block = sealed_block(&db, rel);
+        rot_block(&db, rel, block);
+        db.scrub_relation(rel).unwrap();
+        let before = visible(&db, rel);
+        // Rebuilt chains may carry extra invisible versions; vacuum must
+        // reclaim around them without upsetting visibility.
+        db.vacuum_all().unwrap();
+        assert_eq!(before, visible(&db, rel));
+        // And the log still recovers to the same visible state.
+        db.stack().wal.force().unwrap();
+        let records = db.stack().wal.durable_records().unwrap();
+        let (recovered, _) =
+            SiasDb::recover_from_wal(&records, StorageConfig::in_memory(), FlushPolicy::T2)
+                .unwrap();
+        let rrel = recovered.relation("t").unwrap();
+        assert_eq!(before, visible(&recovered, rrel));
+    }
+
+    #[test]
+    fn scrub_requires_quiescence() {
+        let (db, rel) = workload();
+        let t = db.begin();
+        assert!(db.scrub_relation(rel).is_err());
+        db.commit(t).unwrap();
+        assert!(db.scrub_relation(rel).is_ok());
+    }
+
+    #[test]
+    fn scrubber_accumulates_totals_across_sweeps() {
+        let (db, rel) = workload();
+        let mut scrubber = Scrubber::new();
+        let clean = scrubber.sweep(&db).unwrap();
+        assert_eq!(clean.pages_corrupt, 0);
+        rot_block(&db, rel, sealed_block(&db, rel));
+        let dirty = scrubber.sweep(&db).unwrap();
+        assert_eq!(dirty.pages_corrupt, 1);
+        assert_eq!(scrubber.sweeps(), 2);
+        let totals = scrubber.totals();
+        assert_eq!(totals.pages_corrupt, 1);
+        assert_eq!(totals.pages_repaired, 1);
+        assert_eq!(totals.pages_scanned, clean.pages_scanned + dirty.pages_scanned);
+    }
+}

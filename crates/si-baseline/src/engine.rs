@@ -424,10 +424,18 @@ impl MvccEngine for SiDb {
         // every tick, persisting scattered dirty pages.
         self.stack.pool.bgwriter_round(self.bgwriter_budget);
         if checkpoint {
-            self.stack.wal.append(&WalRecord::Checkpoint);
-            // Best-effort, as in the SIAS engine's maintenance path.
-            let _ = self.stack.wal.force();
-            self.stack.pool.flush_all();
+            // Fuzzy checkpoint, as in the SIAS engine: capture the redo
+            // point, flush, then publish it. Best-effort on force.
+            let redo_lsn = self.stack.wal.current_lsn();
+            let redo_records = self.stack.wal.appended_record_count();
+            let next_xid = self.txm.xid_bound();
+            let pages_flushed = self.stack.pool.flush_all() as u64;
+            self.stack.obs.counter("storage.ckpt.runs").inc();
+            self.stack.obs.counter("storage.ckpt.pages_flushed").add(pages_flushed);
+            self.stack.wal.append(&WalRecord::Checkpoint { redo_lsn, redo_records, next_xid });
+            if self.stack.wal.force().is_ok() {
+                self.stack.wal.truncate_before(redo_lsn);
+            }
         }
     }
 

@@ -40,7 +40,7 @@ use parking_lot::{Mutex, RwLock};
 use sias_common::{BlockId, RelId, SiasError, SiasResult};
 use sias_obs::{Counter, Registry};
 
-use crate::device::{retry_io, Device, RetryPolicy};
+use crate::device::{retry_io, Device, RetryCtx, RetryPolicy};
 use crate::page::Page;
 use crate::tablespace::Tablespace;
 
@@ -70,7 +70,7 @@ struct StatCell {
     eviction_writes: Arc<Counter>,
     bgwriter_writes: Arc<Counter>,
     checkpoint_writes: Arc<Counter>,
-    io_retries: Arc<Counter>,
+    checksum_failures: Arc<Counter>,
 }
 
 impl StatCell {
@@ -82,7 +82,7 @@ impl StatCell {
             eviction_writes: obs.counter("storage.buffer.eviction_writes"),
             bgwriter_writes: obs.counter("storage.buffer.bgwriter_writes"),
             checkpoint_writes: obs.counter("storage.buffer.checkpoint_writes"),
-            io_retries: obs.counter("storage.buffer.io_retries"),
+            checksum_failures: obs.counter("storage.buffer.checksum_failures"),
         }
     }
 }
@@ -129,7 +129,13 @@ pub struct BufferPool {
     device: Arc<dyn Device>,
     space: Arc<Tablespace>,
     retry: RetryPolicy,
+    retry_ctx: RetryCtx,
     stats: StatCell,
+    /// Pages that failed checksum verification, keyed by page id with
+    /// the `(stored, computed)` CRC pair that condemned them. A
+    /// quarantined page fails every fetch fast (no device read, no
+    /// decode) until the scrubber repairs it and the block is discarded.
+    quarantine: Mutex<HashMap<(RelId, BlockId), (u32, u32)>>,
 }
 
 /// SplitMix64 finalizer — cheap, well-mixed shard selection.
@@ -208,7 +214,13 @@ impl BufferPool {
             device,
             space,
             retry: RetryPolicy::default(),
+            retry_ctx: RetryCtx {
+                retries: obs.counter("storage.buffer.io_retries"),
+                backoff_ticks: obs.histogram("storage.io.retry_backoff_ticks"),
+                clock: None,
+            },
             stats: StatCell::register(obs),
+            quarantine: Mutex::new(HashMap::new()),
         }
     }
 
@@ -221,6 +233,13 @@ impl BufferPool {
     /// Overrides the transient-error retry policy (builder style).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Charges retry backoff to `clock` (builder style). Without a
+    /// clock, retries are immediate but still histogram-recorded.
+    pub fn with_clock(mut self, clock: Arc<sias_common::VirtualClock>) -> Self {
+        self.retry_ctx.clock = Some(clock);
         self
     }
 
@@ -338,6 +357,18 @@ impl BufferPool {
     /// different shards never serialize on one lock.
     fn fetch(&self, rel: RelId, block: BlockId, fresh: bool) -> SiasResult<usize> {
         let key = (rel, block);
+        if !fresh {
+            // Quarantined pages fail fast: no device read, no decode,
+            // same typed error the original verification failure raised.
+            if let Some(&(stored, computed)) = self.quarantine.lock().get(&key) {
+                return Err(SiasError::CorruptPage {
+                    rel,
+                    block,
+                    expected: stored,
+                    actual: computed,
+                });
+            }
+        }
         let shard = self.shard_of(key);
         let mut table = shard.table.lock();
         if let Some(&idx) = table.get(&key) {
@@ -371,12 +402,12 @@ impl BufferPool {
         let frame = &self.frames[idx];
         frame.pins.fetch_add(1, Ordering::Acquire);
         // Take the frame latch *before* publishing the new mapping so no
-        // reader can observe stale contents.
+        // reader can observe stale contents. The latch is taken while
+        // the shard table is still held — victim selection saw pins ==
+        // 0 under this same table lock, so nobody holds or awaits this
+        // frame and the acquisition cannot block.
         let mut guard = frame.data.write();
         if let Some(old_key) = guard.key {
-            // A frame owned by this shard only ever holds keys hashing
-            // to this shard, so the victim's mapping lives in `table`.
-            table.remove(&old_key);
             if old_key == key {
                 // The clock hand landed on our own key (possible when the
                 // table and frame disagree transiently); treat as hit.
@@ -385,41 +416,45 @@ impl BufferPool {
                 drop(table);
                 return Ok(idx);
             }
+            if guard.dirty {
+                // Backend eviction write: synchronous, *before* the
+                // victim's mapping is removed. Un-publishing first would
+                // let a concurrent miss on the old key read the device
+                // mid-write-back and cache a stale image. Transient
+                // errors are retried; if the write still fails the
+                // victim simply stays mapped and dirty — nothing to
+                // revert — and the error propagates.
+                let lba = match self.space.resolve(old_key.0, old_key.1) {
+                    Ok(lba) => lba,
+                    Err(e) => {
+                        drop(guard);
+                        drop(table);
+                        frame.pins.fetch_sub(1, Ordering::Release);
+                        return Err(e);
+                    }
+                };
+                guard.page.stamp_checksum();
+                let res = retry_io(self.retry, &self.retry_ctx, || {
+                    self.device.try_write_page(lba, guard.page.as_bytes(), true)
+                });
+                if let Err(e) = res {
+                    drop(guard);
+                    drop(table);
+                    frame.pins.fetch_sub(1, Ordering::Release);
+                    return Err(e);
+                }
+                guard.dirty = false;
+                shard.cell.eviction_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            // A frame owned by this shard only ever holds keys hashing
+            // to this shard, so the victim's mapping lives in `table`.
+            table.remove(&old_key);
+            shard.cell.evictions.fetch_add(1, Ordering::Relaxed);
         }
         table.insert(key, idx);
         frame.usage.store(1, Ordering::Relaxed);
         drop(table);
 
-        if let (Some((orel, oblock)), true) = (guard.key, guard.dirty) {
-            // Backend eviction write: synchronous. Transient errors are
-            // retried; if the write still fails the eviction is undone
-            // (the dirty victim stays mapped) and the error propagates.
-            let lba = self.space.resolve(orel, oblock)?;
-            let res = retry_io(self.retry, &self.stats.io_retries, || {
-                self.device.try_write_page(lba, guard.page.as_bytes(), true)
-            });
-            if let Err(e) = res {
-                drop(guard);
-                // Lock order is shard table → frame everywhere else, so
-                // the frame latch is released before re-taking the table
-                // lock. A concurrent fetch of `key` in this window sees
-                // the stale mapping and the old frame key — benign for
-                // the single-threaded chaos harness this path serves,
-                // and self-correcting once the mapping is reverted.
-                let mut table = shard.table.lock();
-                if table.get(&key) == Some(&idx) {
-                    table.remove(&key);
-                }
-                table.insert((orel, oblock), idx);
-                drop(table);
-                frame.pins.fetch_sub(1, Ordering::Release);
-                return Err(e);
-            }
-            shard.cell.eviction_writes.fetch_add(1, Ordering::Relaxed);
-        }
-        if guard.key.is_some() {
-            shard.cell.evictions.fetch_add(1, Ordering::Relaxed);
-        }
         guard.key = Some(key);
         guard.dirty = false;
         if fresh {
@@ -427,23 +462,44 @@ impl BufferPool {
         } else {
             let lba = self.space.resolve(rel, block)?;
             let mut buf = vec![0u8; sias_common::PAGE_SIZE];
-            let res = retry_io(self.retry, &self.stats.io_retries, || {
-                self.device.try_read_page(lba, &mut buf)
-            });
-            if let Err(e) = res {
-                // The frame holds neither the old page (already written
-                // back or clean) nor the new one: unmap it entirely.
-                guard.key = None;
-                drop(guard);
-                let mut table = shard.table.lock();
-                if table.get(&key) == Some(&idx) {
-                    table.remove(&key);
+            let res =
+                retry_io(self.retry, &self.retry_ctx, || self.device.try_read_page(lba, &mut buf));
+            let res = res.and_then(|()| {
+                let page = Page::from_bytes(&buf);
+                match page.checksum_mismatch() {
+                    None => Ok(page),
+                    Some((stored, computed)) => {
+                        // The image is damaged: quarantine the page id so
+                        // every later fetch fails fast, and surface a
+                        // typed error instead of decoding garbage.
+                        self.stats.checksum_failures.inc();
+                        self.quarantine.lock().insert(key, (stored, computed));
+                        Err(SiasError::CorruptPage {
+                            rel,
+                            block,
+                            expected: stored,
+                            actual: computed,
+                        })
+                    }
                 }
-                drop(table);
-                frame.pins.fetch_sub(1, Ordering::Release);
-                return Err(e);
+            });
+            match res {
+                Ok(page) => guard.page = page,
+                Err(e) => {
+                    // The frame holds neither the old page (already
+                    // written back or clean) nor the new one: unmap it
+                    // entirely.
+                    guard.key = None;
+                    drop(guard);
+                    let mut table = shard.table.lock();
+                    if table.get(&key) == Some(&idx) {
+                        table.remove(&key);
+                    }
+                    drop(table);
+                    frame.pins.fetch_sub(1, Ordering::Release);
+                    return Err(e);
+                }
             }
-            guard.page = Page::from_bytes(&buf);
         }
         drop(guard);
         Ok(idx)
@@ -465,7 +521,8 @@ impl BufferPool {
             return Ok(false);
         }
         let lba = self.space.resolve(rel, block)?;
-        retry_io(self.retry, &self.stats.io_retries, || {
+        guard.page.stamp_checksum();
+        retry_io(self.retry, &self.retry_ctx, || {
             self.device.try_write_page(lba, guard.page.as_bytes(), sync)
         })?;
         guard.dirty = false;
@@ -494,7 +551,8 @@ impl BufferPool {
             let Ok(lba) = self.space.resolve(rel, block) else { continue };
             // Best-effort: a page that still fails after retries stays
             // dirty and is picked up by a later round or the checkpoint.
-            if retry_io(self.retry, &self.stats.io_retries, || {
+            guard.page.stamp_checksum();
+            if retry_io(self.retry, &self.retry_ctx, || {
                 self.device.try_write_page(lba, guard.page.as_bytes(), false)
             })
             .is_err()
@@ -521,7 +579,8 @@ impl BufferPool {
             let Some((rel, block)) = guard.key else { continue };
             let Ok(lba) = self.space.resolve(rel, block) else { continue };
             // Best-effort like the bgwriter: a failed page stays dirty.
-            if retry_io(self.retry, &self.stats.io_retries, || {
+            guard.page.stamp_checksum();
+            if retry_io(self.retry, &self.retry_ctx, || {
                 self.device.try_write_page(lba, guard.page.as_bytes(), false)
             })
             .is_err()
@@ -562,7 +621,65 @@ impl BufferPool {
         }
         let lba = self.space.resolve(rel, block)?;
         self.device.trim(lba);
+        // Discard is how reclaimed pages leave quarantine: once TRIMmed,
+        // the old (possibly corrupt) image is dead and the block id may
+        // be reused with fresh contents.
+        self.quarantine.lock().remove(&(rel, block));
         Ok(())
+    }
+
+    /// Drops any cached copy of the page *without* write-back, TRIM or
+    /// quarantine changes: the next fetch re-reads — and re-verifies —
+    /// the on-media image. This is the cache-drop hook scrub scenarios
+    /// use to surface media bit-rot hiding under a clean cached copy.
+    /// Pinned frames are left alone (`false` is returned).
+    pub fn invalidate_block(&self, rel: RelId, block: BlockId) -> bool {
+        let idx = {
+            let mut table = self.shard_of((rel, block)).table.lock();
+            match table.get(&(rel, block)).copied() {
+                Some(idx) if self.frames[idx].pins.load(Ordering::Acquire) == 0 => {
+                    table.remove(&(rel, block));
+                    idx
+                }
+                _ => return false,
+            }
+        };
+        let mut guard = self.frames[idx].data.write();
+        if guard.key == Some((rel, block)) {
+            guard.key = None;
+            guard.dirty = false;
+        }
+        true
+    }
+
+    /// Re-initializes a block in place: the cached frame (or a fresh
+    /// one) is reset to an empty page and marked dirty *without reading
+    /// the old image from the device* — reclaimed append blocks reuse
+    /// this, so a recycled block never pays a device read for contents
+    /// that are dead by definition (and never trips checksum
+    /// verification on a TRIMmed image).
+    pub fn reset_block(&self, rel: RelId, block: BlockId) -> SiasResult<()> {
+        let idx = self.fetch(rel, block, true)?;
+        let frame = &self.frames[idx];
+        {
+            let mut guard = frame.data.write();
+            guard.page = Page::new();
+            guard.dirty = true;
+        }
+        frame.pins.fetch_sub(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// True when the page is quarantined (failed checksum verification
+    /// and not yet repaired + discarded).
+    pub fn is_quarantined(&self, rel: RelId, block: BlockId) -> bool {
+        self.quarantine.lock().contains_key(&(rel, block))
+    }
+
+    /// Snapshot of the quarantine set: `(page, (stored, computed))`
+    /// CRC pairs, in unspecified order. The scrubber drains this.
+    pub fn quarantined(&self) -> Vec<((RelId, BlockId), (u32, u32))> {
+        self.quarantine.lock().iter().map(|(&k, &v)| (k, v)).collect()
     }
 
     /// Number of dirty resident pages (diagnostics, flush policies).
@@ -812,6 +929,91 @@ mod tests {
         let space = Arc::new(Tablespace::new(1 << 12));
         let p = BufferPool::with_registry_sharded(4, 64, dev, space, &Registry::new());
         assert_eq!(p.shard_count(), 2);
+    }
+
+    #[test]
+    fn corrupt_page_is_detected_quarantined_and_released_by_discard() {
+        let (p, d) = pool(4);
+        let rel = RelId(1);
+        let b = p.allocate_block(rel).unwrap();
+        p.with_page_mut(rel, b, |page| {
+            page.add_item(b"soon to rot").unwrap().unwrap();
+        })
+        .unwrap();
+        assert!(p.flush_block(rel, b, true).unwrap());
+        // Flip a payload bit directly on the media (persistent bit-rot,
+        // unlike FaultyDevice's per-read transients).
+        let lba = p.space().resolve(rel, b).unwrap();
+        let mut img = vec![0u8; sias_common::PAGE_SIZE];
+        d.read_page(lba, &mut img);
+        let last = img.len() - 3;
+        img[last] ^= 0x40;
+        d.write_page(lba, &img, true);
+        // Evict the clean cached copy so the next access re-reads.
+        p.discard_block(rel, b).unwrap();
+        let err = p.with_page(rel, b, |_| ()).unwrap_err();
+        assert!(
+            matches!(err, SiasError::CorruptPage { rel: r, block, .. } if r == rel && block == b)
+        );
+        assert!(p.is_quarantined(rel, b));
+        assert_eq!(p.quarantined().len(), 1);
+        // Quarantine fails fast with the same typed error and without
+        // touching the device again.
+        let reads_before = d.stats().host_read_pages;
+        let err2 = p.with_page(rel, b, |_| ()).unwrap_err();
+        assert_eq!(err, err2);
+        assert_eq!(d.stats().host_read_pages, reads_before, "fast-fail skips the device");
+        // Reclaim drops the quarantine entry; the block is reusable via
+        // reset (no device read of the dead image).
+        p.discard_block(rel, b).unwrap();
+        assert!(!p.is_quarantined(rel, b));
+        p.reset_block(rel, b).unwrap();
+        let n = p.with_page(rel, b, |page| page.live_count()).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn invalidate_drops_the_cache_without_trim() {
+        let (p, d) = pool(4);
+        let rel = RelId(1);
+        let b = p.allocate_block(rel).unwrap();
+        p.with_page_mut(rel, b, |page| {
+            page.add_item(b"cached").unwrap().unwrap();
+        })
+        .unwrap();
+        p.flush_block(rel, b, true).unwrap();
+        // Corrupt the media under the clean cached copy.
+        let lba = p.space().resolve(rel, b).unwrap();
+        let mut img = vec![0u8; sias_common::PAGE_SIZE];
+        d.read_page(lba, &mut img);
+        let last = img.len() - 5;
+        img[last] ^= 0x01;
+        d.write_page(lba, &img, true);
+        // Cache still serves the good copy...
+        p.with_page(rel, b, |page| assert_eq!(page.live_count(), 1)).unwrap();
+        // ...until the cache is dropped, which forces re-verification.
+        assert!(p.invalidate_block(rel, b));
+        let err = p.with_page(rel, b, |_| ()).unwrap_err();
+        assert!(matches!(err, SiasError::CorruptPage { .. }), "got {err:?}");
+        assert_eq!(d.stats().trims, 0, "invalidate never TRIMs");
+    }
+
+    #[test]
+    fn write_back_stamps_checksums_on_media() {
+        let (p, d) = pool(4);
+        let rel = RelId(1);
+        let b = p.allocate_block(rel).unwrap();
+        p.with_page_mut(rel, b, |page| {
+            page.add_item(b"stamped").unwrap().unwrap();
+        })
+        .unwrap();
+        p.flush_block(rel, b, true).unwrap();
+        let lba = p.space().resolve(rel, b).unwrap();
+        let mut img = vec![0u8; sias_common::PAGE_SIZE];
+        d.read_page(lba, &mut img);
+        let page = Page::from_bytes(&img);
+        assert_ne!(page.stored_checksum(), 0, "durable image carries a CRC");
+        assert_eq!(page.checksum_mismatch(), None);
     }
 
     #[test]

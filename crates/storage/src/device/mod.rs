@@ -41,7 +41,7 @@ pub use mem::MemDevice;
 pub use raid::Raid0;
 
 use sias_common::{SiasResult, VirtualClock};
-use sias_obs::Counter;
+use sias_obs::{Counter, Histogram};
 
 use crate::trace::TraceCollector;
 
@@ -182,39 +182,110 @@ impl DeviceEnv {
     }
 }
 
-/// Bounded retry policy for transient device errors.
+/// Bounded retry policy for transient device errors, with exponential
+/// backoff and deterministic seeded jitter.
 ///
-/// The WAL and the buffer pool wrap their `try_*` I/O in
-/// [`retry_io`]; with [`FaultConfig::max_error_burst`] kept below
-/// `max_attempts` (the defaults are 2 and 4) every injected transient
-/// fault is absorbed and surfaces only as an `io_retries` counter tick.
-/// Backoff is charged in *virtual* time by the faulty device itself
-/// (each injected error advances the clock by the command latency), so
-/// the retry loop here is immediate.
+/// The WAL and the buffer pool wrap their `try_*` I/O in [`retry_io`];
+/// with [`FaultConfig::max_error_burst`] kept below `max_attempts` (the
+/// defaults are 2 and 4) every injected transient fault is absorbed and
+/// surfaces only as an `io_retries` counter tick. Retry `k` (1-based)
+/// waits `base_backoff_us << (k-1)` µs, capped at `max_backoff_us`,
+/// plus up to 50% jitter drawn from a splitmix64 stream keyed by
+/// `(jitter_seed, k)` — fully deterministic, so seeded chaos runs stay
+/// reproducible. The wait is charged on the *virtual* clock via the
+/// [`RetryCtx`], never a real sleep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts (first try included) before the error propagates.
     pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual microseconds. `0`
+    /// disables backoff entirely (attempts are immediate).
+    pub base_backoff_us: u64,
+    /// Cap on the exponential term, in virtual microseconds.
+    pub max_backoff_us: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 4 }
+        RetryPolicy { max_attempts: 4, base_backoff_us: 50, max_backoff_us: 10_000, jitter_seed: 1 }
+    }
+}
+
+/// splitmix64 — the workspace's standard deterministic mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// Virtual-time backoff before retry `retry` (1-based): exponential
+    /// in the retry number, capped, with deterministic +0..50% jitter.
+    pub fn backoff_us(&self, retry: u32) -> u64 {
+        if self.base_backoff_us == 0 || retry == 0 {
+            return 0;
+        }
+        let exp = self
+            .base_backoff_us
+            .saturating_mul(1u64 << (retry - 1).min(32))
+            .min(self.max_backoff_us.max(self.base_backoff_us));
+        let jitter = mix64(self.jitter_seed ^ u64::from(retry)) % (exp / 2 + 1);
+        exp + jitter
+    }
+}
+
+/// Clock and metrics context threaded through [`retry_io`]: the retry
+/// counter of the calling subsystem, the shared
+/// `storage.io.retry_backoff_ticks` histogram, and (when available) the
+/// virtual clock that backoff waits are charged to.
+#[derive(Clone)]
+pub struct RetryCtx {
+    /// Per-subsystem transient-retry counter (`storage.wal.io_retries`,
+    /// `storage.buffer.io_retries`).
+    pub retries: Arc<Counter>,
+    /// Histogram of backoff waits in virtual µs, shared across
+    /// subsystems as `storage.io.retry_backoff_ticks`.
+    pub backoff_ticks: Arc<Histogram>,
+    /// Virtual clock to charge waits on. `None` (standalone tests)
+    /// records the histogram but advances nothing.
+    pub clock: Option<Arc<VirtualClock>>,
+}
+
+impl RetryCtx {
+    /// Context with fresh, unregistered metrics and no clock (tests and
+    /// standalone construction; registered variants come from the owning
+    /// subsystem's `with_registry`).
+    pub fn detached() -> Self {
+        RetryCtx {
+            retries: Arc::new(Counter::new()),
+            backoff_ticks: Arc::new(Histogram::new()),
+            clock: None,
+        }
     }
 }
 
 /// Runs `op` up to `policy.max_attempts` times, counting each retry in
-/// `retries`. Returns the last error if every attempt fails.
+/// `ctx.retries` and charging the policy's backoff schedule to the
+/// virtual clock between attempts. Returns the last error if every
+/// attempt fails.
 pub fn retry_io<T>(
     policy: RetryPolicy,
-    retries: &Counter,
+    ctx: &RetryCtx,
     mut op: impl FnMut() -> SiasResult<T>,
 ) -> SiasResult<T> {
     let attempts = policy.max_attempts.max(1);
     let mut last = None;
     for attempt in 0..attempts {
         if attempt > 0 {
-            retries.inc();
+            ctx.retries.inc();
+            let wait = policy.backoff_us(attempt);
+            ctx.backoff_ticks.record(wait);
+            if let (Some(clock), true) = (&ctx.clock, wait > 0) {
+                clock.advance_us(wait);
+            }
         }
         match op() {
             Ok(v) => return Ok(v),
@@ -244,9 +315,9 @@ mod tests {
 
     #[test]
     fn retry_io_counts_retries_and_recovers() {
-        let retries = Counter::new();
+        let ctx = RetryCtx::detached();
         let mut fails_left = 2;
-        let out = retry_io(RetryPolicy::default(), &retries, || {
+        let out = retry_io(RetryPolicy::default(), &ctx, || {
             if fails_left > 0 {
                 fails_left -= 1;
                 Err(sias_common::SiasError::Device("transient".into()))
@@ -255,19 +326,66 @@ mod tests {
             }
         });
         assert_eq!(out.unwrap(), 7);
-        assert_eq!(retries.get(), 2);
+        assert_eq!(ctx.retries.get(), 2);
+        assert_eq!(ctx.backoff_ticks.count(), 2, "every retry records its backoff");
     }
 
     #[test]
     fn retry_io_gives_up_after_max_attempts() {
-        let retries = Counter::new();
+        let ctx = RetryCtx::detached();
         let mut calls = 0;
-        let out: SiasResult<()> = retry_io(RetryPolicy { max_attempts: 3 }, &retries, || {
+        let policy = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        let out: SiasResult<()> = retry_io(policy, &ctx, || {
             calls += 1;
             Err(sias_common::SiasError::Device("hard".into()))
         });
         assert!(out.is_err());
         assert_eq!(calls, 3);
-        assert_eq!(retries.get(), 2);
+        assert_eq!(ctx.retries.get(), 2);
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_us: 100,
+            max_backoff_us: 800,
+            jitter_seed: 42,
+        };
+        // Exponential core: retry k waits at least base << (k-1), capped.
+        assert!(p.backoff_us(1) >= 100 && p.backoff_us(1) <= 150);
+        assert!(p.backoff_us(2) >= 200 && p.backoff_us(2) <= 300);
+        assert!(p.backoff_us(3) >= 400 && p.backoff_us(3) <= 600);
+        assert!(p.backoff_us(4) >= 800 && p.backoff_us(4) <= 1200, "capped at max");
+        assert!(p.backoff_us(7) >= 800 && p.backoff_us(7) <= 1200, "stays capped");
+        // Deterministic: same seed, same schedule.
+        let q = RetryPolicy { ..p };
+        for k in 1..8 {
+            assert_eq!(p.backoff_us(k), q.backoff_us(k));
+        }
+        // Zero base disables the wait.
+        let z = RetryPolicy { base_backoff_us: 0, ..p };
+        assert_eq!(z.backoff_us(3), 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_charged_on_the_virtual_clock() {
+        let clock = VirtualClock::new();
+        let ctx = RetryCtx {
+            retries: Arc::new(Counter::new()),
+            backoff_ticks: Arc::new(Histogram::new()),
+            clock: Some(Arc::clone(&clock)),
+        };
+        let policy =
+            RetryPolicy { max_attempts: 3, base_backoff_us: 100, ..RetryPolicy::default() };
+        let before = clock.now_us();
+        let out: SiasResult<()> =
+            retry_io(policy, &ctx, || Err(sias_common::SiasError::Device("hard".into())));
+        assert!(out.is_err());
+        let elapsed = clock.now_us() - before;
+        // Two retries: ≥ 100 + 200 µs of virtual backoff, jitter on top.
+        assert!(elapsed >= 300, "virtual clock advanced by backoff: {elapsed}");
+        assert_eq!(ctx.backoff_ticks.count(), 2);
+        assert_eq!(ctx.backoff_ticks.sum(), elapsed, "histogram mirrors the charged wait");
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+mod checksum;
 pub mod device;
 pub mod fsm;
 pub mod page;
@@ -37,7 +38,7 @@ pub mod wal;
 pub use buffer::{BufferPool, BufferStats};
 pub use device::{
     Device, DeviceRef, DeviceStats, FaultConfig, FaultPlan, FaultyDevice, FlashConfig, HddConfig,
-    RetryPolicy,
+    RetryCtx, RetryPolicy,
 };
 pub use fsm::FreeSpaceMap;
 pub use page::Page;

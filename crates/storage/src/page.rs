@@ -23,6 +23,8 @@
 
 use sias_common::{SiasError, SiasResult, Tid, PAGE_SIZE};
 
+use crate::checksum::{crc32_finish, crc32_update, CRC32_INIT};
+
 /// Byte size of the fixed page header.
 pub const PAGE_HEADER_SIZE: usize = 24;
 /// Byte size of one line pointer.
@@ -35,7 +37,8 @@ const OFF_LOWER: usize = 8; // u16
 const OFF_UPPER: usize = 10; // u16
 const OFF_NSLOTS: usize = 12; // u16
 const OFF_FLAGS: usize = 14; // u16
-                             // bytes 16..24 reserved
+const OFF_CRC: usize = 16; // u32 — page image checksum, 0 = unstamped
+                           // bytes 20..24 reserved
 
 /// Line-pointer flag: slot is live.
 const LP_USED: u32 = 0x8000_0000;
@@ -204,7 +207,9 @@ impl Page {
     }
 
     /// Returns the bytes of the item in `slot`, or an error for invalid /
-    /// dead slots.
+    /// dead slots. Line pointers whose extent falls outside the page
+    /// (possible only on a corrupt image) report [`SiasError::BadSlot`]
+    /// instead of panicking.
     pub fn item(&self, slot: u16) -> SiasResult<&[u8]> {
         if slot >= self.slot_count() {
             return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
@@ -214,6 +219,9 @@ impl Page {
             return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
         }
         let (off, len) = Self::decode_lp(lp);
+        if off < PAGE_HEADER_SIZE || off + len > PAGE_SIZE {
+            return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
+        }
         Ok(&self.buf[off..off + len])
     }
 
@@ -232,6 +240,9 @@ impl Page {
             return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
         }
         let (off, len) = Self::decode_lp(lp);
+        if off < PAGE_HEADER_SIZE || off + len > PAGE_SIZE {
+            return Err(SiasError::BadSlot { tid: Tid::new(0, slot) });
+        }
         if item.len() != len {
             return Err(SiasError::TupleTooLarge { size: item.len(), max: len });
         }
@@ -284,13 +295,61 @@ impl Page {
         &mut self.buf[PAGE_HEADER_SIZE..]
     }
 
+    /// CRC32 over the page image with the checksum field itself excluded.
+    /// A computed value of zero is remapped to 1 so a stamped page can
+    /// never collide with the "unstamped" sentinel (stored CRC of 0).
+    pub fn compute_checksum(&self) -> u32 {
+        let acc = crc32_update(CRC32_INIT, &self.buf[..OFF_CRC]);
+        let crc = crc32_finish(crc32_update(acc, &self.buf[OFF_CRC + 4..]));
+        if crc == 0 {
+            1
+        } else {
+            crc
+        }
+    }
+
+    /// Checksum stored in the page header; 0 means the page was never
+    /// stamped (fresh pages, pre-checksum images).
+    pub fn stored_checksum(&self) -> u32 {
+        self.u32_at(OFF_CRC)
+    }
+
+    /// Recomputes and stores the checksum. The buffer pool calls this on
+    /// every write-back, so durable page images always carry a valid CRC.
+    pub fn stamp_checksum(&mut self) {
+        let crc = self.compute_checksum();
+        self.set_u32(OFF_CRC, crc);
+    }
+
+    /// Verifies the stored checksum against the page image. Returns
+    /// `None` when the page is clean (or unstamped — stored CRC of 0),
+    /// and `Some((stored, computed))` on a mismatch.
+    pub fn checksum_mismatch(&self) -> Option<(u32, u32)> {
+        let stored = self.stored_checksum();
+        if stored == 0 {
+            return None;
+        }
+        let computed = self.compute_checksum();
+        if computed == stored {
+            None
+        } else {
+            Some((stored, computed))
+        }
+    }
+
     /// Rewrites the page keeping only live items. Slot indices are *not*
     /// preserved — callers that track TIDs must re-map them (as the GC in
     /// `sias-core` does by re-inserting versions). Returns the number of
-    /// items dropped.
-    pub fn compact(&mut self) -> usize {
-        let live: Vec<Vec<u8>> =
-            self.live_slots().map(|s| self.item(s).expect("live item").to_vec()).collect();
+    /// items dropped, or [`SiasError::BadSlot`] when a live line pointer
+    /// is structurally invalid (corrupt image) — the page is left
+    /// untouched in that case.
+    pub fn compact(&mut self) -> SiasResult<usize> {
+        let mut live: Vec<Vec<u8>> = Vec::with_capacity(self.live_count());
+        for s in 0..self.slot_count() {
+            if self.slot_is_live(s) {
+                live.push(self.item(s)?.to_vec());
+            }
+        }
         let dropped = self.slot_count() as usize - live.len();
         let lsn = self.lsn();
         let flags = self.flags();
@@ -298,10 +357,15 @@ impl Page {
         fresh.set_lsn(lsn);
         fresh.set_flags(flags);
         for item in &live {
-            fresh.add_item(item).expect("item fit before compaction").expect("space");
+            match fresh.add_item(item)? {
+                Some(_) => {}
+                // Items that fit before compaction fit after; reaching
+                // this means the source image lied about its extents.
+                None => return Err(SiasError::BadSlot { tid: Tid::new(0, 0) }),
+            }
         }
         *self = fresh;
-        dropped
+        Ok(dropped)
     }
 }
 
@@ -372,7 +436,7 @@ mod tests {
         p.mark_dead(7).unwrap();
         assert_eq!(p.live_count(), 8);
         assert!(p.item(3).is_err());
-        let dropped = p.compact();
+        let dropped = p.compact().unwrap();
         assert_eq!(dropped, 2);
         assert_eq!(p.live_count(), 8);
         assert_eq!(p.slot_count(), 8);
@@ -418,5 +482,64 @@ mod tests {
         let mut p = Page::new();
         let s = p.add_item(b"").unwrap().unwrap();
         assert_eq!(p.item(s).unwrap(), b"");
+    }
+
+    #[test]
+    fn unstamped_page_passes_verification() {
+        // Fresh and legacy (pre-checksum) images carry a stored CRC of 0
+        // and must not be flagged corrupt.
+        let p = Page::new();
+        assert_eq!(p.stored_checksum(), 0);
+        assert_eq!(p.checksum_mismatch(), None);
+        let z = Page::from_bytes(&vec![0u8; PAGE_SIZE]);
+        assert_eq!(z.checksum_mismatch(), None);
+    }
+
+    #[test]
+    fn stamped_page_roundtrips_and_detects_bitrot() {
+        let mut p = Page::new();
+        p.set_lsn(99);
+        p.add_item(b"checksummed payload").unwrap().unwrap();
+        p.stamp_checksum();
+        assert_ne!(p.stored_checksum(), 0);
+        assert_eq!(p.checksum_mismatch(), None);
+        // Survives a device round trip.
+        let q = Page::from_bytes(p.as_bytes());
+        assert_eq!(q.checksum_mismatch(), None);
+        // A single flipped payload bit is caught.
+        let mut bytes = p.as_bytes().to_vec();
+        bytes[PAGE_SIZE - 4] ^= 0x10;
+        let r = Page::from_bytes(&bytes);
+        let (stored, computed) = r.checksum_mismatch().expect("bit-rot must be detected");
+        assert_eq!(stored, p.stored_checksum());
+        assert_ne!(computed, stored);
+    }
+
+    #[test]
+    fn restamping_after_mutation_clears_mismatch() {
+        let mut p = Page::new();
+        p.add_item(b"v1").unwrap().unwrap();
+        p.stamp_checksum();
+        p.add_item(b"v2").unwrap().unwrap();
+        // Dirty in-memory image no longer matches its stamp...
+        assert!(p.checksum_mismatch().is_some());
+        // ...until the next write-back restamps it.
+        p.stamp_checksum();
+        assert_eq!(p.checksum_mismatch(), None);
+    }
+
+    #[test]
+    fn corrupt_line_pointer_errors_instead_of_panicking() {
+        let mut p = Page::new();
+        p.add_item(b"victim").unwrap().unwrap();
+        let mut bytes = p.as_bytes().to_vec();
+        // Rewrite slot 0's line pointer to point past the page end.
+        let lp: u32 = 0x8000_0000 | ((0x7FFF_u32) << 15) | 0x7FFF;
+        bytes[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + 4].copy_from_slice(&lp.to_le_bytes());
+        let q = Page::from_bytes(&bytes);
+        assert!(matches!(q.item(0), Err(SiasError::BadSlot { .. })));
+        let mut q2 = q.clone();
+        assert!(matches!(q2.overwrite_item(0, b"x"), Err(SiasError::BadSlot { .. })));
+        assert!(q2.compact().is_err());
     }
 }

@@ -214,13 +214,16 @@ impl StorageStack {
             data
         };
         let space = Arc::new(Tablespace::new(data.capacity_pages()));
-        let pool = Arc::new(BufferPool::with_registry_sharded(
-            cfg.pool_frames,
-            cfg.pool_shards,
-            Arc::clone(&data),
-            Arc::clone(&space),
-            &obs,
-        ));
+        let pool = Arc::new(
+            BufferPool::with_registry_sharded(
+                cfg.pool_frames,
+                cfg.pool_shards,
+                Arc::clone(&data),
+                Arc::clone(&space),
+                &obs,
+            )
+            .with_clock(Arc::clone(&clock)),
+        );
         // The WAL gets its own device of the same media class, sharing the
         // clock (commit latency is real) but not the data trace.
         let wal_env =
@@ -240,7 +243,9 @@ impl StorageStack {
         } else {
             wal_dev
         };
-        let wal = Arc::new(Wal::with_registry(wal_dev, &obs).with_config(cfg.wal));
+        let wal = Arc::new(
+            Wal::with_registry(wal_dev, &obs).with_config(cfg.wal).with_clock(Arc::clone(&clock)),
+        );
         StorageStack { clock, trace, data, space, pool, wal, obs }
     }
 }

@@ -39,7 +39,7 @@ use sias_obs::{Counter, Histogram, Registry};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::device::{retry_io, Device, RetryPolicy};
+use crate::device::{retry_io, Device, RetryCtx, RetryPolicy};
 
 /// Logical WAL record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,8 +72,24 @@ pub enum WalRecord {
         /// The stamped version.
         tid: Tid,
     },
-    /// Checkpoint marker.
-    Checkpoint,
+    /// Fuzzy-checkpoint marker. Recovery locates the *last* one of these
+    /// in the durable log and uses it to bound replay: everything the
+    /// checkpoint promises durable (buffer pool flushed, VID map and
+    /// CLOG high-water marks persisted) precedes `redo_records`, so only
+    /// the suffix needs physical re-append work.
+    Checkpoint {
+        /// Byte LSN at which redo must begin (the append watermark when
+        /// the checkpoint started flushing — records before it are
+        /// covered by flushed pages).
+        redo_lsn: u64,
+        /// Record-count equivalent of `redo_lsn`: how many records
+        /// precede the redo point. Recovery's bounded-restart accounting
+        /// is expressed in records.
+        redo_records: u64,
+        /// Transaction-id high-water mark at checkpoint time; restart
+        /// must allocate XIDs strictly above it.
+        next_xid: u64,
+    },
     /// Catalog entry: a relation was created (needed for replay).
     CreateRelation {
         /// Assigned relation id.
@@ -103,20 +119,7 @@ const RECORD_HEADER: usize = 8;
 /// fill, garbage) and the scan stops there.
 const MAX_RECORD_LEN: usize = 1 << 24;
 
-/// CRC-32 (IEEE 802.3, reflected). Bitwise — the WAL appends are not on
-/// the hot path of the simulated engines, and no-new-deps rules out a
-/// table-driven crate.
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+use crate::checksum::crc32;
 
 const KIND_BEGIN: u8 = 1;
 const KIND_COMMIT: u8 = 2;
@@ -162,7 +165,12 @@ impl WalRecord {
                 out.extend_from_slice(&tid.block.to_le_bytes());
                 out.extend_from_slice(&tid.slot.to_le_bytes());
             }
-            WalRecord::Checkpoint => out.push(KIND_CHECKPOINT),
+            WalRecord::Checkpoint { redo_lsn, redo_records, next_xid } => {
+                out.push(KIND_CHECKPOINT);
+                out.extend_from_slice(&redo_lsn.to_le_bytes());
+                out.extend_from_slice(&redo_records.to_le_bytes());
+                out.extend_from_slice(&next_xid.to_le_bytes());
+            }
             WalRecord::CreateRelation { rel, name } => {
                 out.push(KIND_CREATE_RELATION);
                 out.extend_from_slice(&rel.0.to_le_bytes());
@@ -231,7 +239,20 @@ impl WalRecord {
                 let slot = u16::from_le_bytes(body[17..19].try_into().unwrap());
                 WalRecord::Invalidate { xid, rel, tid: Tid::new(block, slot) }
             }
-            KIND_CHECKPOINT => WalRecord::Checkpoint,
+            KIND_CHECKPOINT => {
+                // Legacy checkpoints were bare markers (body = kind byte
+                // only); decode them with zeroed redo fields so an old
+                // log remains replayable.
+                if body.len() < 25 {
+                    WalRecord::Checkpoint { redo_lsn: 0, redo_records: 0, next_xid: 0 }
+                } else {
+                    WalRecord::Checkpoint {
+                        redo_lsn: rd_u64(body, 1),
+                        redo_records: rd_u64(body, 9),
+                        next_xid: rd_u64(body, 17),
+                    }
+                }
+            }
             KIND_CREATE_RELATION => {
                 let rel = RelId(u32::from_le_bytes(body[1..5].try_into().unwrap()));
                 let nlen = u32::from_le_bytes(body[5..9].try_into().unwrap()) as usize;
@@ -304,6 +325,10 @@ struct WalInner {
     records_appended: u64,
     /// Records covered by the last successful force.
     records_durable: u64,
+    /// Byte offset below which the log has been logically truncated by a
+    /// checkpoint (those records are covered by flushed pages + the
+    /// persisted VID map, so restart never needs them for redo).
+    truncated_lsn: u64,
 }
 
 /// Leader election state for group commit. `leader_active` is true
@@ -332,9 +357,10 @@ pub struct Wal {
     group_cv: Condvar,
     cfg: WalConfig,
     retry: RetryPolicy,
+    retry_ctx: RetryCtx,
     forces: Arc<Counter>,
     bytes_appended: Arc<Counter>,
-    io_retries: Arc<Counter>,
+    truncated_bytes: Arc<Counter>,
     group_size: Arc<Histogram>,
 }
 
@@ -361,14 +387,20 @@ impl Wal {
                 tail_page: vec![0u8; PAGE_SIZE],
                 records_appended: 0,
                 records_durable: 0,
+                truncated_lsn: 0,
             }),
             group: Mutex::new(GroupState::default()),
             group_cv: Condvar::new(),
             cfg: WalConfig::default(),
             retry: RetryPolicy::default(),
+            retry_ctx: RetryCtx {
+                retries: obs.counter("storage.wal.io_retries"),
+                backoff_ticks: obs.histogram("storage.io.retry_backoff_ticks"),
+                clock: None,
+            },
             forces: obs.counter("storage.wal.forces"),
             bytes_appended: obs.counter("storage.wal.bytes_appended"),
-            io_retries: obs.counter("storage.wal.io_retries"),
+            truncated_bytes: obs.counter("storage.wal.truncated_bytes"),
             group_size: obs.histogram("storage.wal.group_size"),
         }
     }
@@ -376,6 +408,13 @@ impl Wal {
     /// Overrides the transient-error retry policy (builder style).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Charges retry backoff to `clock` (builder style). Without a
+    /// clock, retries are immediate but still histogram-recorded.
+    pub fn with_clock(mut self, clock: Arc<sias_common::VirtualClock>) -> Self {
+        self.retry_ctx.clock = Some(clock);
         self
     }
 
@@ -512,7 +551,7 @@ impl Wal {
             off += take;
             // Write the tail page (full or partial — partial pages are
             // re-written by the next force, as in real WAL).
-            if let Err(e) = retry_io(self.retry, &self.io_retries, || {
+            if let Err(e) = retry_io(self.retry, &self.retry_ctx, || {
                 self.device.try_write_page(next_lba, &tail_page, true)
             }) {
                 failure = Some(e);
@@ -553,6 +592,46 @@ impl Wal {
                 Err(e)
             }
         }
+    }
+
+    /// Byte offset just past the last appended record — the LSN the next
+    /// [`Wal::append`] would return. Checkpoints capture this as their
+    /// fuzzy-begin `redo_lsn`.
+    pub fn current_lsn(&self) -> u64 {
+        self.append_watermark()
+    }
+
+    /// Records appended so far (durable or pending) — the record-count
+    /// twin of [`Wal::current_lsn`], captured as a checkpoint's
+    /// `redo_records`.
+    pub fn appended_record_count(&self) -> u64 {
+        self.inner.lock().records_appended
+    }
+
+    /// Logically truncates the log below `lsn` (clamped to the durable
+    /// watermark): records before it are promised recoverable from
+    /// flushed pages and the persisted VID map, so their segments are
+    /// recyclable. The byte delta is added to
+    /// `storage.wal.truncated_bytes` and returned. Truncation is
+    /// monotone — an earlier `lsn` is a no-op. The physical layout stays
+    /// append-only (scans still start at LBA 0, and the full history
+    /// remains available to harnesses that replay from genesis); what
+    /// truncation buys is the accounting a segment recycler needs.
+    pub fn truncate_before(&self, lsn: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        let lsn = lsn.min(inner.durable_len);
+        if lsn <= inner.truncated_lsn {
+            return 0;
+        }
+        let delta = lsn - inner.truncated_lsn;
+        inner.truncated_lsn = lsn;
+        self.truncated_bytes.add(delta);
+        delta
+    }
+
+    /// Byte offset below which the log is logically truncated.
+    pub fn truncated_lsn(&self) -> u64 {
+        self.inner.lock().truncated_lsn
     }
 
     /// `(appended, durable)` record counts. `durable` reflects the last
@@ -667,7 +746,7 @@ mod tests {
             WalRecord::IndexInsert { xid: Xid(1), rel: RelId(5), key: 42, value: 7 },
             WalRecord::Commit(Xid(1)),
             WalRecord::Abort(Xid(2)),
-            WalRecord::Checkpoint,
+            WalRecord::Checkpoint { redo_lsn: 4096, redo_records: 17, next_xid: 9 },
         ];
         let mut buf = Vec::new();
         for r in &records {
@@ -884,6 +963,29 @@ mod tests {
     }
 
     #[test]
+    fn truncation_is_monotone_clamped_and_counted() {
+        let obs = Registry::new_shared();
+        let w = Wal::with_registry(Arc::new(MemDevice::standalone(1 << 16)), &obs);
+        for x in 1..=8u64 {
+            w.append(&WalRecord::Begin(Xid(x)));
+        }
+        let lsn = w.current_lsn();
+        assert!(lsn > 0);
+        // Nothing durable yet: truncation clamps to the durable watermark.
+        assert_eq!(w.truncate_before(lsn), 0);
+        w.force().unwrap();
+        assert_eq!(w.truncate_before(lsn / 2), lsn / 2);
+        assert_eq!(w.truncated_lsn(), lsn / 2);
+        // Monotone: an older (smaller) truncation point is a no-op.
+        assert_eq!(w.truncate_before(lsn / 4), 0);
+        assert_eq!(w.truncate_before(lsn), lsn - lsn / 2);
+        assert_eq!(obs.snapshot().counter("storage.wal.truncated_bytes"), Some(lsn));
+        // The full history is still physically scannable.
+        let (records, _) = Wal::scan_device(w.device().as_ref());
+        assert_eq!(records.len(), 8);
+    }
+
+    #[test]
     fn force_retries_transient_errors() {
         use crate::device::{FaultConfig, FaultyDevice};
         use sias_common::VirtualClock;
@@ -919,7 +1021,8 @@ mod tests {
         };
         let inner: Arc<dyn Device> = Arc::new(MemDevice::standalone(1 << 12));
         let dev = Arc::new(FaultyDevice::new(inner, cfg, VirtualClock::new(), &obs));
-        let w = Wal::with_registry(dev, &obs).with_retry(RetryPolicy { max_attempts: 2 });
+        let w = Wal::with_registry(dev, &obs)
+            .with_retry(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() });
         w.append(&WalRecord::Begin(Xid(1)));
         assert!(w.force().is_err());
         assert_eq!(w.record_counts(), (1, 0), "nothing promoted to durable");

@@ -197,6 +197,21 @@ impl TransactionManager {
         self.next_xid.fetch_max(xid.0 + 1, Ordering::Relaxed);
     }
 
+    /// The xid the allocator would hand out next — the transaction-id
+    /// high-water mark checkpoints persist so restart allocates strictly
+    /// above everything the pre-crash process might have used.
+    pub fn xid_bound(&self) -> u64 {
+        self.next_xid.load(Ordering::Relaxed)
+    }
+
+    /// Raises the xid allocator to at least `bound` (recovery applies a
+    /// checkpoint's persisted high-water mark with this — commit
+    /// outcomes still come from the log, but the allocator must clear
+    /// the pre-crash range even for xids the log never mentions).
+    pub fn reserve_xids_below(&self, bound: u64) {
+        self.next_xid.fetch_max(bound, Ordering::Relaxed);
+    }
+
     /// True when `xid` is currently running.
     pub fn is_active(&self, xid: Xid) -> bool {
         self.active.lock().contains_key(&xid)
@@ -328,6 +343,22 @@ mod tests {
         c.snapshot.sees(Xid(1), &m.clog);
         m.abort(c);
         assert_eq!(obs.snapshot().counter("txn.snapshot.memo_misses"), Some(2));
+    }
+
+    #[test]
+    fn xid_bound_tracks_allocation_and_reservation() {
+        let m = TransactionManager::new();
+        assert_eq!(m.xid_bound(), 1);
+        let a = m.begin();
+        m.commit(a).unwrap();
+        assert_eq!(m.xid_bound(), 2);
+        m.reserve_xids_below(100);
+        assert_eq!(m.xid_bound(), 100);
+        m.reserve_xids_below(50); // monotone
+        assert_eq!(m.xid_bound(), 100);
+        let b = m.begin();
+        assert_eq!(b.xid, Xid(100));
+        m.abort(b);
     }
 
     #[test]

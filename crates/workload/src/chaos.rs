@@ -509,6 +509,184 @@ fn durability_input(run: &ChaosRun, prefix: &[WalRecord], recovered: &SiasDb) ->
     }
 }
 
+/// Verdict of one scrub scenario: seeded bit-rot planted under a live
+/// engine, self-repaired by the scrubber, and black-box checked.
+#[derive(Clone, Debug)]
+pub struct ScrubReport {
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// Transactions acknowledged by the workload.
+    pub committed_txns: u64,
+    /// Sealed pages the scrubber probed.
+    pub pages_scanned: u64,
+    /// Pages the planted bit-rot corrupted (as detected).
+    pub pages_corrupt: u64,
+    /// Corrupt pages repaired from WAL history and reclaimed.
+    pub pages_repaired: u64,
+    /// Item chains rebuilt during repair.
+    pub chains_rebuilt: u64,
+    /// SI anomalies found in the history *including* the post-scrub
+    /// reads — must be empty for a correct repair.
+    pub violations: Vec<Violation>,
+}
+
+impl ScrubReport {
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "seed {:>3}: {} committed, {} pages scanned, {} corrupt, {} repaired, \
+             {} chains rebuilt, {} violations",
+            self.seed,
+            self.committed_txns,
+            self.pages_scanned,
+            self.pages_corrupt,
+            self.pages_repaired,
+            self.chains_rebuilt,
+            self.violations.len()
+        )
+    }
+}
+
+/// Runs a seeded serial workload on a live engine, checkpoints, plants
+/// bit-rot on up to `rot_pages` sealed data pages (chosen by the seeded
+/// stream), lets the scrubber repair them, then re-reads every key in a
+/// fresh transaction appended to the history and runs the SI-anomaly
+/// checker over the whole thing. A correct scrubber yields
+/// `pages_corrupt == pages_repaired` and zero violations.
+///
+/// This is deliberately a separate scenario from [`run_chaos`]: the
+/// crash matrix leaves a forgotten in-flight transaction behind (its
+/// point is crash resolution), while scrubbing — like vacuum — needs a
+/// quiescent engine.
+pub fn scrub_scenario(cfg: &ChaosConfig, rot_pages: usize) -> ScrubReport {
+    let db = SiasDb::open(StorageConfig::in_memory().with_pool_frames(48));
+    let seqs: Arc<Mutex<HashMap<Xid, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    {
+        let seqs = Arc::clone(&seqs);
+        db.txm().set_commit_hook(move |xid, seq| {
+            seqs.lock().insert(xid, seq);
+        });
+    }
+    let rel = db.create_relation("chaos");
+    let mut history = History::default();
+    let mut rng = Rng(cfg.seed ^ 0x5c2b_ab5e);
+    let mut committed = 0u64;
+
+    let ack = |xid: Xid, mut rec: TxnRecord| -> TxnRecord {
+        let seq = seqs.lock().remove(&xid).unwrap_or(0);
+        rec.outcome = HistOutcome::Committed {
+            commit_seq: seq,
+            acked_at_record: db.stack().wal.durable_record_count(),
+        };
+        rec
+    };
+
+    // Setup: every key exists.
+    {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for key in 0..cfg.keys {
+            let tag = WriteTag { xid, seq: key as u32 };
+            db.insert(&txn, rel, key, &tag.encode_payload(key)).expect("setup insert");
+            rec.ops.push(HistOp::Write { key, tag });
+        }
+        db.commit(txn).expect("setup commit");
+        history.txns.push(ack(xid, rec));
+        committed += 1;
+    }
+
+    // Serial read-modify-write rounds (the scrub scenario needs the
+    // engine quiescent afterwards, so no forgotten in-flight work).
+    for _ in 0..cfg.txns {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for seq in 0..cfg.ops_per_txn as u32 {
+            let key = rng.next() % cfg.keys;
+            let observed = match db.get(&txn, rel, key).expect("live read") {
+                Some(bytes) => WriteTag::decode_payload(&bytes).map(|(_, tag)| tag),
+                None => None,
+            };
+            rec.ops.push(HistOp::Read { key, observed });
+            let tag = WriteTag { xid, seq };
+            match db.update(&txn, rel, key, &tag.encode_payload(key)) {
+                Ok(()) => rec.ops.push(HistOp::Write { key, tag }),
+                Err(_) => break, // serial workload: only duplicate-key self-conflicts
+            }
+        }
+        if rng.chance_ppm(cfg.abort_ppm) {
+            db.abort(txn);
+            history.txns.push(rec);
+        } else {
+            db.commit(txn).expect("serial commit");
+            history.txns.push(ack(xid, rec));
+            committed += 1;
+        }
+    }
+
+    // Seal and flush everything, then plant bit-rot on sealed pages.
+    db.checkpoint().expect("checkpoint before rot");
+    let handle = db.relation_handle(rel).expect("chaos relation");
+    let nblocks = db.stack().space.relation_blocks(rel);
+    let sealed: Vec<u32> = (0..nblocks)
+        .filter(|b| handle.append.open_block() != Some(*b) && !handle.append.is_free(*b))
+        .collect();
+    let mut victims: BTreeSet<u32> = BTreeSet::new();
+    while victims.len() < rot_pages.min(sealed.len()) {
+        victims.insert(sealed[(rng.next() % sealed.len() as u64) as usize]);
+    }
+    let device = db.stack().pool.device();
+    for &block in &victims {
+        let lba = db.stack().space.resolve(rel, block).expect("victim lba");
+        let mut img = vec![0u8; sias_common::PAGE_SIZE];
+        device.read_page(lba, &mut img);
+        let off = (rng.next() % sias_common::PAGE_SIZE as u64) as usize;
+        let bit = 1u8 << (rng.next() % 8);
+        img[off] ^= bit;
+        device.write_page(lba, &img, true);
+        db.stack().pool.invalidate_block(rel, block);
+    }
+
+    // Self-repair. Any single-bit flip is detectable: the CRC covers
+    // every page byte outside its own field, and a flip inside the field
+    // breaks the stored value instead.
+    let mut scrubber = sias_core::Scrubber::new();
+    let pass = scrubber.sweep(&db).expect("scrub sweep");
+
+    // Post-scrub probe: every key read back in one committed transaction
+    // appended to the history, so the anomaly checker sees the repaired
+    // state as just another snapshot.
+    {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for key in 0..cfg.keys {
+            let observed = db
+                .get(&txn, rel, key)
+                .expect("post-scrub read must not fail")
+                .and_then(|bytes| WriteTag::decode_payload(&bytes).map(|(_, tag)| tag));
+            assert!(observed.is_some(), "post-scrub read of key {key} lost its tag");
+            rec.ops.push(HistOp::Read { key, observed });
+        }
+        db.commit(txn).expect("probe commit");
+        history.txns.push(ack(xid, rec));
+        committed += 1;
+    }
+
+    history.version_order = extract_version_order(&db, "chaos", &history.committed());
+    let violations = check_anomalies(&history);
+    ScrubReport {
+        seed: cfg.seed,
+        committed_txns: committed,
+        pages_scanned: pass.pages_scanned,
+        pages_corrupt: pass.pages_corrupt,
+        pages_repaired: pass.pages_repaired,
+        chains_rebuilt: pass.chains_rebuilt,
+        violations,
+    }
+}
+
 /// Deterministic digest over the log, the history and the verdicts.
 fn fingerprint(cfg: &ChaosConfig, run: &ChaosRun, violations: &[(u64, Violation)]) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -593,6 +771,26 @@ mod tests {
         assert!(report.faults_injected > 0, "hostile device must actually fault");
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.committed_txns > 0);
+    }
+
+    #[test]
+    fn scrub_scenario_repairs_seeded_bit_rot_cleanly() {
+        let report = scrub_scenario(&ChaosConfig::with_seed(21), 3);
+        assert!(report.committed_txns > 5);
+        assert!(report.pages_scanned > 0);
+        assert!(report.pages_corrupt > 0, "seeded rot must corrupt at least one page");
+        assert_eq!(report.pages_corrupt, report.pages_repaired, "every corrupt page repaired");
+        assert!(report.chains_rebuilt > 0);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn scrub_scenario_is_deterministic() {
+        let a = scrub_scenario(&ChaosConfig::with_seed(33), 2);
+        let b = scrub_scenario(&ChaosConfig::with_seed(33), 2);
+        assert_eq!(a.committed_txns, b.committed_txns);
+        assert_eq!(a.pages_corrupt, b.pages_corrupt);
+        assert_eq!(a.chains_rebuilt, b.chains_rebuilt);
     }
 
     #[test]

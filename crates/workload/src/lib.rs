@@ -38,7 +38,9 @@ pub mod schema;
 pub mod threaded;
 pub mod txns;
 
-pub use chaos::{crash_matrix, run_chaos, ChaosConfig, ChaosRun, CrashMatrixReport};
+pub use chaos::{
+    crash_matrix, run_chaos, scrub_scenario, ChaosConfig, ChaosRun, CrashMatrixReport, ScrubReport,
+};
 pub use check::{
     check_anomalies, check_consistency, check_durability, DurabilityInput, History, Violation,
     WriteTag,

@@ -127,6 +127,110 @@ fn every_wal_prefix_recovers_a_consistent_committed_set() {
 }
 
 #[test]
+fn every_prefix_across_a_checkpoint_recovers_consistently() {
+    // Same boundary sweep, but with a fuzzy checkpoint taken mid-log:
+    // prefixes ending before the checkpoint record replay the full log,
+    // prefixes containing it must recover identically *and* report the
+    // bounded-restart accounting (replay work measured against the
+    // checkpoint's redo point, strictly less than the whole log).
+    type Commit = (sias::common::Xid, Vec<(u64, Vec<u8>)>);
+    let db = SiasDb::open(StorageConfig::in_memory());
+    let rel = db.create_relation("t");
+    let mut commits: Vec<Commit> = Vec::new();
+
+    let t = db.begin();
+    let mut writes = Vec::new();
+    for k in 0..KEYS {
+        let v = format!("init {k}").into_bytes();
+        db.insert(&t, rel, k, &v).unwrap();
+        writes.push((k, v));
+    }
+    let xid = t.xid;
+    db.commit(t).unwrap();
+    commits.push((xid, writes));
+
+    let txn_round = |db: &SiasDb, i: u64, commits: &mut Vec<_>| {
+        let t = db.begin();
+        let mut writes = Vec::new();
+        for (slot, key) in [(i * 2) % KEYS, (i * 2 + 1) % KEYS].into_iter().enumerate() {
+            let v = format!("ckpt-txn {i} slot {slot}").into_bytes();
+            db.update(&t, rel, key, &v).unwrap();
+            writes.push((key, v));
+        }
+        let xid = t.xid;
+        db.commit(t).unwrap();
+        commits.push((xid, writes));
+    };
+    for i in 0..8 {
+        txn_round(&db, i, &mut commits);
+    }
+    let ckpt = db.checkpoint().unwrap();
+    assert!(ckpt.redo_records > 0);
+    for i in 8..12 {
+        txn_round(&db, i, &mut commits);
+    }
+    db.stack().wal.force().unwrap();
+
+    let (records, _) = Wal::scan_device(db.stack().wal.device().as_ref());
+    let ckpt_at = records
+        .iter()
+        .position(|r| matches!(r, WalRecord::Checkpoint { .. }))
+        .expect("checkpoint record must be in the log");
+    assert!(ckpt_at as u64 >= ckpt.redo_records, "the record lands after its redo point");
+
+    let mut commit_at: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        if let WalRecord::Commit(x) = r {
+            commit_at.insert(x.0, i);
+        }
+    }
+
+    for n in 0..=records.len() {
+        let (recovered, stats) =
+            SiasDb::recover_from_wal(&records[..n], StorageConfig::in_memory(), FlushPolicy::T2)
+                .unwrap_or_else(|e| panic!("prefix {n}: recovery failed: {e}"));
+
+        // Bounded-restart accounting flips on exactly when the prefix
+        // contains the checkpoint record.
+        if n > ckpt_at {
+            assert_eq!(stats.checkpoints_seen, 1, "prefix {n}");
+            assert_eq!(stats.checkpoint_redo_records, ckpt.redo_records, "prefix {n}");
+            assert!(
+                stats.records_after_checkpoint < stats.records_scanned,
+                "prefix {n}: suffix {} must be bounded below log length {}",
+                stats.records_after_checkpoint,
+                stats.records_scanned
+            );
+        } else {
+            assert_eq!(stats.checkpoints_seen, 0, "prefix {n}");
+            assert_eq!(stats.records_after_checkpoint, stats.records_scanned, "prefix {n}");
+        }
+
+        // Prefix consistency, exactly as in the plain sweep.
+        let expected_committed: BTreeSet<u64> =
+            commit_at.iter().filter(|(_, &at)| at < n).map(|(&x, _)| x).collect();
+        let mut expected: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (xid, writes) in &commits {
+            if expected_committed.contains(&xid.0) {
+                for (k, v) in writes {
+                    expected.insert(*k, v.clone());
+                }
+            }
+        }
+        let got: BTreeMap<u64, Vec<u8>> = match recovered.relation("t") {
+            Some(rel) => {
+                let t = recovered.begin();
+                let all = recovered.scan_all(&t, rel).unwrap();
+                recovered.commit(t).unwrap();
+                all.into_iter().map(|(k, b)| (k, b.to_vec())).collect()
+            }
+            None => BTreeMap::new(),
+        };
+        assert_eq!(got, expected, "prefix {n}: visible state diverged from model");
+    }
+}
+
+#[test]
 fn torn_tail_recovers_like_the_clean_prefix_before_it() {
     // Truncating mid-record (a torn tail write) must behave exactly like
     // stopping at the previous record boundary: scan_device finds the
