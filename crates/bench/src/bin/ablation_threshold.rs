@@ -15,7 +15,7 @@
 //! cargo run --release -p sias-bench --bin ablation_threshold [-- --wh 25 --duration 300]
 //! ```
 
-use sias_bench::{arg_value, dump_metrics, metrics_out, write_results, EXPERIMENT_POOL_FRAMES};
+use sias_bench::{arg_value, write_results, ObsArgs, EXPERIMENT_POOL_FRAMES};
 use sias_core::{FlushPolicy, SiasDb};
 use sias_obs::MetricsSnapshot;
 use sias_storage::StorageConfig;
@@ -57,7 +57,7 @@ fn main() {
 
     println!("Ablation: append-page flush threshold (SIAS, {wh} WH, {duration}s, SSD)\n");
     println!("{:<28} {:>12} {:>12}", "policy", "writes (MB)", "space (pages)");
-    let mout = metrics_out(&args);
+    let obs_args = ObsArgs::parse(&args);
     let mut mruns = Vec::new();
     let mut csv = String::from("policy,write_mb,space_pages\n");
     for &bg_ms in &[50u64, 100, 200, 500, 1000, 2000] {
@@ -72,7 +72,7 @@ fn main() {
     mruns.push(("t2".to_string(), metrics));
     let path = write_results("ablation_threshold.csv", &csv);
     println!("\nwrote {}", path.display());
-    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+    if let Some(p) = obs_args.dump_metrics(&mruns) {
         println!("wrote metrics to {}", p.display());
     }
 }

@@ -16,7 +16,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use sias_bench::{arg_value, build, dump_metrics, metrics_out, write_results, EngineKind, Testbed};
+use sias_bench::{arg_value, build, write_results, EngineKind, ObsArgs, Testbed};
 use sias_obs::MetricsSnapshot;
 
 /// Runs `ops` point operations with the given update share; returns the
@@ -65,7 +65,7 @@ fn main() {
 
     println!("Ablation: device writes vs. update share ({items} items, {ops} uniform point ops)\n");
     println!("{:>9} {:>12} {:>12} {:>10}", "updates", "SI (MB)", "SIAS (MB)", "reduction");
-    let mout = metrics_out(&args);
+    let obs_args = ObsArgs::parse(&args);
     let mut mruns = Vec::new();
     let mut csv = String::from("update_pct,si_write_mb,sias_write_mb,reduction_pct\n");
     for pct in [0u32, 5, 20, 50, 80, 100] {
@@ -79,7 +79,7 @@ fn main() {
     }
     let path = write_results("ablation_update_ratio.csv", &csv);
     println!("\nwrote {}", path.display());
-    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+    if let Some(p) = obs_args.dump_metrics(&mruns) {
         println!("wrote metrics to {}", p.display());
     }
 }

@@ -15,8 +15,7 @@
 use std::collections::BTreeSet;
 
 use sias_bench::{
-    arg_value, build, dump_metrics, metrics_out, write_results, EngineKind, Testbed,
-    EXPERIMENT_POOL_FRAMES,
+    arg_value, build, write_results, EngineKind, ObsArgs, Testbed, EXPERIMENT_POOL_FRAMES,
 };
 use sias_obs::MetricsSnapshot;
 use sias_storage::IoDir;
@@ -90,13 +89,13 @@ fn main() {
         Some(e) => vec![EngineKind::parse(e).expect("--engine sias|si")],
         None => vec![EngineKind::SiasT2, EngineKind::Si],
     };
-    let mout = metrics_out(&args);
+    let obs_args = ObsArgs::parse(&args);
     let mut mruns = Vec::new();
     for kind in engines {
         let metrics = run_one(kind, wh, duration, pool);
         mruns.push((kind.label().to_string(), metrics));
     }
-    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+    if let Some(p) = obs_args.dump_metrics(&mruns) {
         println!("wrote metrics to {}", p.display());
     }
 }

@@ -19,6 +19,14 @@
 //! `--plant-bug`, where the harness impersonates an ack-before-force
 //! engine and exits non-zero unless the checker *catches* it.
 //!
+//! Every chaos run records into an always-on flight recorder; whenever
+//! the checker finds violations the retained span window (including the
+//! `anomaly.flag` instants the matrix stamps per violation) is dumped
+//! automatically to `results/TRACE_crashmatrix_seed<seed>.jsonl` plus a
+//! Chrome `trace_event` twin — no flag needed. `--trace-out <path>`
+//! additionally dumps the last seed's window to an explicit path, and
+//! `--metrics-out` writes per-seed pre-crash metrics snapshots.
+//!
 //! `--scrub` swaps the crash sweep for the scrubber scenario: per seed,
 //! run the serial tagged workload, checkpoint, flip one bit in each of
 //! `--rot-pages` sealed data pages behind the cache's back, then sweep
@@ -26,10 +34,11 @@
 //! repaired (`pages_corrupt == pages_repaired`) and the post-repair
 //! history passes the SI-anomaly checker with zero violations.
 
+use sias_obs::export;
 use sias_storage::FaultConfig;
 use sias_workload::chaos::{crash_matrix, scrub_scenario, ChaosConfig};
 
-use sias_bench::arg_value;
+use sias_bench::{arg_value, write_results, ObsArgs};
 
 /// The `--scrub` sweep: seeded bit-rot, scrub, verify, report.
 fn run_scrub_sweep(seeds: u64, rot_pages: usize, txns: usize, keys: u64) {
@@ -67,6 +76,7 @@ fn run_scrub_sweep(seeds: u64, rot_pages: usize, txns: usize, keys: u64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let obs_args = ObsArgs::parse(&args);
     let seeds: u64 = arg_value(&args, "--seeds").and_then(|v| v.parse().ok()).unwrap_or(8);
     if args.iter().any(|a| a == "--scrub") {
         let rot_pages: usize =
@@ -98,6 +108,8 @@ fn main() {
 
     let mut total_violations = 0usize;
     let mut caught_planted_bug = false;
+    let mut snaps: Vec<(String, sias_obs::MetricsSnapshot)> = Vec::new();
+    let mut last_trace: Vec<sias_obs::TraceEvent> = Vec::new();
     for seed in 1..=seeds {
         let cfg = ChaosConfig {
             seed,
@@ -130,6 +142,31 @@ fn main() {
             }
         }
         total_violations += report.violations.len();
+        // The flight recorder's contract: an anomaly verdict dumps the
+        // retained window without being asked.
+        if !report.violations.is_empty() {
+            let stem = format!("TRACE_crashmatrix_seed{seed}");
+            let p =
+                write_results(&format!("{stem}.jsonl"), &export::to_jsonl(&report.trace_events));
+            write_results(
+                &format!("{stem}.chrome.json"),
+                &export::to_chrome_trace(&report.trace_events),
+            );
+            println!(
+                "    flight recorder: dumped {} events to {}",
+                report.trace_events.len(),
+                p.display()
+            );
+        }
+        snaps.push((format!("seed{seed}"), report.metrics.clone()));
+        last_trace = report.trace_events;
+    }
+
+    if let Some((p, c)) = obs_args.dump_trace(&last_trace) {
+        println!("wrote {} and {}", p.display(), c.display());
+    }
+    if let Some(p) = obs_args.dump_metrics(&snaps) {
+        println!("wrote {}", p.display());
     }
 
     if plant_bug {

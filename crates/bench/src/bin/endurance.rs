@@ -16,7 +16,7 @@
 //! cargo run --release -p sias-bench --bin endurance [-- --wh 20 --duration 300]
 //! ```
 
-use sias_bench::{arg_value, dump_metrics, metrics_out, write_results, EngineKind};
+use sias_bench::{arg_value, write_results, EngineKind, ObsArgs};
 use sias_core::{FlushPolicy, SiasDb};
 use sias_obs::MetricsSnapshot;
 use sias_si::SiDb;
@@ -83,7 +83,7 @@ fn main() {
         "{:<10} {:>12} {:>14} {:>8} {:>8}",
         "engine", "host writes", "FTL relocs", "erases", "WA"
     );
-    let mout = metrics_out(&args);
+    let obs_args = ObsArgs::parse(&args);
     let mut mruns = Vec::new();
     let mut csv =
         String::from("engine,host_write_pages,internal_write_pages,erases,write_amplification\n");
@@ -109,7 +109,7 @@ fn main() {
     }
     let path = write_results("endurance.csv", &csv);
     println!("\nwrote {}", path.display());
-    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+    if let Some(p) = obs_args.dump_metrics(&mruns) {
         println!("wrote metrics to {}", p.display());
     }
     println!("\nWear ∝ erases; SIAS's append pattern needs fewer host writes *and*");

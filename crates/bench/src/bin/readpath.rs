@@ -16,16 +16,23 @@
 //! ```text
 //! cargo run --release -p sias-bench --bin readpath -- [--items N]
 //!     [--reps N] [--quick] [--metrics-out PATH]
+//!     [--trace-out PATH] [--series-out PATH]
 //! ```
+//!
+//! `--trace-out` / `--series-out` run one extra instrumented cell
+//! (tracing plus sampler enabled) after the timed sweep — the timed
+//! cells themselves always run untraced — and dump its flight-recorder
+//! window and sampled time series.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::RwLock;
-use sias_bench::{arg_value, dump_metrics, metrics_out, write_results};
+use sias_bench::{arg_value, write_results, ObsArgs};
 use sias_common::Xid;
 use sias_core::SiasDb;
+use sias_obs::SamplerHandle;
 use sias_storage::StorageConfig;
 use sias_txn::{Clog, MvccEngine, TxnStatus};
 
@@ -200,6 +207,7 @@ fn clog_ops_per_sec(threads: usize, probes: u64, lock_free: bool) -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let obs_args = ObsArgs::parse(&args);
     let quick = args.iter().any(|a| a == "--quick");
     let items: usize = arg_value(&args, "--items")
         .map(|v| v.parse().expect("--items"))
@@ -296,12 +304,35 @@ fn main() {
     let path = write_results("BENCH_readpath.json", &json);
     println!("wrote {}", path.display());
 
-    if let Some(dest) = metrics_out(&args) {
+    // One extra instrumented cell for the observability dumps: the timed
+    // sweep above stays untraced so its numbers are clean.
+    if obs_args.metrics_out.is_some() || obs_args.tracing_requested() || obs_args.series_requested()
+    {
         let (db, rel, reader) = build_history(items.min(512), 4);
+        let registry = Arc::clone(db.obs_registry().expect("sias registry"));
+        if obs_args.tracing_requested() {
+            registry.tracer().set_enabled(true);
+            obs_args.apply_slow_threshold(registry.tracer());
+        }
+        let sampler = obs_args.series_requested().then(|| {
+            SamplerHandle::spawn(Arc::clone(&registry), std::time::Duration::from_millis(20))
+        });
         db.scan_vidmap_parallel(&reader, rel, max_threads).expect("metrics scan");
         db.commit(reader).unwrap();
+        if let Some(series) = sampler.map(|s| s.stop()) {
+            if let Some(p) = obs_args.dump_series(&series) {
+                println!("wrote {}", p.display());
+            }
+        }
+        if let Some((p, c)) = obs_args.dump_trace(&registry.tracer().capture()) {
+            println!("wrote {} and {}", p.display(), c.display());
+        }
+        let slow = registry.tracer().capture_slow();
+        if let Some(p) = obs_args.dump_slow(&slow) {
+            println!("wrote {} ({} slow ops)", p.display(), slow.len());
+        }
         let runs = vec![("readpath/metrics".to_string(), db.metrics_snapshot())];
-        if let Some(p) = dump_metrics(Some(&dest), &runs) {
+        if let Some(p) = obs_args.dump_metrics(&runs) {
             println!("metrics dumped to {}", p.display());
         }
     }

@@ -11,15 +11,23 @@
 //!
 //! ```text
 //! cargo run --release -p sias-bench --bin restart -- \
-//!     [--keys 64] [--reps 3] [--quick]
+//!     [--keys 64] [--reps 3] [--quick] \
+//!     [--metrics-out m.json] [--trace-out t.jsonl] [--series-out s.json]
 //! ```
 //!
-//! Writes `results/BENCH_restart.json`.
+//! Writes `results/BENCH_restart.json`. `--metrics-out` dumps one
+//! metrics snapshot per logging run; `--trace-out` / `--series-out`
+//! enable the flight recorder and the time-series sampler on the
+//! logging engines and dump the *last* (largest, checkpointed) cell's
+//! span window and series — recovery engines never enable tracing, so
+//! the timed replay itself stays uninstrumented.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use sias_bench::{arg_value, write_results};
+use sias_bench::{arg_value, write_results, ObsArgs};
 use sias_core::{FlushPolicy, RecoveryStats, SiasDb};
+use sias_obs::{MetricsSnapshot, SamplerHandle, TimeSeries, TraceEvent};
 use sias_storage::{StorageConfig, Wal, WalRecord};
 use sias_txn::MvccEngine;
 
@@ -31,11 +39,33 @@ struct Cell {
     recover_ns: u128,
 }
 
+/// Observability artifacts of one logging run.
+struct LogObs {
+    snap: MetricsSnapshot,
+    events: Vec<TraceEvent>,
+    slow: Vec<TraceEvent>,
+    series: Option<TimeSeries>,
+}
+
 /// Logs `txns` serial two-key update transactions over `keys` keys,
 /// checkpointing after 90% of them when asked, and returns the durable
-/// record stream a post-crash process would scan off the device.
-fn build_log(txns: u64, keys: u64, checkpoint: bool) -> Vec<WalRecord> {
+/// record stream a post-crash process would scan off the device plus
+/// the run's observability artifacts.
+fn build_log(
+    txns: u64,
+    keys: u64,
+    checkpoint: bool,
+    obs_args: &ObsArgs,
+) -> (Vec<WalRecord>, LogObs) {
     let db = SiasDb::open(StorageConfig::in_memory().with_pool_frames(512));
+    let registry = Arc::clone(db.obs_registry().expect("sias registry"));
+    if obs_args.tracing_requested() {
+        registry.tracer().set_enabled(true);
+        obs_args.apply_slow_threshold(registry.tracer());
+    }
+    let sampler = obs_args
+        .series_requested()
+        .then(|| SamplerHandle::spawn(Arc::clone(&registry), Duration::from_millis(20)));
     let rel = db.create_relation("restart");
     let t = db.begin();
     for k in 0..keys {
@@ -57,7 +87,13 @@ fn build_log(txns: u64, keys: u64, checkpoint: bool) -> Vec<WalRecord> {
     }
     db.stack().wal.force().unwrap();
     let (records, _) = Wal::scan_device(db.stack().wal.device().as_ref());
-    records
+    let obs = LogObs {
+        snap: registry.snapshot(),
+        events: registry.tracer().capture(),
+        slow: registry.tracer().capture_slow(),
+        series: sampler.map(|s| s.stop()),
+    };
+    (records, obs)
 }
 
 /// Recovers `records` onto a fresh stack `reps` times, returning the
@@ -79,6 +115,7 @@ fn recover_cell(records: &[WalRecord], reps: usize) -> (u128, RecoveryStats) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let obs_args = ObsArgs::parse(&args);
     let quick = args.iter().any(|a| a == "--quick");
     let keys: u64 = arg_value(&args, "--keys").and_then(|v| v.parse().ok()).unwrap_or(64);
     let reps: usize = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
@@ -91,9 +128,11 @@ fn main() {
     );
 
     let mut cells: Vec<Cell> = Vec::new();
+    let mut snaps: Vec<(String, MetricsSnapshot)> = Vec::new();
+    let mut last_obs: Option<LogObs> = None;
     for &txns in &sizes {
         for checkpointed in [false, true] {
-            let records = build_log(txns, keys, checkpointed);
+            let (records, obs) = build_log(txns, keys, checkpointed, &obs_args);
             let (recover_ns, stats) = recover_cell(&records, reps);
             println!(
                 "{:>6} {:>5} {:>9} {:>9} {:>9} {:>9} {:>11.3}",
@@ -105,8 +144,30 @@ fn main() {
                 stats.versions_replayed_after_checkpoint,
                 recover_ns as f64 / 1e6,
             );
+            snaps.push((
+                format!("txns{}-{}", txns, if checkpointed { "ckpt" } else { "plain" }),
+                obs.snap.clone(),
+            ));
+            last_obs = Some(obs);
             cells.push(Cell { txns, checkpointed, stats, recover_ns });
         }
+    }
+
+    if let Some(obs) = &last_obs {
+        if let Some((p, c)) = obs_args.dump_trace(&obs.events) {
+            println!("wrote {} and {}", p.display(), c.display());
+        }
+        if let Some(p) = obs_args.dump_slow(&obs.slow) {
+            println!("wrote {} ({} slow ops)", p.display(), obs.slow.len());
+        }
+        if let Some(series) = &obs.series {
+            if let Some(p) = obs_args.dump_series(series) {
+                println!("wrote {}", p.display());
+            }
+        }
+    }
+    if let Some(p) = obs_args.dump_metrics(&snaps) {
+        println!("wrote {}", p.display());
     }
 
     // Acceptance: every checkpointed cell reports a bounded replay

@@ -11,18 +11,30 @@
 //! cell must beat the 1-thread cell even on one core.
 //!
 //! Sweeps SIAS-t2 and the SI baseline over 1/2/4/8 threads and writes
-//! `results/BENCH_scaling.json`.
+//! `results/BENCH_scaling.json`. The sweep itself runs with tracing
+//! *off*; afterwards one extra SIAS cell at the widest thread count
+//! re-runs with the flight recorder on, and the throughput delta is
+//! recorded in `results/BENCH_trace_overhead.json` — the measured cost
+//! of always-on tracing.
 //!
 //! ```text
 //! cargo run --release -p sias-bench --bin scaling \
-//!     [-- --threads 8 --txns 200 --quick --engine both]
+//!     [-- --threads 8 --txns 200 --quick --engine both \
+//!          --metrics-out m.json --trace-out t.jsonl --series-out s.json]
 //! ```
 //!
 //! `--threads N` sweeps the powers of two up to `N`; `--quick` shrinks
-//! the per-thread transaction count for CI smoke runs.
+//! the per-thread transaction count for CI smoke runs. `--trace-out` /
+//! `--series-out` dump the tracing-on run's flight-recorder window and
+//! sampled time series; `--slow-us N` additionally dumps spans that ran
+//! for at least N µs at `<trace_out>.slow.jsonl`.
 
-use sias_bench::{arg_value, write_results, EngineKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sias_bench::{arg_value, write_results, EngineKind, ObsArgs};
 use sias_core::SiasDb;
+use sias_obs::{SamplerHandle, TimeSeries, TraceEvent};
 use sias_si::SiDb;
 use sias_storage::{StorageConfig, WalConfig};
 use sias_txn::MvccEngine;
@@ -32,6 +44,9 @@ use sias_workload::{drive_threaded, ThreadedConfig};
 /// fast SSD's fsync so group-commit amortization, not raw CPU, decides
 /// the sweep.
 const FORCE_SLEEP_US: u64 = 150;
+
+/// Sampler cadence for `--series-out` runs.
+const SAMPLE_INTERVAL_MS: u64 = 50;
 
 struct Cell {
     engine: &'static str,
@@ -47,6 +62,15 @@ struct Cell {
     pool_shards: usize,
 }
 
+/// Flight-recorder accounting for a tracing-on cell.
+struct TraceOut {
+    events: Vec<TraceEvent>,
+    slow: Vec<TraceEvent>,
+    series: Option<TimeSeries>,
+    recorded: u64,
+    dropped: u64,
+}
+
 fn storage() -> StorageConfig {
     StorageConfig::in_memory().with_wal_config(WalConfig {
         group_timeout_ticks: 64,
@@ -55,7 +79,15 @@ fn storage() -> StorageConfig {
     })
 }
 
-fn run(kind: EngineKind, threads: usize, txns_per_thread: usize, seed: u64) -> Cell {
+fn run(
+    kind: EngineKind,
+    threads: usize,
+    txns_per_thread: usize,
+    seed: u64,
+    trace: bool,
+    sample: bool,
+    slow_ns: Option<u64>,
+) -> (Cell, sias_obs::MetricsSnapshot, Option<TraceOut>) {
     let tcfg = ThreadedConfig {
         threads,
         txns_per_thread,
@@ -65,22 +97,51 @@ fn run(kind: EngineKind, threads: usize, txns_per_thread: usize, seed: u64) -> C
         abort_ppm: 0,
         seed,
     };
-    let (run, snap, shards) = match kind {
+    // Both engine arms are identical modulo the concrete Db type; the
+    // closure keeps the tracing/sampling bracket in one place.
+    let drive = |registry: &Arc<sias_obs::Registry>,
+                 go: &dyn Fn() -> sias_workload::ThreadedRun|
+     -> (sias_workload::ThreadedRun, Option<TraceOut>) {
+        if !trace {
+            return (go(), None);
+        }
+        let tracer = Arc::clone(registry.tracer());
+        tracer.set_enabled(true);
+        if let Some(ns) = slow_ns {
+            tracer.set_slow_threshold_ns(ns);
+        }
+        let sampler = sample.then(|| {
+            SamplerHandle::spawn(Arc::clone(registry), Duration::from_millis(SAMPLE_INTERVAL_MS))
+        });
+        let run = go();
+        let series = sampler.map(|s| s.stop());
+        let out = TraceOut {
+            events: tracer.capture(),
+            slow: tracer.capture_slow(),
+            series,
+            recorded: tracer.total_recorded(),
+            dropped: tracer.dropped(),
+        };
+        (run, Some(out))
+    };
+    let (run, snap, shards, tout) = match kind {
         EngineKind::Si => {
             let db = SiDb::open(storage());
-            let run = drive_threaded(&db, &tcfg);
+            let registry = Arc::clone(db.obs_registry().expect("si registry"));
+            let (run, tout) = drive(&registry, &|| drive_threaded(&db, &tcfg));
             let shards = db.stack().pool.shard_count();
-            (run, db.metrics_snapshot(), shards)
+            (run, db.metrics_snapshot(), shards, tout)
         }
         _ => {
             let db = SiasDb::open(storage());
-            let run = drive_threaded(&db, &tcfg);
+            let registry = Arc::clone(db.obs_registry().expect("sias registry"));
+            let (run, tout) = drive(&registry, &|| drive_threaded(&db, &tcfg));
             let shards = db.stack().pool.shard_count();
-            (run, db.metrics_snapshot(), shards)
+            (run, db.metrics_snapshot(), shards, tout)
         }
     };
     let group = snap.histogram("storage.wal.group_size");
-    Cell {
+    let cell = Cell {
         engine: kind.label(),
         threads,
         committed: run.committed,
@@ -92,11 +153,13 @@ fn run(kind: EngineKind, threads: usize, txns_per_thread: usize, seed: u64) -> C
         group_p50: group.map(|h| h.p50).unwrap_or(0),
         group_max: group.map(|h| h.max).unwrap_or(0),
         pool_shards: shards,
-    }
+    };
+    (cell, snap, tout)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let obs_args = ObsArgs::parse(&args);
     let quick = args.iter().any(|a| a == "--quick");
     let max_threads: usize =
         arg_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(8);
@@ -142,9 +205,10 @@ fn main() {
     );
 
     let mut cells: Vec<Cell> = Vec::new();
+    let mut snaps: Vec<(String, sias_obs::MetricsSnapshot)> = Vec::new();
     for &kind in &kinds {
         for &threads in &sweep {
-            let cell = run(kind, threads, txns_per_thread, seed);
+            let (cell, snap, _) = run(kind, threads, txns_per_thread, seed, false, false, None);
             println!(
                 "{:<8} {:>7} {:>9} {:>8} {:>9.3} {:>11.0} {:>7} {:>9} {:>9}",
                 cell.engine,
@@ -157,6 +221,7 @@ fn main() {
                 cell.group_p50,
                 cell.pool_shards
             );
+            snaps.push((format!("{}-t{}", cell.engine, cell.threads), snap));
             cells.push(cell);
         }
     }
@@ -175,6 +240,76 @@ fn main() {
     };
     if let Some(s) = speedup {
         println!("SIAS 4-thread / 1-thread commit throughput: {s:.2}x");
+    }
+
+    // Tracing overhead pair: re-run the widest cell of the first swept
+    // engine with the flight recorder enabled (plus the sampler when
+    // `--series-out` asks for it) and compare commit throughput against
+    // the tracing-off cell the sweep already produced.
+    let overhead_kind = kinds.first().copied().unwrap_or(EngineKind::SiasT2);
+    let overhead_threads = *sweep.last().unwrap();
+    let (on_cell, _, tout) = run(
+        overhead_kind,
+        overhead_threads,
+        txns_per_thread,
+        seed,
+        true,
+        obs_args.series_requested(),
+        obs_args.slow_us.map(|us| us.saturating_mul(1_000)),
+    );
+    let tout = tout.expect("tracing-on run returns trace accounting");
+    let off_cps = cells
+        .iter()
+        .find(|c| c.engine == overhead_kind.label() && c.threads == overhead_threads)
+        .map(|c| c.commits_per_sec)
+        .unwrap_or(0.0);
+    let overhead_pct =
+        if off_cps > 0.0 { (off_cps - on_cell.commits_per_sec) / off_cps * 100.0 } else { 0.0 };
+    println!(
+        "trace overhead @ {} threads ({}): off {:.0} commits/s, on {:.0} commits/s \
+         ({:+.2}%), {} events recorded, {} dropped",
+        overhead_threads,
+        overhead_kind.label(),
+        off_cps,
+        on_cell.commits_per_sec,
+        overhead_pct,
+        tout.recorded,
+        tout.dropped
+    );
+
+    let overhead_json = format!(
+        "{{\n  \"engine\": \"{}\",\n  \"threads\": {},\n  \"txns_per_thread\": {},\n  \
+         \"quick\": {},\n  \"commits_per_sec_tracing_off\": {:.1},\n  \
+         \"commits_per_sec_tracing_on\": {:.1},\n  \"overhead_pct\": {:.3},\n  \
+         \"events_recorded\": {},\n  \"events_dropped\": {},\n  \
+         \"events_captured\": {}\n}}\n",
+        overhead_kind.label(),
+        overhead_threads,
+        txns_per_thread,
+        quick,
+        off_cps,
+        on_cell.commits_per_sec,
+        overhead_pct,
+        tout.recorded,
+        tout.dropped,
+        tout.events.len(),
+    );
+    let opath = write_results("BENCH_trace_overhead.json", &overhead_json);
+    println!("wrote {}", opath.display());
+
+    if let Some((p, c)) = obs_args.dump_trace(&tout.events) {
+        println!("wrote {} and {}", p.display(), c.display());
+    }
+    if let Some(p) = obs_args.dump_slow(&tout.slow) {
+        println!("wrote {} ({} slow ops)", p.display(), tout.slow.len());
+    }
+    if let Some(series) = &tout.series {
+        if let Some(p) = obs_args.dump_series(series) {
+            println!("wrote {}", p.display());
+        }
+    }
+    if let Some(p) = obs_args.dump_metrics(&snaps) {
+        println!("wrote {}", p.display());
     }
 
     let mut json = String::from("{\n");

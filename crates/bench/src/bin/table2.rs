@@ -13,13 +13,12 @@
 //! ```
 
 use sias_bench::{
-    arg_value, dump_metrics, metrics_out, run_cell, write_results, EngineKind, Testbed,
-    EXPERIMENT_POOL_FRAMES,
+    arg_value, run_cell, write_results, EngineKind, ObsArgs, Testbed, EXPERIMENT_POOL_FRAMES,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mout = metrics_out(&args);
+    let obs_args = ObsArgs::parse(&args);
     let mut mruns = Vec::new();
     let whs: Vec<u32> = arg_value(&args, "--whs")
         .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
@@ -77,7 +76,7 @@ fn main() {
     }
     let path = write_results("table2.csv", &csv);
     println!("\nwrote {}", path.display());
-    if let Some(p) = dump_metrics(mout.as_deref(), &mruns) {
+    if let Some(p) = obs_args.dump_metrics(&mruns) {
         println!("wrote metrics to {}", p.display());
     }
 }

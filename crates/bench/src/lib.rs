@@ -19,7 +19,7 @@
 #![warn(missing_docs)]
 
 use sias_core::{FlushPolicy, SiasDb};
-use sias_obs::MetricsSnapshot;
+use sias_obs::{export, MetricsSnapshot, TimeSeries, TraceEvent};
 use sias_si::SiDb;
 use sias_storage::{DeviceStats, StorageConfig, TraceSummary};
 use sias_txn::MvccEngine;
@@ -208,6 +208,113 @@ pub fn write_results(name: &str, contents: &str) -> std::path::PathBuf {
     path
 }
 
+/// Unified observability options every bench binary accepts:
+///
+/// * `--metrics-out <path>` (or `SIAS_METRICS_OUT`) — labelled metrics
+///   snapshots as JSON;
+/// * `--trace-out <path>` — flight-recorder dump: JSON-lines at `<path>`
+///   plus Chrome `trace_event` JSON at `<path>.chrome.json`;
+/// * `--series-out <path>` — time-series sampler output as JSON;
+/// * `--slow-us <n>` — slow-op threshold: spans lasting ≥ n µs are
+///   promoted to the recorder's slow ring, dumped at
+///   `<trace_out>.slow.jsonl`.
+///
+/// Binaries parse once ([`ObsArgs::parse`]) and call the `dump_*`
+/// methods at the end of the run; every dump is a no-op when its flag is
+/// absent, so the instrumentation costs nothing by default.
+#[derive(Clone, Debug, Default)]
+pub struct ObsArgs {
+    /// Destination of the metrics dump (`--metrics-out`).
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Destination of the trace dump (`--trace-out`).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Destination of the time-series dump (`--series-out`).
+    pub series_out: Option<std::path::PathBuf>,
+    /// Slow-op threshold in microseconds (`--slow-us`).
+    pub slow_us: Option<u64>,
+}
+
+impl ObsArgs {
+    /// Parses the three options from raw argv.
+    pub fn parse(args: &[String]) -> ObsArgs {
+        ObsArgs {
+            metrics_out: metrics_out(args),
+            trace_out: arg_value(args, "--trace-out").map(std::path::PathBuf::from),
+            series_out: arg_value(args, "--series-out").map(std::path::PathBuf::from),
+            slow_us: arg_value(args, "--slow-us").and_then(|v| v.parse().ok()),
+        }
+    }
+
+    /// Arms the recorder's slow-op ring when `--slow-us` was given.
+    pub fn apply_slow_threshold(&self, tracer: &sias_obs::FlightRecorder) {
+        if let Some(us) = self.slow_us {
+            tracer.set_slow_threshold_ns(us.saturating_mul(1_000));
+        }
+    }
+
+    /// Writes the slow-op window at `<trace_out>.slow.jsonl`; no-op
+    /// without `--trace-out` or with an empty window.
+    pub fn dump_slow(&self, events: &[TraceEvent]) -> Option<std::path::PathBuf> {
+        let path = self.trace_out.as_deref()?;
+        if events.is_empty() {
+            return None;
+        }
+        let mut slow = path.as_os_str().to_owned();
+        slow.push(".slow.jsonl");
+        let slow = std::path::PathBuf::from(slow);
+        write_file(&slow, &export::to_jsonl(events));
+        Some(slow)
+    }
+
+    /// Whether the run should enable the flight recorder.
+    pub fn tracing_requested(&self) -> bool {
+        self.trace_out.is_some()
+    }
+
+    /// Whether the run should start the time-series sampler.
+    pub fn series_requested(&self) -> bool {
+        self.series_out.is_some()
+    }
+
+    /// Writes labelled metrics snapshots (see [`dump_metrics`]).
+    pub fn dump_metrics(&self, runs: &[(String, MetricsSnapshot)]) -> Option<std::path::PathBuf> {
+        dump_metrics(self.metrics_out.as_deref(), runs)
+    }
+
+    /// Writes the trace dump: JSON-lines at `trace_out` plus the Chrome
+    /// `trace_event` twin at `<trace_out>.chrome.json`. Returns both
+    /// paths; no-op without `--trace-out`.
+    pub fn dump_trace(
+        &self,
+        events: &[TraceEvent],
+    ) -> Option<(std::path::PathBuf, std::path::PathBuf)> {
+        let path = self.trace_out.as_deref()?;
+        write_file(path, &export::to_jsonl(events));
+        let mut chrome = path.as_os_str().to_owned();
+        chrome.push(".chrome.json");
+        let chrome = std::path::PathBuf::from(chrome);
+        write_file(&chrome, &export::to_chrome_trace(events));
+        Some((path.to_path_buf(), chrome))
+    }
+
+    /// Writes the sampler's series as JSON; no-op without
+    /// `--series-out`.
+    pub fn dump_series(&self, series: &TimeSeries) -> Option<std::path::PathBuf> {
+        let path = self.series_out.as_deref()?;
+        write_file(path, &series.to_json());
+        Some(path.to_path_buf())
+    }
+}
+
+fn write_file(path: &std::path::Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(path, contents).expect("write output file");
+}
+
 /// Tiny CLI-argument helper: returns the value following `--name`.
 pub fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -301,9 +408,12 @@ mod tests {
     #[test]
     fn smoke_cell_sias_vs_si() {
         // A miniature cell on each engine: must run, stay consistent, and
-        // SIAS must not write more than SI.
-        let sias = run_cell(EngineKind::SiasT2, Testbed::Ssd, 2, 5, 256);
-        let si = run_cell(EngineKind::Si, Testbed::Ssd, 2, 5, 256);
+        // SIAS must not write more than SI. The window must be several
+        // emulated-user cycles (keying + think ≈ 25 virtual seconds) long,
+        // or whether any NewOrder lands in the measured interval is seed
+        // luck.
+        let sias = run_cell(EngineKind::SiasT2, Testbed::Ssd, 2, 30, 256);
+        let si = run_cell(EngineKind::Si, Testbed::Ssd, 2, 30, 256);
         assert_eq!(sias.violations, 0);
         assert_eq!(si.violations, 0);
         assert!(sias.bench.new_order_commits > 0);

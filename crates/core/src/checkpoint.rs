@@ -33,6 +33,7 @@
 //! [`WalRecord::Checkpoint`]: sias_storage::WalRecord::Checkpoint
 
 use sias_common::{RelId, SiasResult};
+use sias_obs::SpanName;
 use sias_storage::WalRecord;
 
 use crate::engine::SiasDb;
@@ -61,6 +62,7 @@ impl SiasDb {
     /// `storage.wal.truncated_bytes`.
     pub fn checkpoint(&self) -> SiasResult<CheckpointStats> {
         let obs = &self.stack.obs;
+        let mut span = self.metrics.tracer.span(SpanName::CkptRun);
         // (1) Fuzzy begin: capture the redo point before flushing
         // anything. Every record at or after these watermarks may
         // describe work the flush below does not cover.
@@ -83,6 +85,7 @@ impl SiasDb {
         let wal_bytes_truncated = self.stack.wal.truncate_before(redo_lsn);
         obs.counter("storage.ckpt.runs").inc();
         obs.counter("storage.ckpt.pages_flushed").add(pages_flushed);
+        span.set_arg(pages_flushed);
         Ok(CheckpointStats {
             redo_lsn,
             redo_records,

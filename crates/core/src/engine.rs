@@ -22,7 +22,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use sias_common::{RelId, SiasError, SiasResult, Tid, Vid, Xid};
 use sias_index::BPlusTree;
-use sias_obs::{time, MetricsSnapshot, Registry};
+use sias_obs::{time, MetricsSnapshot, Registry, SpanName};
 use sias_storage::{StorageConfig, StorageStack, WalRecord};
 use sias_txn::{EngineMetrics, MvccEngine, TransactionManager, Txn};
 
@@ -146,6 +146,7 @@ impl SiasDb {
 
     /// Inserts a new data item; returns its fresh VID (Algorithm 2).
     pub fn insert_item(&self, txn: &Txn, rel: RelId, payload: &[u8]) -> SiasResult<Vid> {
+        let _span = self.metrics.tracer.span(SpanName::EngineInsert).txn(txn.xid.0);
         time!(self.metrics.insert, self.insert_item_inner(txn, rel, payload))
     }
 
@@ -170,6 +171,7 @@ impl SiasDb {
     /// First-updater-wins: concurrent updaters wait on the tuple lock and
     /// abort with [`SiasError::WriteConflict`] when the winner committed.
     pub fn update_item(&self, txn: &Txn, rel: RelId, vid: Vid, payload: &[u8]) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::EngineUpdate).txn(txn.xid.0);
         time!(self.metrics.update, self.modify_item(txn, rel, vid, Some(payload), None))
     }
 
@@ -177,6 +179,7 @@ impl SiasDb {
     /// `key` (when known) is stored in the tombstone so that vacuum can
     /// drop the ⟨key, VID⟩ index record once the whole item is dead.
     pub fn delete_item(&self, txn: &Txn, rel: RelId, vid: Vid, key: Option<u64>) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::EngineDelete).txn(txn.xid.0);
         time!(self.metrics.delete, self.modify_item(txn, rel, vid, None, key))
     }
 
@@ -277,6 +280,7 @@ impl SiasDb {
     /// Reads the version of `vid` visible to the snapshot. `None` when
     /// the item does not exist (or is deleted) in this snapshot.
     pub fn read_item(&self, txn: &Txn, rel: RelId, vid: Vid) -> SiasResult<Option<Bytes>> {
+        let _span = self.metrics.tracer.span(SpanName::EngineGet).txn(txn.xid.0);
         time!(self.metrics.get, self.read_item_inner(txn, rel, vid))
     }
 
@@ -318,6 +322,7 @@ impl SiasDb {
     /// This is the Flash-friendly access path — selective random reads
     /// instead of reading every tuple version in the relation.
     pub fn scan_vidmap(&self, txn: &Txn, rel: RelId) -> SiasResult<Vec<(Vid, Bytes)>> {
+        let _span = self.metrics.tracer.span(SpanName::EngineScanAll).txn(txn.xid.0);
         let r = self.relation_handle(rel)?;
         let entries = Self::vidmap_entries(&r);
         let mut out = Vec::new();
@@ -343,6 +348,7 @@ impl SiasDb {
     /// fetched land in `core.engine.scan_page_visits` /
     /// `core.engine.scan_versions_fetched`.
     pub fn scan_vidmap_batched(&self, txn: &Txn, rel: RelId) -> SiasResult<Vec<(Vid, Bytes)>> {
+        let _span = self.metrics.tracer.span(SpanName::EngineScanAll).txn(txn.xid.0);
         let r = self.relation_handle(rel)?;
         let entries = Self::vidmap_entries(&r);
         let (resolved, stats) =
@@ -467,6 +473,7 @@ impl SiasDb {
     /// the HDD-era sequential access path the paper contrasts against.
     /// Results are identical to [`SiasDb::scan_vidmap`].
     pub fn scan_traditional(&self, txn: &Txn, rel: RelId) -> SiasResult<Vec<(Vid, Bytes)>> {
+        let _span = self.metrics.tracer.span(SpanName::EngineScanAll).txn(txn.xid.0);
         let r = self.relation_handle(rel)?;
         let nblocks = self.stack.space.relation_blocks(rel);
         // Pass 1: read the whole relation, keeping every candidate that
@@ -706,12 +713,15 @@ impl MvccEngine for SiasDb {
     }
 
     fn begin(&self) -> Txn {
+        let mut span = self.metrics.tracer.span(SpanName::TxnBegin);
         let txn = self.txm.begin();
+        span.set_txn(txn.xid.0);
         self.stack.wal.append(&WalRecord::Begin(txn.xid));
         txn
     }
 
     fn commit(&self, txn: Txn) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::TxnCommit).txn(txn.xid.0);
         let lsn = self.stack.wal.append(&WalRecord::Commit(txn.xid));
         // The commit is acknowledged only once the log is durable through
         // its own Commit record — `force_through` lets a concurrent
@@ -730,31 +740,38 @@ impl MvccEngine for SiasDb {
     }
 
     fn abort(&self, txn: Txn) {
+        let _span = self.metrics.tracer.span(SpanName::TxnAbort).txn(txn.xid.0);
         self.stack.wal.append(&WalRecord::Abort(txn.xid));
         self.txm.abort(txn);
     }
 
     fn insert(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::EngineInsert).txn(txn.xid.0);
         time!(self.metrics.insert, self.insert_inner(txn, rel, key, payload))
     }
 
     fn update(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::EngineUpdate).txn(txn.xid.0);
         time!(self.metrics.update, self.update_inner(txn, rel, key, payload))
     }
 
     fn delete(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::EngineDelete).txn(txn.xid.0);
         time!(self.metrics.delete, self.delete_inner(txn, rel, key))
     }
 
     fn get(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<Option<Bytes>> {
+        let _span = self.metrics.tracer.span(SpanName::EngineGet).txn(txn.xid.0);
         time!(self.metrics.get, self.get_inner(txn, rel, key))
     }
 
     fn scan_range(&self, txn: &Txn, rel: RelId, lo: u64, hi: u64) -> SiasResult<Vec<(u64, Bytes)>> {
+        let _span = self.metrics.tracer.span(SpanName::EngineScanRange).txn(txn.xid.0);
         time!(self.metrics.scan, self.scan_range_inner(txn, rel, lo, hi))
     }
 
     fn maintenance(&self, checkpoint: bool) {
+        let _span = self.metrics.tracer.span(SpanName::Maintenance).arg(checkpoint as u64);
         match self.policy {
             FlushPolicy::T1 => {
                 // Background-writer default: persist dirty pages —
@@ -1440,6 +1457,43 @@ mod tests {
         assert!(after.counter("txn.manager.commits").unwrap() >= 3);
         assert!(after.counter("core.vidmap.lookups").unwrap() > 0);
         assert!(after.counter("storage.wal.forces").unwrap() >= 3);
+    }
+
+    #[test]
+    fn tracing_off_records_zero_events_and_allocates_nothing() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"v1").unwrap();
+        db.update(&t, rel, 1, b"v2").unwrap();
+        assert_eq!(db.get(&t, rel, 1).unwrap().as_deref(), Some(&b"v2"[..]));
+        db.commit(t).unwrap();
+        let tracer = db.stack().obs.tracer();
+        assert_eq!(tracer.total_recorded(), 0, "untraced runs must record nothing");
+        assert_eq!(tracer.memory_bytes(), 0, "rings must stay unallocated");
+        assert!(tracer.capture().is_empty());
+    }
+
+    #[test]
+    fn tracing_on_captures_the_transaction_span_tree() {
+        let (db, rel) = db();
+        let tracer = std::sync::Arc::clone(db.stack().obs.tracer());
+        tracer.set_enabled(true);
+        let t = db.begin();
+        db.insert(&t, rel, 1, b"v1").unwrap();
+        db.commit(t).unwrap();
+        let events = tracer.capture();
+        let has = |n: sias_obs::SpanName| events.iter().any(|e| e.name == n);
+        for name in [
+            sias_obs::SpanName::TxnBegin,
+            sias_obs::SpanName::EngineInsert,
+            sias_obs::SpanName::TxnCommit,
+            sias_obs::SpanName::WalAppend,
+        ] {
+            assert!(has(name), "missing {} span", name.as_str());
+        }
+        // Spans carry the transaction id and the books balance.
+        assert!(events.iter().any(|e| e.name == sias_obs::SpanName::TxnCommit && e.txn != 0));
+        assert_eq!(tracer.open_spans(), 0);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! paper's prototype likewise integrates GC as a deterministic process
 //! "triggered by the MV-DBMS", not a concurrent one.
 
+use sias_obs::SpanName;
 use std::collections::BTreeSet;
 
 use sias_common::{RelId, SiasError, SiasResult, Tid, Vid, Xid};
@@ -99,6 +100,7 @@ impl SiasDb {
         threshold: f64,
     ) -> SiasResult<GcStats> {
         let pause_start = std::time::Instant::now();
+        let mut span = self.metrics.tracer.span(SpanName::GcVacuum);
         if self.txm.active_count() != 0 {
             return Err(SiasError::Device(
                 "vacuum requires a quiescent system (no active transactions)".into(),
@@ -176,6 +178,7 @@ impl SiasDb {
         m.gc_versions_discarded.add(stats.versions_discarded);
         m.gc_versions_relocated.add(stats.versions_relocated);
         m.gc_items_cleared.add(stats.items_cleared);
+        span.set_arg(stats.versions_discarded);
         m.gc_pause.record_duration(pause_start.elapsed());
         Ok(stats)
     }

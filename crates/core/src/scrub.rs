@@ -35,6 +35,7 @@
 //! to every snapshot (same visibility rules) and the next vacuum
 //! reclaims them; correctness is unaffected.
 
+use sias_obs::SpanName;
 use std::collections::{BTreeMap, HashSet};
 
 use sias_common::{BlockId, RelId, SiasError, SiasResult, Tid, Vid, Xid};
@@ -119,6 +120,7 @@ impl SiasDb {
     /// Errors unless the system is quiescent. Ticks
     /// `storage.scrub.{scanned,corrupt,repaired}`.
     pub fn scrub_relation(&self, rel: RelId) -> SiasResult<ScrubStats> {
+        let mut span = self.metrics.tracer.span(SpanName::ScrubSweep);
         if self.txm.active_count() != 0 {
             return Err(SiasError::Device(
                 "scrub requires a quiescent system (no active transactions)".into(),
@@ -144,6 +146,7 @@ impl SiasDb {
                 Err(e) => return Err(e),
             }
         }
+        span.set_arg(stats.pages_scanned);
         self.stack.obs.counter("storage.scrub.scanned").add(stats.pages_scanned);
         self.stack.obs.counter("storage.scrub.corrupt").add(stats.pages_corrupt);
         if corrupt.is_empty() {

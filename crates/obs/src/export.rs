@@ -1,0 +1,148 @@
+//! Trace exporters: JSON-lines (one event per line, grep-friendly) and
+//! Chrome `trace_event` JSON (loadable in `chrome://tracing` /
+//! Perfetto). Both are hand-rolled like the metric serializers — the
+//! formats are small and this crate takes no dependencies.
+
+use crate::span::{EventKind, TraceEvent};
+
+/// One JSON object per line:
+///
+/// ```json
+/// {"seq":3,"kind":"span","name":"txn.commit","tid":1,"depth":0,"start_ns":120,"dur_ns":950,"txn":42,"arg":0}
+/// ```
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        push_jsonl_event(&mut out, e);
+        out.push('\n');
+    }
+    out
+}
+
+fn push_jsonl_event(out: &mut String, e: &TraceEvent) {
+    let kind = match e.kind {
+        EventKind::Span => "span",
+        EventKind::Instant => "instant",
+    };
+    out.push_str(&format!(
+        "{{\"seq\":{},\"kind\":\"{}\",\"name\":\"{}\",\"tid\":{},\"depth\":{},\
+         \"start_ns\":{},\"dur_ns\":{},\"txn\":{},\"arg\":{}}}",
+        e.seq,
+        kind,
+        e.name.as_str(),
+        e.tid,
+        e.depth,
+        e.start_ns,
+        e.dur_ns,
+        e.txn,
+        e.arg
+    ));
+}
+
+/// Chrome `trace_event` format (JSON object form):
+///
+/// ```json
+/// {"traceEvents":[
+///   {"name":"txn.commit","cat":"txn","ph":"X","ts":0.120,"dur":0.950,
+///    "pid":1,"tid":1,"args":{"txn":42,"arg":0,"depth":0}},
+///   {"name":"chaos.crash","cat":"chaos","ph":"i","s":"t","ts":5.000,
+///    "pid":1,"tid":2,"args":{"txn":0,"arg":0,"depth":0}}
+/// ]}
+/// ```
+///
+/// Timestamps are microseconds (the format's unit) with nanosecond
+/// precision kept as three decimals. `cat` is the name's first dotted
+/// segment so the viewer can filter by subsystem.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        push_chrome_event(&mut out, e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn push_chrome_event(out: &mut String, e: &TraceEvent) {
+    let name = e.name.as_str();
+    let cat = name.split('.').next().unwrap_or(name);
+    out.push_str(&format!("{{\"name\":\"{name}\",\"cat\":\"{cat}\","));
+    match e.kind {
+        EventKind::Span => {
+            out.push_str(&format!(
+                "\"ph\":\"X\",\"ts\":{},\"dur\":{},",
+                us(e.start_ns),
+                us(e.dur_ns)
+            ));
+        }
+        EventKind::Instant => {
+            out.push_str(&format!("\"ph\":\"i\",\"s\":\"t\",\"ts\":{},", us(e.start_ns)));
+        }
+    }
+    out.push_str(&format!(
+        "\"pid\":1,\"tid\":{},\"args\":{{\"txn\":{},\"arg\":{},\"depth\":{}}}}}",
+        e.tid, e.txn, e.arg, e.depth
+    ));
+}
+
+/// Formats nanoseconds as decimal microseconds with exactly three
+/// fractional digits (no float rounding: pure integer math).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanName;
+
+    fn span(seq: u64, name: SpanName, start_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            kind: EventKind::Span,
+            name,
+            tid: 1,
+            depth: 0,
+            start_ns,
+            dur_ns,
+            txn: 0,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let events =
+            vec![span(0, SpanName::TxnCommit, 100, 50), span(1, SpanName::WalForce, 120, 10)];
+        let s = to_jsonl(&events);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.lines().next().unwrap().contains("\"name\":\"txn.commit\""));
+        assert!(s.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn chrome_ts_is_exact_microseconds() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_000), "1.000");
+        assert_eq!(us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let mut instant = span(2, SpanName::ChaosCrash, 5_000, 0);
+        instant.kind = EventKind::Instant;
+        instant.tid = 2;
+        let events = vec![span(0, SpanName::TxnCommit, 120, 950), instant];
+        let s = to_chrome_trace(&events);
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"ph\":\"X\",\"ts\":0.120,\"dur\":0.950"));
+        assert!(s.contains("\"cat\":\"txn\""));
+        assert!(s.contains("\"ph\":\"i\",\"s\":\"t\",\"ts\":5.000"));
+        assert!(s.trim_end().ends_with("]}"));
+    }
+}

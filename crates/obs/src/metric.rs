@@ -160,29 +160,8 @@ impl Histogram {
     /// inside it. Exact for single-valued buckets (e.g. small depths),
     /// within one power of two otherwise.
     pub fn quantile(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            if seen + c >= rank {
-                let lo = bucket_lo(i);
-                let hi = bucket_hi(i).min(self.max());
-                if hi <= lo || c == 1 {
-                    return lo.max(if i == 0 { 0 } else { lo });
-                }
-                let frac = (rank - seen - 1) as f64 / (c - 1) as f64;
-                return lo + (frac * (hi - lo) as f64) as u64;
-            }
-            seen += c;
-        }
-        self.max()
+        let counts = self.bucket_counts();
+        quantile_from_counts(&counts, self.max(), q)
     }
 
     /// Raw bucket counts (tests, exporters).
@@ -199,6 +178,11 @@ impl Histogram {
         self.max.store(0, Ordering::Relaxed);
     }
 
+    /// Full capture for snapshots: summary plus raw buckets.
+    pub fn sample(&self) -> crate::snapshot::HistogramSample {
+        crate::snapshot::HistogramSample { summary: self.summary(), buckets: self.bucket_counts() }
+    }
+
     /// Condensed view for snapshots.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -210,6 +194,38 @@ impl Histogram {
             p99: self.quantile(0.99),
         }
     }
+}
+
+/// Quantile estimate over a raw bucket-count array — the math behind
+/// [`Histogram::quantile`], usable on *interval* distributions built by
+/// diffing two cumulative snapshots (the time-series sampler does this).
+/// `observed_max` caps interpolation in the top occupied bucket; pass
+/// `u64::MAX` when unknown.
+pub fn quantile_from_counts(counts: &[u64], observed_max: u64, q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= rank {
+            let lo = bucket_lo(i);
+            let hi = bucket_hi(i).min(observed_max);
+            if hi <= lo || c == 1 {
+                return lo;
+            }
+            let frac = (rank - seen - 1) as f64 / (c - 1) as f64;
+            // Saturate: for the top bucket lo + frac*(hi-lo) can round
+            // past u64::MAX.
+            return lo.saturating_add((frac * (hi - lo) as f64) as u64);
+        }
+        seen += c;
+    }
+    observed_max
 }
 
 /// Point-in-time digest of a [`Histogram`].

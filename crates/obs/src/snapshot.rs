@@ -2,14 +2,37 @@
 //! Prometheus text exposition. Both serializers are hand-rolled — the
 //! formats are small and this crate takes no dependencies.
 
-use crate::metric::HistogramSummary;
+use crate::metric::{bucket_hi, HistogramSummary, HISTOGRAM_BUCKETS};
 
-/// One exported metric value.
+/// A histogram capture: the condensed summary plus the raw cumulative
+/// bucket counts. The buckets make snapshots *diffable* — the
+/// time-series sampler subtracts consecutive snapshots to get exact
+/// per-interval distributions — and let the Prometheus exporter emit
+/// real `_bucket` series instead of pre-baked quantiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSample {
+    pub summary: HistogramSummary,
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSample {
+    /// A sample with empty buckets (tests and synthetic snapshots that
+    /// only care about the summary).
+    pub fn from_summary(summary: HistogramSummary) -> Self {
+        HistogramSample { summary, buckets: [0; HISTOGRAM_BUCKETS] }
+    }
+}
+
+/// One exported metric value. The histogram variant is deliberately
+/// large (the raw bucket array rides along): snapshots are cold-path
+/// values taken a handful of times per run, and keeping the variant
+/// inline keeps `SampleValue` `Copy`.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SampleValue {
     Counter(u64),
     Gauge(i64),
-    Histogram(HistogramSummary),
+    Histogram(HistogramSample),
 }
 
 /// A named metric value.
@@ -76,7 +99,15 @@ impl MetricsSnapshot {
     /// Histogram summary by name, `None` if absent or not a histogram.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
         match self.get(name)? {
-            SampleValue::Histogram(h) => Some(h),
+            SampleValue::Histogram(h) => Some(&h.summary),
+            _ => None,
+        }
+    }
+
+    /// Raw cumulative bucket counts by name.
+    pub fn histogram_buckets(&self, name: &str) -> Option<&[u64; HISTOGRAM_BUCKETS]> {
+        match self.get(name)? {
+            SampleValue::Histogram(h) => Some(&h.buckets),
             _ => None,
         }
     }
@@ -109,6 +140,7 @@ impl MetricsSnapshot {
                     out.push_str(&format!("{{\"type\": \"gauge\", \"value\": {v}}}"));
                 }
                 SampleValue::Histogram(h) => {
+                    let h = &h.summary;
                     out.push_str(&format!(
                         "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"max\": {}, \
                          \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
@@ -122,16 +154,19 @@ impl MetricsSnapshot {
     }
 
     /// Serializes to Prometheus text exposition. Dots become
-    /// underscores; histograms export as summaries with `quantile`
-    /// labels plus `_count`, `_sum`, and `_max` series:
+    /// underscores; histograms export as native `histogram` metrics:
+    /// cumulative `_bucket{le="..."}` series over the non-empty log2
+    /// buckets plus the mandatory `le="+Inf"`, `_sum`, and `_count`,
+    /// with the observed maximum as an extra `_max` series:
     ///
     /// ```text
-    /// # TYPE core_engine_update summary
-    /// core_engine_update{quantile="0.5"} 328
-    /// core_engine_update{quantile="0.95"} 512
-    /// core_engine_update{quantile="0.99"} 512
-    /// core_engine_update_count 2
+    /// # HELP core_engine_update SIAS metric core.engine.update
+    /// # TYPE core_engine_update histogram
+    /// core_engine_update_bucket{le="511"} 1
+    /// core_engine_update_bucket{le="1023"} 2
+    /// core_engine_update_bucket{le="+Inf"} 2
     /// core_engine_update_sum 840
+    /// core_engine_update_count 2
     /// core_engine_update_max 512
     /// ```
     pub fn to_prometheus(&self) -> String {
@@ -139,6 +174,9 @@ impl MetricsSnapshot {
         for s in &self.samples {
             let name: String =
                 s.name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+            out.push_str(&format!("# HELP {name} "));
+            push_prom_help(&mut out, &format!("SIAS metric {}", s.name));
+            out.push('\n');
             match &s.value {
                 SampleValue::Counter(v) => {
                     out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
@@ -147,13 +185,22 @@ impl MetricsSnapshot {
                     out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
                 }
                 SampleValue::Histogram(h) => {
-                    out.push_str(&format!("# TYPE {name} summary\n"));
-                    out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", h.p50));
-                    out.push_str(&format!("{name}{{quantile=\"0.95\"}} {}\n", h.p95));
-                    out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", h.p99));
-                    out.push_str(&format!("{name}_count {}\n", h.count));
-                    out.push_str(&format!("{name}_sum {}\n", h.sum));
-                    out.push_str(&format!("{name}_max {}\n", h.max));
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        out.push_str(&format!("{name}_bucket{{le=\""));
+                        // le is inclusive, matching bucket_hi exactly.
+                        push_prom_label_value(&mut out, &bucket_hi(i).to_string());
+                        out.push_str(&format!("\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.summary.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.summary.sum));
+                    out.push_str(&format!("{name}_count {}\n", h.summary.count));
+                    out.push_str(&format!("{name}_max {}\n", h.summary.max));
                 }
             }
         }
@@ -161,7 +208,31 @@ impl MetricsSnapshot {
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+/// Escapes a HELP line per the exposition format: backslash and
+/// line-feed only (quotes are legal in help text).
+fn push_prom_help(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes a label value: backslash, double-quote, and line-feed.
+fn push_prom_label_value(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -180,21 +251,18 @@ fn push_json_string(out: &mut String, s: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metric::Histogram;
 
     fn sample_snapshot() -> MetricsSnapshot {
+        let hist = Histogram::new();
+        hist.record(328);
+        hist.record(512);
         MetricsSnapshot::from_samples(vec![
             MetricSample { name: "txn.manager.active".into(), value: SampleValue::Gauge(3) },
             MetricSample { name: "storage.wal.forces".into(), value: SampleValue::Counter(5) },
             MetricSample {
                 name: "core.engine.update".into(),
-                value: SampleValue::Histogram(HistogramSummary {
-                    count: 2,
-                    sum: 840,
-                    max: 512,
-                    p50: 328,
-                    p95: 512,
-                    p99: 512,
-                }),
+                value: SampleValue::Histogram(hist.sample()),
             },
         ])
     }
@@ -226,10 +294,48 @@ mod tests {
     #[test]
     fn prometheus_format() {
         let p = sample_snapshot().to_prometheus();
+        assert!(p.contains("# HELP storage_wal_forces SIAS metric storage.wal.forces\n"));
         assert!(p.contains("# TYPE storage_wal_forces counter\nstorage_wal_forces 5\n"));
         assert!(p.contains("# TYPE txn_manager_active gauge\ntxn_manager_active 3\n"));
-        assert!(p.contains("core_engine_update{quantile=\"0.5\"} 328\n"));
+        assert!(p.contains("# TYPE core_engine_update histogram\n"));
+        // 328 -> bucket [256,512) le=511; 512 -> bucket [512,1024) le=1023.
+        assert!(p.contains("core_engine_update_bucket{le=\"511\"} 1\n"));
+        assert!(p.contains("core_engine_update_bucket{le=\"1023\"} 2\n"));
+        assert!(p.contains("core_engine_update_bucket{le=\"+Inf\"} 2\n"));
+        assert!(p.contains("core_engine_update_sum 840\n"));
         assert!(p.contains("core_engine_update_count 2\n"));
         assert!(p.contains("core_engine_update_max 512\n"));
+        // No stale summary-style quantile labels.
+        assert!(!p.contains("quantile="));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_sparse() {
+        let hist = Histogram::new();
+        for _ in 0..3 {
+            hist.record(1); // bucket le="1"
+        }
+        hist.record(1_000_000); // bucket [2^19, 2^20) le="1048575"
+        let s = MetricsSnapshot::from_samples(vec![MetricSample {
+            name: "m".into(),
+            value: SampleValue::Histogram(hist.sample()),
+        }]);
+        let p = s.to_prometheus();
+        assert!(p.contains("m_bucket{le=\"1\"} 3\n"));
+        assert!(p.contains("m_bucket{le=\"1048575\"} 4\n"));
+        assert!(p.contains("m_bucket{le=\"+Inf\"} 4\n"));
+        // Empty buckets between the two are not emitted.
+        assert_eq!(p.matches("m_bucket{").count(), 3);
+    }
+
+    #[test]
+    fn prometheus_help_is_escaped() {
+        let s = MetricsSnapshot::from_samples(vec![MetricSample {
+            name: "weird\\name\nwith.newline".into(),
+            value: SampleValue::Counter(1),
+        }]);
+        let p = s.to_prometheus();
+        // The raw backslash and newline never appear unescaped in HELP.
+        assert!(p.contains("SIAS metric weird\\\\name\\nwith.newline\n"));
     }
 }

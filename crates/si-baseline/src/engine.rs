@@ -25,7 +25,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use sias_common::{RelId, SiasError, SiasResult, Tid, Vid, Xid};
 use sias_index::BPlusTree;
-use sias_obs::{time, Registry};
+use sias_obs::{time, Registry, SpanName};
 use sias_storage::{FreeSpaceMap, StorageConfig, StorageStack, WalRecord};
 use sias_txn::{EngineMetrics, MvccEngine, Snapshot, TransactionManager, Txn, TxnStatus};
 
@@ -326,6 +326,7 @@ impl SiDb {
 
     /// Full-relation scan applying SI visibility — the only scan SI has.
     pub fn scan_heap(&self, txn: &Txn, rel: RelId) -> SiasResult<Vec<(u64, Bytes)>> {
+        let _span = self.metrics.tracer.span(SpanName::EngineScanAll).txn(txn.xid.0);
         let nblocks = self.stack.space.relation_blocks(rel);
         let mut out = Vec::new();
         for block in 0..nblocks {
@@ -376,12 +377,15 @@ impl MvccEngine for SiDb {
     }
 
     fn begin(&self) -> Txn {
+        let mut span = self.metrics.tracer.span(SpanName::TxnBegin);
         let txn = self.txm.begin();
+        span.set_txn(txn.xid.0);
         self.stack.wal.append(&WalRecord::Begin(txn.xid));
         txn
     }
 
     fn commit(&self, txn: Txn) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::TxnCommit).txn(txn.xid.0);
         let lsn = self.stack.wal.append(&WalRecord::Commit(txn.xid));
         // Same acknowledgement contract as the SIAS engine: a failed
         // force aborts locally and the client must treat the outcome as
@@ -395,31 +399,38 @@ impl MvccEngine for SiDb {
     }
 
     fn abort(&self, txn: Txn) {
+        let _span = self.metrics.tracer.span(SpanName::TxnAbort).txn(txn.xid.0);
         self.stack.wal.append(&WalRecord::Abort(txn.xid));
         self.txm.abort(txn);
     }
 
     fn insert(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::EngineInsert).txn(txn.xid.0);
         time!(self.metrics.insert, self.insert_inner(txn, rel, key, payload))
     }
 
     fn update(&self, txn: &Txn, rel: RelId, key: u64, payload: &[u8]) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::EngineUpdate).txn(txn.xid.0);
         time!(self.metrics.update, self.update_inner(txn, rel, key, payload))
     }
 
     fn delete(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
+        let _span = self.metrics.tracer.span(SpanName::EngineDelete).txn(txn.xid.0);
         time!(self.metrics.delete, self.delete_inner(txn, rel, key))
     }
 
     fn get(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<Option<Bytes>> {
+        let _span = self.metrics.tracer.span(SpanName::EngineGet).txn(txn.xid.0);
         time!(self.metrics.get, self.get_inner(txn, rel, key))
     }
 
     fn scan_range(&self, txn: &Txn, rel: RelId, lo: u64, hi: u64) -> SiasResult<Vec<(u64, Bytes)>> {
+        let _span = self.metrics.tracer.span(SpanName::EngineScanRange).txn(txn.xid.0);
         time!(self.metrics.scan, self.scan_range_inner(txn, rel, lo, hi))
     }
 
     fn maintenance(&self, checkpoint: bool) {
+        let _span = self.metrics.tracer.span(SpanName::Maintenance).arg(checkpoint as u64);
         // Vanilla PostgreSQL configuration: the background writer runs
         // every tick, persisting scattered dirty pages.
         self.stack.pool.bgwriter_round(self.bgwriter_budget);

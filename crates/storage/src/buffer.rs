@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use sias_common::{BlockId, RelId, SiasError, SiasResult};
-use sias_obs::{Counter, Registry};
+use sias_obs::{Counter, FlightRecorder, Registry, SpanName};
 
 use crate::device::{retry_io, Device, RetryCtx, RetryPolicy};
 use crate::page::Page;
@@ -64,6 +64,7 @@ pub struct BufferStats {
 /// Registry-backed counter handles (`storage.buffer.*`). Resolved once
 /// at pool construction; recording is a relaxed atomic add.
 struct StatCell {
+    tracer: Arc<FlightRecorder>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
@@ -76,6 +77,7 @@ struct StatCell {
 impl StatCell {
     fn register(obs: &Registry) -> Self {
         StatCell {
+            tracer: Arc::clone(obs.tracer()),
             hits: obs.counter("storage.buffer.hits"),
             misses: obs.counter("storage.buffer.misses"),
             evictions: obs.counter("storage.buffer.evictions"),
@@ -381,6 +383,9 @@ impl BufferPool {
             return Ok(idx);
         }
         shard.cell.misses.fetch_add(1, Ordering::Relaxed);
+        // The whole miss path — victim search, eviction write-back, and
+        // the synchronous device read — counts as the miss span.
+        let _span = self.stats.tracer.span(SpanName::PoolMiss).arg(block as u64);
         // Victim search: classic clock sweep over this shard's frames.
         let n = shard.len;
         let mut victim = None;

@@ -35,7 +35,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use sias_common::{RelId, SiasError, SiasResult, Tid, Vid, Xid, PAGE_SIZE};
-use sias_obs::{Counter, Histogram, Registry};
+use sias_obs::{Counter, FlightRecorder, Histogram, Registry, SpanName};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -362,6 +362,17 @@ pub struct Wal {
     bytes_appended: Arc<Counter>,
     truncated_bytes: Arc<Counter>,
     group_size: Arc<Histogram>,
+    tracer: Arc<FlightRecorder>,
+}
+
+/// The transaction a WAL record belongs to (0 for non-transactional
+/// records), used to tag trace spans.
+fn record_xid(rec: &WalRecord) -> u64 {
+    match rec {
+        WalRecord::Begin(x) | WalRecord::Commit(x) | WalRecord::Abort(x) => x.0,
+        WalRecord::Insert { xid, .. } | WalRecord::Invalidate { xid, .. } => xid.0,
+        _ => 0,
+    }
 }
 
 impl Wal {
@@ -402,6 +413,7 @@ impl Wal {
             bytes_appended: obs.counter("storage.wal.bytes_appended"),
             truncated_bytes: obs.counter("storage.wal.truncated_bytes"),
             group_size: obs.histogram("storage.wal.group_size"),
+            tracer: Arc::clone(obs.tracer()),
         }
     }
 
@@ -438,6 +450,7 @@ impl Wal {
     /// offset). Not yet durable — call [`Wal::force_through`] (commit
     /// path) or [`Wal::force`].
     pub fn append(&self, rec: &WalRecord) -> u64 {
+        let _span = self.tracer.span(SpanName::WalAppend).txn(record_xid(rec));
         let mut inner = self.inner.lock();
         let lsn = inner.durable_len + inner.in_flight_bytes + inner.pending.len() as u64;
         let mut tmp = Vec::new();
@@ -501,6 +514,7 @@ impl Wal {
                     // Follower: park until the in-flight force publishes
                     // its watermark. The timeout only guards against a
                     // missed wakeup; the loop re-checks either way.
+                    let _span = self.tracer.span(SpanName::WalForceWait);
                     let _ = self.group_cv.wait_for(&mut group, Duration::from_millis(50));
                     continue;
                 }
@@ -529,6 +543,7 @@ impl Wal {
     /// the inner lock but written (and latency-modelled) outside it, so
     /// appends continue while the device syncs.
     fn lead_force(&self) -> SiasResult<u64> {
+        let mut span = self.tracer.span(SpanName::WalForce);
         let (buf, records, commits, mut tail_page, mut tail_fill, mut next_lba) = {
             let mut inner = self.inner.lock();
             if inner.pending.is_empty() {
@@ -540,6 +555,7 @@ impl Wal {
             inner.in_flight_bytes = buf.len() as u64;
             (buf, records, commits, inner.tail_page.clone(), inner.tail_fill, inner.next_lba)
         };
+        span.set_arg(commits);
         let mut writes = 0u64;
         let mut off = 0usize;
         let mut failure = None;

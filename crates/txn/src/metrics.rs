@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use sias_obs::{Counter, Histogram, Registry};
+use sias_obs::{Counter, FlightRecorder, Histogram, Registry};
 
 /// Pre-resolved handles for everything an engine records.
 pub struct EngineMetrics {
@@ -59,30 +59,38 @@ pub struct EngineMetrics {
     pub gc_pause: Arc<Histogram>,
     /// `txn.manager.aborts_write_conflict` — first-updater-wins losers.
     pub write_conflicts: Arc<Counter>,
+    /// The registry's flight recorder, so engines open spans without a
+    /// registry round-trip. Inert until the host enables tracing.
+    pub tracer: Arc<FlightRecorder>,
 }
 
 impl EngineMetrics {
     /// Registers (or re-resolves) the full engine metric family in `obs`.
+    /// Uses the registry's bulk resolver: one lock acquisition for the
+    /// whole family instead of one per name.
     pub fn register(obs: &Registry) -> Self {
+        let tracer = Arc::clone(obs.tracer());
+        let mut h = obs.handles();
         EngineMetrics {
-            insert: obs.histogram("core.engine.insert"),
-            update: obs.histogram("core.engine.update"),
-            delete: obs.histogram("core.engine.delete"),
-            get: obs.histogram("core.engine.get"),
-            scan: obs.histogram("core.engine.scan"),
-            chain_depth: obs.histogram("core.engine.chain_depth"),
-            scan_page_visits: obs.counter("core.engine.scan_page_visits"),
-            scan_versions_fetched: obs.counter("core.engine.scan_versions_fetched"),
-            vidmap_lookups: obs.counter("core.vidmap.lookups"),
-            vidmap_resizes: obs.counter("core.vidmap.resizes"),
-            gc_runs: obs.counter("core.gc.runs"),
-            gc_pages_examined: obs.counter("core.gc.pages_examined"),
-            gc_pages_reclaimed: obs.counter("core.gc.pages_reclaimed"),
-            gc_versions_discarded: obs.counter("core.gc.versions_discarded"),
-            gc_versions_relocated: obs.counter("core.gc.versions_relocated"),
-            gc_items_cleared: obs.counter("core.gc.items_cleared"),
-            gc_pause: obs.histogram("core.gc.pause"),
-            write_conflicts: obs.counter("txn.manager.aborts_write_conflict"),
+            insert: h.histogram("core.engine.insert"),
+            update: h.histogram("core.engine.update"),
+            delete: h.histogram("core.engine.delete"),
+            get: h.histogram("core.engine.get"),
+            scan: h.histogram("core.engine.scan"),
+            chain_depth: h.histogram("core.engine.chain_depth"),
+            scan_page_visits: h.counter("core.engine.scan_page_visits"),
+            scan_versions_fetched: h.counter("core.engine.scan_versions_fetched"),
+            vidmap_lookups: h.counter("core.vidmap.lookups"),
+            vidmap_resizes: h.counter("core.vidmap.resizes"),
+            gc_runs: h.counter("core.gc.runs"),
+            gc_pages_examined: h.counter("core.gc.pages_examined"),
+            gc_pages_reclaimed: h.counter("core.gc.pages_reclaimed"),
+            gc_versions_discarded: h.counter("core.gc.versions_discarded"),
+            gc_versions_relocated: h.counter("core.gc.versions_relocated"),
+            gc_items_cleared: h.counter("core.gc.items_cleared"),
+            gc_pause: h.histogram("core.gc.pause"),
+            write_conflicts: h.counter("txn.manager.aborts_write_conflict"),
+            tracer,
         }
     }
 }

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sias_common::{SiasError, Xid};
 use sias_core::{FlushPolicy, SiasDb, TupleVersion};
+use sias_obs::{FlightRecorder, MetricsSnapshot, SpanName, TraceEvent};
 use sias_storage::{FaultConfig, FaultPlan, StorageConfig, Wal, WalRecord};
 use sias_txn::{MvccEngine, Txn};
 
@@ -113,6 +114,13 @@ pub struct ChaosRun {
     pub faults_injected: u64,
     /// Key-space size, for recovered-state probes.
     pub keys: u64,
+    /// The pre-crash engine's flight recorder (tracing is enabled for
+    /// the whole run). Still live after the simulated crash, so the
+    /// crash matrix can stamp anomaly instants into the same timeline.
+    pub tracer: Arc<FlightRecorder>,
+    /// Metrics snapshot of the pre-crash engine, taken after the crash
+    /// scan (excluded from fingerprints: latencies are wall-clock).
+    pub metrics: MetricsSnapshot,
 }
 
 /// splitmix64: the workload's only randomness source.
@@ -155,6 +163,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
         .with_pool_frames(48)
         .with_faults(FaultPlan { data: cfg.data_faults, wal: FaultConfig::none() });
     let db = SiasDb::open(storage);
+    // The flight recorder runs for the whole pre-crash lifetime: when a
+    // crash or an anomaly fires, the last window of spans is the dump.
+    // Recovery engines built later never enable tracing and stay free.
+    let tracer = Arc::clone(db.stack().obs.tracer());
+    tracer.set_enabled(true);
 
     // Commit-acknowledgement hook: the engine tells us the dense commit
     // sequence for every commit it acknowledges.
@@ -308,6 +321,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
             }
         }
         history.txns.push(rec);
+        tracer.instant(SpanName::ChaosCrash, xid.0, 0);
         std::mem::forget(txn); // the crash: no commit, no abort
         let _ = db.stack().wal.force();
     }
@@ -316,6 +330,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
     // post-crash process would.
     let (records, _) = Wal::scan_device(db.stack().wal.device().as_ref());
     let faults_injected = db.stack().obs.counter("storage.faults.io_faults_injected").get();
+    let metrics = db.stack().obs.snapshot();
 
     // Version order, from a clean recovery of the full log: the
     // engine's own opinion of each key's committed chain.
@@ -333,6 +348,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
         corrupt_reads,
         faults_injected,
         keys: cfg.keys,
+        tracer,
+        metrics,
     }
 }
 
@@ -391,8 +408,15 @@ pub struct CrashMatrixReport {
     pub violations: Vec<(u64, Violation)>,
     /// Order-sensitive digest of the log, the history outcomes and the
     /// violations: equal seeds and configs must produce equal
-    /// fingerprints, which the reproducibility test asserts.
+    /// fingerprints, which the reproducibility test asserts. Trace
+    /// events are excluded — wall-clock timings are not reproducible.
     pub fingerprint: u64,
+    /// Flight-recorder dump from the pre-crash engine: the retained
+    /// span window plus one `anomaly.flag` instant per violation
+    /// (`arg` = the crash point that exposed it).
+    pub trace_events: Vec<TraceEvent>,
+    /// Pre-crash engine metrics (also fingerprint-exempt).
+    pub metrics: MetricsSnapshot,
 }
 
 impl CrashMatrixReport {
@@ -442,6 +466,11 @@ pub fn crash_matrix(cfg: &ChaosConfig, crash_every: u64) -> CrashMatrixReport {
     }
 
     let fingerprint = fingerprint(cfg, &run, &violations);
+    for (point, _) in &violations {
+        run.tracer.instant(SpanName::AnomalyFlag, 0, *point);
+    }
+    let trace_events = run.tracer.capture();
+    let metrics = run.metrics.clone();
     CrashMatrixReport {
         seed: cfg.seed,
         total_records: total,
@@ -452,6 +481,8 @@ pub fn crash_matrix(cfg: &ChaosConfig, crash_every: u64) -> CrashMatrixReport {
         faults_injected: run.faults_injected,
         violations,
         fingerprint,
+        trace_events,
+        metrics,
     }
 }
 

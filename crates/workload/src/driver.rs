@@ -399,8 +399,11 @@ mod tests {
             seed: 2,
         };
         let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
-        // 1 core, ~9 ms mean cost → ≤ ~7k txn/min; new-order ≈ 45 %.
-        assert!(res.notpm < 4_000.0, "CPU model must cap throughput: {res:?}");
+        // 1 core, ~7.2 ms mean mix cost → ≤ ~8.3k txn/min; new-order
+        // ≈ 45 % of that ≈ 3.7k NOTPM. The ceiling leaves headroom for
+        // mix-sampling noise: the drawn mix at a fixed seed shifts with
+        // the RNG stream, and ~1.4k draws can skew a few percent cheap.
+        assert!(res.notpm < 4_800.0, "CPU model must cap throughput: {res:?}");
         assert!(res.notpm > 100.0, "but it should still do real work: {res:?}");
     }
 }

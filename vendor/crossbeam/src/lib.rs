@@ -1,0 +1,6 @@
+//! Offline stand-in for `crossbeam`. The workspace declares the
+//! dependency but no crate imports it; this empty shim satisfies
+//! resolution without crates.io access. `std::thread::scope` covers the
+//! scoped-thread use cases in-tree.
+
+#![forbid(unsafe_code)]
