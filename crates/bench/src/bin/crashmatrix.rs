@@ -11,8 +11,8 @@
 //! ```text
 //! cargo run --release -p sias-bench --bin crashmatrix -- \
 //!     [--seeds 8] [--crash-every 16] [--txns 48] [--keys 12] \
-//!     [--terminals 4] [--hostile] [--plant-bug] \
-//!     [--scrub] [--rot-pages 3]
+//!     [--terminals 4] [--hostile] [--plant-bug] [--ssi] \
+//!     [--scrub] [--rot-pages 3] [--skew] [--pairs 4]
 //! ```
 //!
 //! Exits non-zero if any violation is found — except under
@@ -33,10 +33,20 @@
 //! with the scrubber. Exits non-zero unless every corrupt page was
 //! repaired (`pages_corrupt == pages_repaired`) and the post-repair
 //! history passes the SI-anomaly checker with zero violations.
+//!
+//! `--ssi` runs the chaos workload under serializable snapshot
+//! isolation; the matrix then additionally gates the history on the
+//! serialization-graph checker (no G2 cycle may survive SSI).
+//!
+//! `--skew` swaps the crash sweep for the planted write-skew gate: per
+//! seed, `--pairs` textbook write skews run under plain SI *and* under
+//! SSI. Exits non-zero unless SI exhibits exactly one G2 cycle per pair
+//! (proving the checker sees them) and SSI aborts one pivot per pair
+//! leaving zero G2 (proving the machinery kills them).
 
 use sias_obs::export;
 use sias_storage::FaultConfig;
-use sias_workload::chaos::{crash_matrix, scrub_scenario, ChaosConfig};
+use sias_workload::chaos::{crash_matrix, scrub_scenario, write_skew_scenario, ChaosConfig};
 
 use sias_bench::{arg_value, write_results, ObsArgs};
 
@@ -74,10 +84,57 @@ fn run_scrub_sweep(seeds: u64, rot_pages: usize, txns: usize, keys: u64) {
     println!("\nevery rotted page was detected, repaired and reclaimed; histories stayed clean");
 }
 
+/// The `--skew` gate: planted write skew under SI and under SSI.
+fn run_skew_gate(seeds: u64, pairs: u64) {
+    println!("Write-skew gate: {seeds} seeds, {pairs} constraint pairs per run\n");
+    let mut failures = 0usize;
+    for seed in 1..=seeds {
+        let si = write_skew_scenario(&ChaosConfig::with_seed(seed), pairs);
+        println!("si : {}", si.summary());
+        if si.g2_violations.len() != pairs as usize {
+            println!(
+                "    FAIL: plain SI must exhibit one G2 cycle per pair, found {}",
+                si.g2_violations.len()
+            );
+            failures += 1;
+        }
+        let cfg = ChaosConfig { serializable: true, ..ChaosConfig::with_seed(seed) };
+        let ssi = write_skew_scenario(&cfg, pairs);
+        println!("ssi: {}", ssi.summary());
+        if !ssi.g2_violations.is_empty() {
+            println!("    FAIL: G2 cycle survived SSI: {:?}", ssi.g2_violations);
+            failures += 1;
+        }
+        if ssi.aborted_txns != pairs || ssi.serialization_aborts != pairs {
+            println!(
+                "    FAIL: SSI must abort exactly one pivot per pair, aborted {} (ssi {})",
+                ssi.aborted_txns, ssi.serialization_aborts
+            );
+            failures += 1;
+        }
+        for report in [&si, &ssi] {
+            if !report.si_violations.is_empty() {
+                println!("    FAIL: SI anomalies in skew run: {:?}", report.si_violations);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        println!("\nFAIL: {failures} write-skew gate failures");
+        std::process::exit(1);
+    }
+    println!("\nSI saw every planted skew as G2; SSI aborted one pivot per pair, zero G2");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs_args = ObsArgs::parse(&args);
     let seeds: u64 = arg_value(&args, "--seeds").and_then(|v| v.parse().ok()).unwrap_or(8);
+    if args.iter().any(|a| a == "--skew") {
+        let pairs: u64 = arg_value(&args, "--pairs").and_then(|v| v.parse().ok()).unwrap_or(4);
+        run_skew_gate(seeds, pairs);
+        return;
+    }
     if args.iter().any(|a| a == "--scrub") {
         let rot_pages: usize =
             arg_value(&args, "--rot-pages").and_then(|v| v.parse().ok()).unwrap_or(3);
@@ -98,12 +155,14 @@ fn main() {
     let terminals: usize =
         arg_value(&args, "--terminals").and_then(|v| v.parse().ok()).unwrap_or(4);
     let plant_bug = args.iter().any(|a| a == "--plant-bug");
+    let ssi = args.iter().any(|a| a == "--ssi");
 
     println!(
         "Crash matrix: {seeds} seeds, crash every {crash_every} records, {txns} txns \
-         x {terminals} terminals over {keys} keys{}{}\n",
+         x {terminals} terminals over {keys} keys{}{}{}\n",
         if hostile { ", hostile data device" } else { "" },
         if plant_bug { ", planted ack-before-force bug" } else { "" },
+        if ssi { ", serializable (SSI)" } else { "" },
     );
 
     let mut total_violations = 0usize;
@@ -131,6 +190,7 @@ fn main() {
                 FaultConfig::none()
             },
             plant_durability_bug: plant_bug,
+            serializable: ssi,
             ..ChaosConfig::default()
         };
         let report = crash_matrix(&cfg, crash_every);

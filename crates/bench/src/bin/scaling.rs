@@ -27,7 +27,9 @@
 //! the per-thread transaction count for CI smoke runs. `--trace-out` /
 //! `--series-out` dump the tracing-on run's flight-recorder window and
 //! sampled time series; `--slow-us N` additionally dumps spans that ran
-//! for at least N µs at `<trace_out>.slow.jsonl`.
+//! for at least N µs at `<trace_out>.slow.jsonl`. `--ssi` runs every
+//! cell under serializable snapshot isolation over zipfian constraint
+//! pairs, so the sweep also reports the pivot-abort cost of SSI.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,6 +56,7 @@ struct Cell {
     committed: u64,
     aborted: u64,
     conflicts: u64,
+    serialization_aborts: u64,
     wall_secs: f64,
     commits_per_sec: f64,
     wal_forces: u64,
@@ -79,11 +82,13 @@ fn storage() -> StorageConfig {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     kind: EngineKind,
     threads: usize,
     txns_per_thread: usize,
     seed: u64,
+    ssi: bool,
     trace: bool,
     sample: bool,
     slow_ns: Option<u64>,
@@ -96,6 +101,8 @@ fn run(
         update_pct: 60,
         abort_ppm: 0,
         seed,
+        serializable: ssi,
+        constraint_pairs: ssi,
     };
     // Both engine arms are identical modulo the concrete Db type; the
     // closure keeps the tracing/sampling bracket in one place.
@@ -147,6 +154,7 @@ fn run(
         committed: run.committed,
         aborted: run.aborted,
         conflicts: run.conflicts,
+        serialization_aborts: run.serialization_aborts,
         wall_secs: run.wall.as_secs_f64(),
         commits_per_sec: run.commits_per_sec(),
         wal_forces: snap.counter("storage.wal.forces").unwrap_or(0),
@@ -168,6 +176,7 @@ fn main() {
         .unwrap_or(if quick { 100 } else { 400 });
     let engine_sel = arg_value(&args, "--engine").unwrap_or_else(|| "both".to_string());
     let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let ssi = args.iter().any(|a| a == "--ssi");
 
     let mut sweep: Vec<usize> = Vec::new();
     let mut t = 1;
@@ -189,14 +198,16 @@ fn main() {
 
     println!(
         "scaling: threads {sweep:?}, {txns_per_thread} txns/thread, \
-         force latency {FORCE_SLEEP_US} us"
+         force latency {FORCE_SLEEP_US} us{}",
+        if ssi { ", serializable (SSI) over constraint pairs" } else { "" }
     );
     println!(
-        "{:<8} {:>7} {:>9} {:>8} {:>9} {:>11} {:>7} {:>9} {:>9}",
+        "{:<8} {:>7} {:>9} {:>8} {:>9} {:>9} {:>11} {:>7} {:>9} {:>9}",
         "engine",
         "threads",
         "commits",
         "aborted",
+        "ssi-abrt",
         "wall(s)",
         "commits/s",
         "forces",
@@ -208,13 +219,15 @@ fn main() {
     let mut snaps: Vec<(String, sias_obs::MetricsSnapshot)> = Vec::new();
     for &kind in &kinds {
         for &threads in &sweep {
-            let (cell, snap, _) = run(kind, threads, txns_per_thread, seed, false, false, None);
+            let (cell, snap, _) =
+                run(kind, threads, txns_per_thread, seed, ssi, false, false, None);
             println!(
-                "{:<8} {:>7} {:>9} {:>8} {:>9.3} {:>11.0} {:>7} {:>9} {:>9}",
+                "{:<8} {:>7} {:>9} {:>8} {:>9} {:>9.3} {:>11.0} {:>7} {:>9} {:>9}",
                 cell.engine,
                 cell.threads,
                 cell.committed,
                 cell.aborted,
+                cell.serialization_aborts,
                 cell.wall_secs,
                 cell.commits_per_sec,
                 cell.wal_forces,
@@ -253,6 +266,7 @@ fn main() {
         overhead_threads,
         txns_per_thread,
         seed,
+        ssi,
         true,
         obs_args.series_requested(),
         obs_args.slow_us.map(|us| us.saturating_mul(1_000)),
@@ -317,13 +331,14 @@ fn main() {
         "  \"config\": {{\"txns_per_thread\": {txns_per_thread}, \"keys\": 256, \
          \"ops_per_txn\": 4, \"update_pct\": 60, \"seed\": {seed}, \
          \"force_sleep_us\": {FORCE_SLEEP_US}, \"group_timeout_ticks\": 64, \
-         \"max_batch\": 64, \"quick\": {quick}}},\n"
+         \"max_batch\": 64, \"quick\": {quick}, \"serializable\": {ssi}}},\n"
     ));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"engine\": \"{}\", \"threads\": {}, \"committed\": {}, \
-             \"aborted\": {}, \"conflicts\": {}, \"wall_secs\": {:.6}, \
+             \"aborted\": {}, \"conflicts\": {}, \"serialization_aborts\": {}, \
+             \"wall_secs\": {:.6}, \
              \"commits_per_sec\": {:.1}, \"wal_forces\": {}, \
              \"wal_group_size_p50\": {}, \"wal_group_size_max\": {}, \
              \"pool_shards\": {}}}{}\n",
@@ -332,6 +347,7 @@ fn main() {
             c.committed,
             c.aborted,
             c.conflicts,
+            c.serialization_aborts,
             c.wall_secs,
             c.commits_per_sec,
             c.wal_forces,

@@ -71,6 +71,37 @@ pub fn visible_version_depth(
     }
 }
 
+/// Walks the chain from `entry` and returns the creators of the
+/// versions the snapshot *skipped* before reaching its visible one
+/// (newest first, deduplicated, aborted creators excluded). Under SSI
+/// every skipped committed-or-in-progress creator is a
+/// rw-antidependency the reader owes an edge to — missing one admits
+/// non-serializable histories. Plain-SI paths never call this; the
+/// extra walk is paid only when serializable mode is on.
+pub fn skipped_newer_writers(
+    pool: &BufferPool,
+    rel: RelId,
+    entry: Tid,
+    snapshot: &Snapshot,
+    clog: &Clog,
+) -> SiasResult<Vec<Xid>> {
+    let mut out = Vec::new();
+    let mut tid = entry;
+    loop {
+        let v = fetch_version(pool, rel, tid)?;
+        if snapshot.sees(v.create, clog) {
+            return Ok(out);
+        }
+        if clog.status(v.create) != TxnStatus::Aborted && !out.contains(&v.create) {
+            out.push(v.create);
+        }
+        match v.pred {
+            Some(pred) => tid = pred,
+            None => return Ok(out),
+        }
+    }
+}
+
 /// Traversal-cost accounting for one [`visible_versions_batch`] call.
 ///
 /// `page_visits ≤ versions_fetched` always holds: every visited page

@@ -27,7 +27,9 @@ use sias_storage::{StorageConfig, StorageStack, WalRecord};
 use sias_txn::{EngineMetrics, MvccEngine, TransactionManager, Txn};
 
 use crate::append::{AppendRegion, FlushPolicy};
-use crate::chain::{fetch_version, visible_version_depth, visible_versions_batch};
+use crate::chain::{
+    fetch_version, skipped_newer_writers, visible_version_depth, visible_versions_batch,
+};
 use crate::scanpool::ScanPool;
 use crate::version::TupleVersion;
 use crate::vidmap::VidMap;
@@ -115,18 +117,43 @@ impl SiasDb {
         self.rels.read().values().cloned().collect()
     }
 
-    /// SSI read hook (no-op unless serializable mode is on).
+    /// SSI read hook (no-op unless serializable mode is on): takes the
+    /// SIREAD mark and reports every *newer* version creator the
+    /// snapshot skipped on this key — those are read-time
+    /// rw-antidependencies (reader → writer) that the write-path hook
+    /// alone cannot see when the write happened before the read.
     fn ssi_read(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
-        if self.txm.ssi.is_enabled()
-            && self.txm.ssi.on_read(txn.xid, rel, key, None) == sias_txn::SsiVerdict::MustAbort
-        {
+        if !self.txm.ssi.is_enabled() {
+            return Ok(());
+        }
+        let r = self.relation_handle(rel)?;
+        let mut newer: Vec<Xid> = Vec::new();
+        for vid in r.index.lookup(key)? {
+            if let Some(entry) = r.vidmap.get(Vid(vid)) {
+                let skipped = skipped_newer_writers(
+                    &self.stack.pool,
+                    rel,
+                    entry,
+                    &txn.snapshot,
+                    &self.txm.clog,
+                )?;
+                for w in skipped {
+                    if w != txn.xid && !newer.contains(&w) {
+                        newer.push(w);
+                    }
+                }
+            }
+        }
+        if self.txm.ssi.on_read(txn.xid, rel, key, &newer) == sias_txn::SsiVerdict::MustAbort {
+            self.txm.record_serialization_abort();
             return Err(SiasError::SerializationFailure(txn.xid));
         }
         Ok(())
     }
 
     /// SSI write hook: flags rw-antidependencies from concurrent readers
-    /// of `key`; aborts the writer when it becomes a pivot.
+    /// of `key`; aborts the writer when it becomes a pivot (or when the
+    /// edge would turn an already-committed reader into one).
     fn ssi_write(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
         if self.txm.ssi.is_enabled() {
             let txm = &self.txm;
@@ -134,6 +161,7 @@ impl SiasDb {
                 txm.is_active(r) || txn.snapshot.is_concurrent(r) || r > txn.xid
             });
             if verdict == sias_txn::SsiVerdict::MustAbort {
+                self.txm.record_serialization_abort();
                 return Err(SiasError::SerializationFailure(txn.xid));
             }
         }
@@ -722,6 +750,23 @@ impl MvccEngine for SiasDb {
 
     fn commit(&self, txn: Txn) -> SiasResult<()> {
         let _span = self.metrics.tracer.span(SpanName::TxnCommit).txn(txn.xid.0);
+        // Serializable pre-check BEFORE the Commit record is appended: a
+        // pivot must abort without a committable record ever reaching
+        // the log — recovery replays Commit records and would otherwise
+        // resurrect a transaction the client saw abort. On the Ok path
+        // `can_commit` freezes the verdict (marks the txn committed in
+        // the flag table), so an edge arriving between here and the clog
+        // commit aborts its *creator* instead of invalidating this
+        // decision.
+        if self.txm.ssi.is_enabled()
+            && self.txm.ssi.can_commit(txn.xid) == sias_txn::SsiVerdict::MustAbort
+        {
+            let xid = txn.xid;
+            self.txm.record_serialization_abort();
+            self.stack.wal.append(&WalRecord::Abort(xid));
+            self.txm.abort(txn);
+            return Err(SiasError::SerializationFailure(xid));
+        }
         let lsn = self.stack.wal.append(&WalRecord::Commit(txn.xid));
         // The commit is acknowledged only once the log is durable through
         // its own Commit record — `force_through` lets a concurrent
@@ -792,6 +837,14 @@ impl MvccEngine for SiasDb {
             // checkpoint leaves the previous redo point in force.
             let _ = self.checkpoint();
         }
+    }
+
+    fn set_serializable(&self) {
+        self.txm.set_serializable();
+    }
+
+    fn serialization_aborts(&self) -> u64 {
+        self.txm.serialization_aborts()
     }
 
     fn obs_registry(&self) -> Option<&Arc<Registry>> {

@@ -181,18 +181,49 @@ impl SiDb {
         Ok(None)
     }
 
-    /// SSI read hook (no-op unless serializable mode is on).
+    /// SSI read hook (no-op unless serializable mode is on): takes the
+    /// SIREAD mark and reports the creators of *newer* versions the
+    /// snapshot could not see on this key — skipped `xmin`s and a
+    /// visible tuple's concurrent invalidator `xmax`. Each is a
+    /// read-time rw-antidependency the write-path hook cannot observe
+    /// when the write happened before this read.
     fn ssi_read(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
-        if self.txm.ssi.is_enabled()
-            && self.txm.ssi.on_read(txn.xid, rel, key, None) == sias_txn::SsiVerdict::MustAbort
-        {
+        if !self.txm.ssi.is_enabled() {
+            return Ok(());
+        }
+        let r = self.relation_handle(rel)?;
+        let mut newer: Vec<Xid> = Vec::new();
+        let mut push = |w: Xid| {
+            if w != txn.xid && self.txm.clog.status(w) != TxnStatus::Aborted && !newer.contains(&w)
+            {
+                newer.push(w);
+            }
+        };
+        for packed in r.index.lookup(key)? {
+            let Some(tid) = Tid::unpack(packed) else { continue };
+            let t = self.fetch_tuple(rel, tid)?;
+            if t.key != key {
+                continue;
+            }
+            if !txn.snapshot.sees(t.xmin, &self.txm.clog) {
+                // A version created past the snapshot: skipped on read.
+                push(t.xmin);
+            } else if t.xmax.is_valid() && !txn.snapshot.sees(t.xmax, &self.txm.clog) {
+                // The version this snapshot reads was already
+                // invalidated by a concurrent/future writer.
+                push(t.xmax);
+            }
+        }
+        if self.txm.ssi.on_read(txn.xid, rel, key, &newer) == sias_txn::SsiVerdict::MustAbort {
+            self.txm.record_serialization_abort();
             return Err(SiasError::SerializationFailure(txn.xid));
         }
         Ok(())
     }
 
     /// SSI write hook: flags rw-antidependencies from concurrent readers
-    /// of `key`; aborts the writer when it becomes a pivot.
+    /// of `key`; aborts the writer when it becomes a pivot (or when the
+    /// edge would turn an already-committed reader into one).
     fn ssi_write(&self, txn: &Txn, rel: RelId, key: u64) -> SiasResult<()> {
         if self.txm.ssi.is_enabled() {
             let txm = &self.txm;
@@ -200,6 +231,7 @@ impl SiDb {
                 txm.is_active(r) || txn.snapshot.is_concurrent(r) || r > txn.xid
             });
             if verdict == sias_txn::SsiVerdict::MustAbort {
+                self.txm.record_serialization_abort();
                 return Err(SiasError::SerializationFailure(txn.xid));
             }
         }
@@ -386,6 +418,18 @@ impl MvccEngine for SiDb {
 
     fn commit(&self, txn: Txn) -> SiasResult<()> {
         let _span = self.metrics.tracer.span(SpanName::TxnCommit).txn(txn.xid.0);
+        // Serializable pre-check before the Commit record is appended —
+        // same reasoning as the SIAS engine: a pivot's Commit record
+        // must never become durable, or recovery resurrects it.
+        if self.txm.ssi.is_enabled()
+            && self.txm.ssi.can_commit(txn.xid) == sias_txn::SsiVerdict::MustAbort
+        {
+            let xid = txn.xid;
+            self.txm.record_serialization_abort();
+            self.stack.wal.append(&WalRecord::Abort(xid));
+            self.txm.abort(txn);
+            return Err(SiasError::SerializationFailure(xid));
+        }
         let lsn = self.stack.wal.append(&WalRecord::Commit(txn.xid));
         // Same acknowledgement contract as the SIAS engine: a failed
         // force aborts locally and the client must treat the outcome as
@@ -448,6 +492,14 @@ impl MvccEngine for SiDb {
                 self.stack.wal.truncate_before(redo_lsn);
             }
         }
+    }
+
+    fn set_serializable(&self) {
+        self.txm.set_serializable();
+    }
+
+    fn serialization_aborts(&self) -> u64 {
+        self.txm.serialization_aborts()
     }
 
     fn obs_registry(&self) -> Option<&Arc<Registry>> {

@@ -73,6 +73,17 @@ pub trait MvccEngine: Send + Sync {
     /// requests a full checkpoint (the t2 boundary).
     fn maintenance(&self, checkpoint: bool);
 
+    /// Upgrades the engine to serializable snapshot isolation (Cahill
+    /// SSI) for all transactions begun from now on. Engines without an
+    /// SSI implementation ignore the request and stay plain SI.
+    fn set_serializable(&self) {}
+
+    /// Total serialization-failure aborts so far (0 for engines without
+    /// SSI). Workload reports use this for abort-reason breakdowns.
+    fn serialization_aborts(&self) -> u64 {
+        0
+    }
+
     /// The engine's metrics registry, when it has one. Both engines in
     /// this workspace report into their storage stack's registry under
     /// identical metric names, so snapshots diff cleanly across engines.

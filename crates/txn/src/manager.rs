@@ -163,6 +163,20 @@ impl TransactionManager {
         Ok(())
     }
 
+    /// Counts a serialization-failure abort decided outside [`commit`] —
+    /// engines call this when a read- or write-time SSI verdict forces
+    /// the abort (commit-time pivots are counted by `commit` itself).
+    ///
+    /// [`commit`]: TransactionManager::commit
+    pub fn record_serialization_abort(&self) {
+        self.aborts_serialization.inc();
+    }
+
+    /// Total serialization-failure aborts recorded so far.
+    pub fn serialization_aborts(&self) -> u64 {
+        self.aborts_serialization.get()
+    }
+
     /// Installs the commit-acknowledgement hook (replacing any previous
     /// one); see [`CommitHook`].
     pub fn set_commit_hook(&self, hook: impl Fn(Xid, u64) + Send + Sync + 'static) {
@@ -267,6 +281,81 @@ mod tests {
         m.abort(b);
         m.abort(c_before);
         m.abort(c_after);
+    }
+
+    #[test]
+    fn commit_time_gc_keeps_siread_marks_while_overlap_lives() {
+        use sias_common::RelId;
+        // A committed reader's SIREAD marks must survive the
+        // commit-time GC as long as some active transaction overlaps it
+        // (the mark can still grow a rw edge); once the last overlapping
+        // transaction ends, the next commit's GC reclaims them.
+        let m = TransactionManager::new();
+        m.set_serializable();
+        let r = m.begin();
+        let rx = r.xid;
+        m.ssi.on_read(rx, RelId(1), 0, &[]);
+        let w = m.begin(); // overlaps r: w's xmin pins the horizon at r
+        m.commit(r).unwrap();
+        assert_eq!(
+            m.ssi.mark_owners(RelId(1), 0),
+            vec![rx],
+            "mark survives: w is still concurrent with the committed reader"
+        );
+        // w's own commit drains the active set; the horizon jumps to
+        // next_xid and the stale mark goes with it.
+        m.commit(w).unwrap();
+        assert!(
+            m.ssi.mark_owners(RelId(1), 0).is_empty(),
+            "no overlap left: the commit-time GC reclaims the mark"
+        );
+    }
+
+    #[test]
+    fn commit_time_gc_horizon_is_the_oldest_active_xmin() {
+        use sias_common::RelId;
+        // A young transaction's xid alone must not decide GC: the
+        // horizon is the minimum *xmin*, so a young txn that began
+        // while an old one was active keeps even older marks alive.
+        let m = TransactionManager::new();
+        m.set_serializable();
+        let old = m.begin(); // Xid(1), stays active
+        let r = m.begin(); // Xid(2)
+        let rx = r.xid;
+        m.ssi.on_read(rx, RelId(1), 7, &[]);
+        m.commit(r).unwrap();
+        let young = m.begin(); // began while `old` active: xmin = old
+        m.commit(old).unwrap();
+        // Only `young` is active now, but its xmin pins the horizon
+        // below rx — the mark must survive this commit's GC.
+        assert_eq!(m.ssi.mark_owners(RelId(1), 7), vec![rx], "young's xmin pins the horizon");
+        m.commit(young).unwrap();
+        assert!(m.ssi.mark_owners(RelId(1), 7).is_empty());
+    }
+
+    #[test]
+    fn commit_time_pivot_abort_is_counted() {
+        let m = TransactionManager::new();
+        m.set_serializable();
+        let t = m.begin();
+        let x = t.xid;
+        // A pivot forms *passively*: the txn's own hook calls would
+        // catch a second flag immediately, but edges created by other
+        // transactions' reads and writes land silently — the commit-time
+        // check is the net under that case.
+        m.ssi.on_read(x, sias_common::RelId(1), 0, &[]); // T marks key 0
+                                                         // A concurrent reader skips one of T's versions → T.in.
+        m.ssi.on_read(Xid(900), sias_common::RelId(1), 1, &[x]);
+        // A concurrent writer overwrites T's SIREAD mark → T.out.
+        m.ssi.on_write(Xid(901), sias_common::RelId(1), 0, |_| true);
+        let err = m.commit(t).unwrap_err();
+        assert!(matches!(err, SiasError::SerializationFailure(f) if f == x));
+        assert_eq!(m.serialization_aborts(), 1);
+        assert_eq!(m.clog.status(x), TxnStatus::Aborted);
+        // Engine-side read/write-time aborts report through the same
+        // counter.
+        m.record_serialization_abort();
+        assert_eq!(m.serialization_aborts(), 2);
     }
 
     #[test]

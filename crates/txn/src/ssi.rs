@@ -72,36 +72,76 @@ impl SsiState {
         self.enabled.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Registers a read of `key`. `newer_writer` is the creator of a
-    /// *newer* version the reader skipped (when its snapshot returned an
-    /// older one) — that is a rw-antidependency reader → writer observed
-    /// at read time.
-    pub fn on_read(
-        &self,
-        reader: Xid,
-        rel: RelId,
-        key: u64,
-        newer_writer: Option<Xid>,
-    ) -> SsiVerdict {
+    /// Registers a read of `key`. `newer_writers` are the creators of
+    /// *newer* versions the reader skipped (its snapshot returned an
+    /// older one) — each is a rw-antidependency reader → writer observed
+    /// at read time. Every skipped committed version matters: dropping
+    /// one loses the edge and admits non-serializable histories.
+    ///
+    /// The reader must abort when the edges make it a pivot, or when they
+    /// would make an already-*committed* writer a pivot (a committed
+    /// transaction can no longer be the victim). A rejected read rolls
+    /// its newly created edges back so the surviving side is not doomed
+    /// by a read that never happened.
+    pub fn on_read(&self, reader: Xid, rel: RelId, key: u64, newer_writers: &[Xid]) -> SsiVerdict {
         if !self.is_enabled() {
             return SsiVerdict::Ok;
         }
         let mut inner = self.inner.lock();
         let marks = inner.sireads.entry((rel, key)).or_default();
-        if !marks.contains(&reader) {
+        let mark_added = if marks.contains(&reader) {
+            false
+        } else {
             marks.push(reader);
-        }
-        if let Some(w) = newer_writer {
-            if w != reader {
-                inner.flags.entry(w).or_default().in_conflict = true;
-                let f = inner.flags.entry(reader).or_default();
-                f.out_conflict = true;
-                if f.in_conflict {
-                    return SsiVerdict::MustAbort;
-                }
+            true
+        };
+        let mut reader_must_abort = false;
+        let mut newly_set: Vec<(Xid, bool)> = Vec::new(); // (xid, was_out_edge)
+        for &w in newer_writers {
+            if w == reader {
+                continue;
+            }
+            let wf = inner.flags.entry(w).or_default();
+            if !wf.in_conflict {
+                wf.in_conflict = true;
+                newly_set.push((w, false));
+            }
+            if wf.committed && wf.out_conflict {
+                // The skipped writer is a committed pivot: it cannot
+                // abort, so the reader at hand must.
+                reader_must_abort = true;
+            }
+            let rf = inner.flags.entry(reader).or_default();
+            if !rf.out_conflict {
+                rf.out_conflict = true;
+                newly_set.push((reader, true));
+            }
+            if rf.in_conflict {
+                reader_must_abort = true;
             }
         }
-        SsiVerdict::Ok
+        if reader_must_abort {
+            for (xid, was_out) in newly_set {
+                if let Some(f) = inner.flags.get_mut(&xid) {
+                    if was_out {
+                        f.out_conflict = false;
+                    } else {
+                        f.in_conflict = false;
+                    }
+                }
+            }
+            if mark_added {
+                if let Some(marks) = inner.sireads.get_mut(&(rel, key)) {
+                    marks.retain(|&r| r != reader);
+                    if marks.is_empty() {
+                        inner.sireads.remove(&(rel, key));
+                    }
+                }
+            }
+            SsiVerdict::MustAbort
+        } else {
+            SsiVerdict::Ok
+        }
     }
 
     /// Registers a write of `key` by `writer`; flags rw-antidependencies
@@ -134,6 +174,12 @@ impl SsiState {
             if !rf.out_conflict {
                 rf.out_conflict = true;
                 newly_set.push((r, true));
+            }
+            if rf.committed && rf.in_conflict {
+                // Flagging this edge makes an already-committed reader a
+                // pivot; the committed side cannot be the victim, so the
+                // writer at hand aborts instead.
+                writer_must_abort = true;
             }
             let wf = inner.flags.entry(writer).or_default();
             if !wf.in_conflict {
@@ -206,6 +252,44 @@ impl SsiState {
     pub fn siread_keys(&self) -> usize {
         self.inner.lock().sireads.len()
     }
+
+    /// The xids currently holding a SIREAD mark on `key` (sorted;
+    /// diagnostics and test introspection).
+    pub fn mark_owners(&self, rel: RelId, key: u64) -> Vec<Xid> {
+        let inner = self.inner.lock();
+        let mut owners = inner.sireads.get(&(rel, key)).cloned().unwrap_or_default();
+        owners.sort();
+        owners
+    }
+
+    /// Conflict-flag snapshot as `(xid, in, out, committed)` rows, sorted
+    /// by xid. Used by the model checker to fingerprint states and by GC
+    /// tests to observe exactly when flags are reclaimed.
+    pub fn flag_rows(&self) -> Vec<(Xid, bool, bool, bool)> {
+        let inner = self.inner.lock();
+        let mut rows: Vec<(Xid, bool, bool, bool)> = inner
+            .flags
+            .iter()
+            .map(|(&x, f)| (x, f.in_conflict, f.out_conflict, f.committed))
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+impl Clone for SsiState {
+    /// Deep-copies the flag table and SIREAD marks (the model checker
+    /// forks world states without replay).
+    fn clone(&self) -> Self {
+        let inner = self.inner.lock();
+        SsiState {
+            enabled: std::sync::atomic::AtomicBool::new(self.is_enabled()),
+            inner: Mutex::new(SsiInner {
+                flags: inner.flags.clone(),
+                sireads: inner.sireads.clone(),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +307,7 @@ mod tests {
     #[test]
     fn disabled_state_is_inert() {
         let s = SsiState::default();
-        assert_eq!(s.on_read(Xid(1), R, 5, Some(Xid(2))), SsiVerdict::Ok);
+        assert_eq!(s.on_read(Xid(1), R, 5, &[Xid(2)]), SsiVerdict::Ok);
         assert_eq!(s.on_write(Xid(2), R, 5, |_| true), SsiVerdict::Ok);
         assert_eq!(s.can_commit(Xid(1)), SsiVerdict::Ok);
         assert_eq!(s.siread_keys(), 0);
@@ -234,9 +318,9 @@ mod tests {
         // T1 reads x, T2 reads y; T1 writes y, T2 writes x.
         let s = enabled();
         let (t1, t2) = (Xid(1), Xid(2));
-        assert_eq!(s.on_read(t1, R, 0, None), SsiVerdict::Ok); // T1 reads x
-        assert_eq!(s.on_read(t2, R, 1, None), SsiVerdict::Ok); // T2 reads y
-                                                               // T1 writes y: edge T2 → T1.
+        assert_eq!(s.on_read(t1, R, 0, &[]), SsiVerdict::Ok); // T1 reads x
+        assert_eq!(s.on_read(t2, R, 1, &[]), SsiVerdict::Ok); // T2 reads y
+                                                              // T1 writes y: edge T2 → T1.
         assert_eq!(s.on_write(t1, R, 1, |_| true), SsiVerdict::Ok);
         // T2 writes x: edge T1 → T2 would close the cycle; T2 (in from
         // its own overwrite, out from T1's) is the pivot and aborts at
@@ -250,7 +334,7 @@ mod tests {
     fn plain_rw_conflict_alone_commits() {
         // A single antidependency is harmless: T1 reads x, T2 writes x.
         let s = enabled();
-        s.on_read(Xid(1), R, 0, None);
+        s.on_read(Xid(1), R, 0, &[]);
         assert_eq!(s.on_write(Xid(2), R, 0, |_| true), SsiVerdict::Ok);
         assert_eq!(s.can_commit(Xid(1)), SsiVerdict::Ok);
         assert_eq!(s.can_commit(Xid(2)), SsiVerdict::Ok);
@@ -260,10 +344,10 @@ mod tests {
     fn read_of_stale_version_flags_out_edge() {
         let s = enabled();
         // T3 reads key 9 but a newer version by concurrent T4 exists.
-        s.on_read(Xid(3), R, 9, Some(Xid(4)));
+        s.on_read(Xid(3), R, 9, &[Xid(4)]);
         // T3 also gets an in-edge: now a pivot at commit time.
         s.on_write(Xid(3), R, 7, |_| false); // no readers → no edge
-        s.on_read(Xid(5), R, 7, None);
+        s.on_read(Xid(5), R, 7, &[]);
         // Writing over T5's SIREAD gives T3 an IN edge (T5 → T3); with
         // the OUT edge from the stale read T3 is a pivot — detected
         // immediately at the write. The caller must abort T3 now (the
@@ -274,7 +358,7 @@ mod tests {
     #[test]
     fn own_reads_and_writes_do_not_self_conflict() {
         let s = enabled();
-        s.on_read(Xid(1), R, 0, None);
+        s.on_read(Xid(1), R, 0, &[]);
         assert_eq!(s.on_write(Xid(1), R, 0, |_| true), SsiVerdict::Ok);
         assert_eq!(s.can_commit(Xid(1)), SsiVerdict::Ok);
     }
@@ -282,8 +366,8 @@ mod tests {
     #[test]
     fn forget_clears_aborted_state() {
         let s = enabled();
-        s.on_read(Xid(1), R, 0, None);
-        s.on_read(Xid(1), R, 1, None);
+        s.on_read(Xid(1), R, 0, &[]);
+        s.on_read(Xid(1), R, 1, &[]);
         assert_eq!(s.siread_keys(), 2);
         s.forget(Xid(1));
         assert_eq!(s.siread_keys(), 0);
@@ -295,10 +379,91 @@ mod tests {
     #[test]
     fn collect_below_reclaims_old_marks() {
         let s = enabled();
-        s.on_read(Xid(1), R, 0, None);
+        s.on_read(Xid(1), R, 0, &[]);
         s.can_commit(Xid(1));
-        s.on_read(Xid(10), R, 1, None);
+        s.on_read(Xid(10), R, 1, &[]);
         s.collect_below(Xid(5));
         assert_eq!(s.siread_keys(), 1, "only the young mark survives");
+    }
+
+    #[test]
+    fn skipped_committed_writer_records_read_time_edge() {
+        // The missed-edge hole: T1 reads x *after* concurrent T2 already
+        // committed a newer version of x. The snapshot returns the old
+        // version; the skipped creator must still produce T1 → T2.
+        // History: T2 reads y, writes x, commits; T1 reads x (skipping
+        // T2's version), writes y. Both edges exist → T1 is the pivot.
+        let s = enabled();
+        let (t1, t2) = (Xid(1), Xid(2));
+        s.on_read(t2, R, 1, &[]); // T2 reads y
+        assert_eq!(s.on_write(t2, R, 0, |_| true), SsiVerdict::Ok); // T2 writes x
+        assert_eq!(s.can_commit(t2), SsiVerdict::Ok);
+        // T1 reads x: snapshot skips T2's committed version → edge T1→T2.
+        assert_eq!(s.on_read(t1, R, 0, &[t2]), SsiVerdict::Ok);
+        // T1 writes y over T2's SIREAD: edge T2→T1 makes T1 a pivot, but
+        // T2 already committed — so the write aborts T1 right here.
+        assert_eq!(s.on_write(t1, R, 1, |x| x == t2), SsiVerdict::MustAbort);
+    }
+
+    #[test]
+    fn write_over_committed_pivot_reader_aborts_writer() {
+        // If flagging the edge would make an already-committed reader a
+        // pivot, the committed side cannot be the victim: the writer
+        // must abort even though the writer itself has no out-edge.
+        let s = enabled();
+        let (t0, t1, t2) = (Xid(10), Xid(1), Xid(2));
+        s.on_read(t0, R, 5, &[]); // T0 marks key 5
+        assert_eq!(s.on_write(t1, R, 5, |x| x == t0), SsiVerdict::Ok); // T1.in
+        s.on_read(t1, R, 0, &[]); // T1 reads x
+        assert_eq!(s.can_commit(t1), SsiVerdict::Ok, "T1 has only an in-edge");
+        // T2 writes x over committed T1's SIREAD: T1 would gain out →
+        // committed pivot → T2 is the one that can still abort.
+        assert_eq!(s.on_write(t2, R, 0, |_| true), SsiVerdict::MustAbort);
+    }
+
+    #[test]
+    fn read_skipping_committed_pivot_aborts_reader() {
+        // Dual of the above on the read path: T2 committed with an
+        // out-edge; a reader that skips one of T2's versions would hand
+        // committed T2 its in-edge — a pivot that can no longer abort —
+        // so the reader aborts, and its tentative edges and mark roll
+        // back.
+        let s = enabled();
+        let (t1, t2, t3) = (Xid(1), Xid(2), Xid(3));
+        s.on_read(t2, R, 7, &[t3]); // T2 skips committed T3's version → T2.out
+        s.can_commit(t3);
+        assert_eq!(s.can_commit(t2), SsiVerdict::Ok); // commits: out only
+                                                      // T1 reads key 9 and skips committed T2's version: T2 would gain
+                                                      // in → committed pivot → the reader must abort instead.
+        assert_eq!(s.on_read(t1, R, 9, &[t2]), SsiVerdict::MustAbort);
+        // The rejected read left no mark and no tentative out-edge on T1.
+        assert!(s.mark_owners(R, 9).is_empty(), "rejected read leaves no mark");
+        assert!(!s.flag_rows().iter().any(|&(x, _, out, _)| x == t1 && out));
+    }
+
+    #[test]
+    fn collect_below_keeps_flags_of_live_committed_txns() {
+        // A committed txn at or above the horizon may still gain edges —
+        // its flags must survive GC; below the horizon they are dropped.
+        let s = enabled();
+        s.on_read(Xid(4), R, 0, &[]);
+        assert_eq!(s.on_write(Xid(6), R, 0, |_| true), SsiVerdict::Ok);
+        s.can_commit(Xid(4));
+        s.can_commit(Xid(6));
+        s.collect_below(Xid(5));
+        let rows = s.flag_rows();
+        assert!(!rows.iter().any(|&(x, ..)| x == Xid(4)), "below horizon: dropped");
+        assert!(rows.iter().any(|&(x, ..)| x == Xid(6)), "above horizon: kept");
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let s = enabled();
+        s.on_read(Xid(1), R, 0, &[]);
+        let c = s.clone();
+        s.forget(Xid(1));
+        assert_eq!(s.siread_keys(), 0);
+        assert_eq!(c.siread_keys(), 1, "clone unaffected by original's mutation");
+        assert_eq!(c.mark_owners(R, 0), vec![Xid(1)]);
     }
 }

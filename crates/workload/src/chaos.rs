@@ -37,8 +37,8 @@ use sias_storage::{FaultConfig, FaultPlan, StorageConfig, Wal, WalRecord};
 use sias_txn::{MvccEngine, Txn};
 
 use crate::check::{
-    check_anomalies, check_durability, DurabilityInput, HistOp, HistOutcome, History, TxnRecord,
-    Violation, WriteTag,
+    check_anomalies, check_durability, check_serializability, DurabilityInput, HistOp, HistOutcome,
+    History, TxnRecord, Violation, WriteTag,
 };
 
 /// Parameters of one chaos run. Two runs with equal configs produce
@@ -67,6 +67,10 @@ pub struct ChaosConfig {
     /// transaction begin instead of after the commit force — a planted
     /// ack-before-force bug the checker must catch.
     pub plant_durability_bug: bool,
+    /// Run the engine in serializable (SSI) mode. The crash matrix then
+    /// additionally gates the history on [`check_serializability`]: a
+    /// correct SSI implementation admits no G2 cycle, ever.
+    pub serializable: bool,
 }
 
 impl Default for ChaosConfig {
@@ -80,6 +84,7 @@ impl Default for ChaosConfig {
             abort_ppm: 120_000,
             data_faults: FaultConfig::none(),
             plant_durability_bug: false,
+            serializable: false,
         }
     }
 }
@@ -112,6 +117,9 @@ pub struct ChaosRun {
     /// Faults the storage layer actually injected during the run
     /// (`storage.faults.io_faults_injected`).
     pub faults_injected: u64,
+    /// Transactions the SSI machinery aborted (pivot detection at read,
+    /// write or commit time). Zero unless the run is serializable.
+    pub serialization_aborts: u64,
     /// Key-space size, for recovered-state probes.
     pub keys: u64,
     /// The pre-crash engine's flight recorder (tracing is enabled for
@@ -163,6 +171,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
         .with_pool_frames(48)
         .with_faults(FaultPlan { data: cfg.data_faults, wal: FaultConfig::none() });
     let db = SiasDb::open(storage);
+    if cfg.serializable {
+        db.set_serializable();
+    }
     // The flight recorder runs for the whole pre-crash lifetime: when a
     // crash or an anomaly fires, the last window of spans is the dump.
     // Recovery engines built later never enable tracing and stay free.
@@ -241,6 +252,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
                             }
                         },
                         Ok(None) => None,
+                        Err(SiasError::SerializationFailure(_)) => {
+                            // SSI pivot detected at read time: the read
+                            // rolled back, the client aborts the txn.
+                            let t = slot.take().unwrap();
+                            db.abort(t.txn);
+                            aborted += 1;
+                            history.txns.push(t.rec);
+                            continue;
+                        }
                         Err(_) => {
                             corrupt_reads += 1;
                             let t = slot.take().unwrap();
@@ -292,6 +312,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
                                 t.rec.outcome =
                                     HistOutcome::Committed { commit_seq: seq, acked_at_record };
                                 committed += 1;
+                            }
+                            Err(SiasError::SerializationFailure(_)) => {
+                                // The engine aborted the pivot *before*
+                                // appending its Commit record, so this is
+                                // a definitive abort, not an unacked
+                                // maybe-commit.
+                                aborted += 1;
                             }
                             Err(_) => {
                                 t.rec.outcome = HistOutcome::Unacked;
@@ -347,6 +374,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosRun {
         conflicts,
         corrupt_reads,
         faults_injected,
+        serialization_aborts: db.serialization_aborts(),
         keys: cfg.keys,
         tracer,
         metrics,
@@ -403,6 +431,9 @@ pub struct CrashMatrixReport {
     pub conflicts: u64,
     /// Faults the storage layer injected during the pre-crash run.
     pub faults_injected: u64,
+    /// Transactions the SSI machinery aborted during the pre-crash run
+    /// (zero unless `serializable` was set).
+    pub serialization_aborts: u64,
     /// Every violation found, tagged with the crash point that exposed
     /// it (`total_records` for whole-history anomaly findings).
     pub violations: Vec<(u64, Violation)>,
@@ -424,13 +455,14 @@ impl CrashMatrixReport {
     pub fn summary(&self) -> String {
         format!(
             "seed {:>3}: {} records, {} crash points, {} committed, {} aborted, \
-             {} faults, {} violations, fingerprint {:016x}",
+             {} faults, {} ssi-aborts, {} violations, fingerprint {:016x}",
             self.seed,
             self.total_records,
             self.crash_points,
             self.committed_txns,
             self.aborted_txns,
             self.faults_injected,
+            self.serialization_aborts,
             self.violations.len(),
             self.fingerprint
         )
@@ -449,6 +481,15 @@ pub fn crash_matrix(cfg: &ChaosConfig, crash_every: u64) -> CrashMatrixReport {
     // Whole-history anomaly pass (crash-independent).
     for v in check_anomalies(&run.history) {
         violations.push((total, v));
+    }
+
+    // Serializable runs additionally gate on the serialization graph:
+    // SSI must admit no G2 cycle among acknowledged commits. Plain SI
+    // legitimately permits write skew, so the pass only gates SSI runs.
+    if cfg.serializable {
+        for v in check_serializability(&run.history) {
+            violations.push((total, v));
+        }
     }
 
     // Crash-point sweep.
@@ -479,6 +520,7 @@ pub fn crash_matrix(cfg: &ChaosConfig, crash_every: u64) -> CrashMatrixReport {
         aborted_txns: run.aborted,
         conflicts: run.conflicts,
         faults_injected: run.faults_injected,
+        serialization_aborts: run.serialization_aborts,
         violations,
         fingerprint,
         trace_events,
@@ -718,6 +760,200 @@ pub fn scrub_scenario(cfg: &ChaosConfig, rot_pages: usize) -> ScrubReport {
     }
 }
 
+/// Verdict of one planted write-skew run: per constraint pair, two
+/// transactions each read both keys and write one — the canonical G2
+/// anomaly SI admits and SSI must abort.
+#[derive(Clone, Debug)]
+pub struct WriteSkewReport {
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// Constraint pairs planted (two transactions each).
+    pub pairs: u64,
+    /// Whether the engine ran in serializable (SSI) mode.
+    pub serializable: bool,
+    /// Transactions acknowledged as committed (incl. the setup txn).
+    pub committed_txns: u64,
+    /// Transactions aborted (all of them SSI pivot aborts here).
+    pub aborted_txns: u64,
+    /// Aborts attributed to the SSI machinery by the engine's counter.
+    pub serialization_aborts: u64,
+    /// G2/write-skew cycles found by [`check_serializability`] — one per
+    /// pair under plain SI, none under SSI.
+    pub g2_violations: Vec<Violation>,
+    /// Plain SI anomalies ([`check_anomalies`]) — must be empty in both
+    /// modes: write skew is *allowed* under SI, it is not an SI anomaly.
+    pub si_violations: Vec<Violation>,
+}
+
+impl WriteSkewReport {
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "seed {:>3}: {} pairs ({}), {} committed, {} aborted, {} ssi-aborts, \
+             {} G2 cycles, {} SI violations",
+            self.seed,
+            self.pairs,
+            if self.serializable { "ssi" } else { "si" },
+            self.committed_txns,
+            self.aborted_txns,
+            self.serialization_aborts,
+            self.g2_violations.len(),
+            self.si_violations.len()
+        )
+    }
+}
+
+/// One transaction's side of a planted write-skew pair.
+struct SkewSide {
+    txn: Txn,
+    rec: TxnRecord,
+}
+
+/// Plants `pairs` textbook write skews and reports what survived.
+///
+/// For each pair `p` over keys `(2p, 2p+1)`, two concurrent
+/// transactions interleave as: T1 reads both keys, T2 reads both keys,
+/// T1 writes `2p`, T2 writes `2p+1`, T1 commits, T2 commits. The write
+/// sets are disjoint, so first-updater-wins never fires and plain SI
+/// acknowledges both — a G2 cycle of two rw-antidependencies that
+/// [`check_serializability`] must flag with both transactions as
+/// pivots. With [`ChaosConfig::serializable`] set, the SSI machinery
+/// must instead abort exactly one transaction per pair (the second
+/// writer, whose write would close the cycle) and the surviving
+/// history must carry zero G2 cycles.
+pub fn write_skew_scenario(cfg: &ChaosConfig, pairs: u64) -> WriteSkewReport {
+    let db = SiasDb::open(StorageConfig::in_memory());
+    if cfg.serializable {
+        db.set_serializable();
+    }
+    let seqs: Arc<Mutex<HashMap<Xid, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    {
+        let seqs = Arc::clone(&seqs);
+        db.txm().set_commit_hook(move |xid, seq| {
+            seqs.lock().insert(xid, seq);
+        });
+    }
+    let rel = db.create_relation("chaos");
+    let mut history = History::default();
+    let (mut committed, mut aborted) = (0u64, 0u64);
+
+    let ack = |xid: Xid, mut rec: TxnRecord| -> TxnRecord {
+        let seq = seqs.lock().remove(&xid).unwrap_or(0);
+        rec.outcome = HistOutcome::Committed {
+            commit_seq: seq,
+            acked_at_record: db.stack().wal.durable_record_count(),
+        };
+        rec
+    };
+
+    // Setup: both keys of every pair exist.
+    {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for key in 0..pairs * 2 {
+            let tag = WriteTag { xid, seq: key as u32 };
+            db.insert(&txn, rel, key, &tag.encode_payload(key)).expect("setup insert");
+            rec.ops.push(HistOp::Write { key, tag });
+        }
+        db.commit(txn).expect("setup commit");
+        history.txns.push(ack(xid, rec));
+        committed += 1;
+    }
+
+    /// One step of the fixed interleaving, applied to side 0 or 1.
+    enum Step {
+        Read(u64),
+        Write(u64),
+        Commit,
+    }
+
+    for p in 0..pairs {
+        let (a, b) = (2 * p, 2 * p + 1);
+        let mut sides: [Option<SkewSide>; 2] = [0, 1].map(|_| {
+            let txn = db.begin();
+            let rec = TxnRecord { xid: txn.xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+            Some(SkewSide { txn, rec })
+        });
+        // Each side reads BOTH keys of the constraint, then writes its
+        // own — the cross reads are what make the histories skewed.
+        let script: [(usize, Step); 8] = [
+            (0, Step::Read(a)),
+            (0, Step::Read(b)),
+            (1, Step::Read(a)),
+            (1, Step::Read(b)),
+            (0, Step::Write(a)),
+            (1, Step::Write(b)),
+            (0, Step::Commit),
+            (1, Step::Commit),
+        ];
+        for (idx, step) in script {
+            if sides[idx].is_none() {
+                continue; // side already aborted by the SSI machinery
+            }
+            match step {
+                Step::Read(key) => match db.get(&sides[idx].as_ref().unwrap().txn, rel, key) {
+                    Ok(bytes) => {
+                        let observed =
+                            bytes.and_then(|b| WriteTag::decode_payload(&b)).map(|(_, tag)| tag);
+                        let side = sides[idx].as_mut().unwrap();
+                        side.rec.ops.push(HistOp::Read { key, observed });
+                    }
+                    Err(_) => {
+                        let side = sides[idx].take().unwrap();
+                        db.abort(side.txn);
+                        aborted += 1;
+                        history.txns.push(side.rec);
+                    }
+                },
+                Step::Write(key) => {
+                    let side = sides[idx].as_mut().unwrap();
+                    let tag = WriteTag { xid: side.txn.xid, seq: key as u32 };
+                    match db.update(&side.txn, rel, key, &tag.encode_payload(key)) {
+                        Ok(()) => side.rec.ops.push(HistOp::Write { key, tag }),
+                        Err(_) => {
+                            let side = sides[idx].take().unwrap();
+                            db.abort(side.txn);
+                            aborted += 1;
+                            history.txns.push(side.rec);
+                        }
+                    }
+                }
+                Step::Commit => {
+                    let side = sides[idx].take().unwrap();
+                    let xid = side.txn.xid;
+                    match db.commit(side.txn) {
+                        Ok(()) => {
+                            history.txns.push(ack(xid, side.rec));
+                            committed += 1;
+                        }
+                        Err(_) => {
+                            // SSI commit-time pivot abort (pre-WAL, so
+                            // definitive).
+                            aborted += 1;
+                            history.txns.push(side.rec);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    history.version_order = extract_version_order(&db, "chaos", &history.committed());
+    let g2_violations = check_serializability(&history);
+    let si_violations = check_anomalies(&history);
+    WriteSkewReport {
+        seed: cfg.seed,
+        pairs,
+        serializable: cfg.serializable,
+        committed_txns: committed,
+        aborted_txns: aborted,
+        serialization_aborts: db.serialization_aborts(),
+        g2_violations,
+        si_violations,
+    }
+}
+
 /// Deterministic digest over the log, the history and the verdicts.
 fn fingerprint(cfg: &ChaosConfig, run: &ChaosRun, violations: &[(u64, Violation)]) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -727,6 +963,7 @@ fn fingerprint(cfg: &ChaosConfig, run: &ChaosRun, violations: &[(u64, Violation)
     cfg.ops_per_txn.hash(&mut h);
     cfg.terminals.hash(&mut h);
     cfg.plant_durability_bug.hash(&mut h);
+    cfg.serializable.hash(&mut h);
     run.records.len().hash(&mut h);
     for rec in &run.records {
         format!("{rec:?}").hash(&mut h);
@@ -822,6 +1059,49 @@ mod tests {
         assert_eq!(a.committed_txns, b.committed_txns);
         assert_eq!(a.pages_corrupt, b.pages_corrupt);
         assert_eq!(a.chains_rebuilt, b.chains_rebuilt);
+    }
+
+    #[test]
+    fn planted_write_skew_is_g2_under_si() {
+        let report = write_skew_scenario(&ChaosConfig::with_seed(9), 4);
+        assert_eq!(report.committed_txns, 9, "setup + two per pair commit under plain SI");
+        assert_eq!(report.aborted_txns, 0);
+        assert_eq!(report.serialization_aborts, 0);
+        assert!(
+            report.si_violations.is_empty(),
+            "write skew is not an SI anomaly: {:?}",
+            report.si_violations
+        );
+        assert_eq!(report.g2_violations.len(), 4, "{:?}", report.g2_violations);
+        assert!(report.g2_violations.iter().all(|v| v.condition == "G2"));
+        assert!(
+            report.g2_violations.iter().all(|v| v.detail.contains("pivots")),
+            "witness names its pivots: {:?}",
+            report.g2_violations
+        );
+    }
+
+    #[test]
+    fn ssi_aborts_every_planted_write_skew() {
+        let cfg = ChaosConfig { serializable: true, ..ChaosConfig::with_seed(9) };
+        let report = write_skew_scenario(&cfg, 4);
+        assert_eq!(report.aborted_txns, 4, "exactly one victim per pair");
+        assert_eq!(report.committed_txns, 5, "setup + one survivor per pair");
+        assert_eq!(report.serialization_aborts, 4);
+        assert!(report.g2_violations.is_empty(), "{:?}", report.g2_violations);
+        assert!(report.si_violations.is_empty(), "{:?}", report.si_violations);
+    }
+
+    #[test]
+    fn ssi_chaos_run_stays_clean_and_deterministic() {
+        let cfg = ChaosConfig { serializable: true, ..ChaosConfig::with_seed(7) };
+        let report = crash_matrix(&cfg, 16);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.committed_txns > 5, "SSI still commits work: {}", report.committed_txns);
+        let again = crash_matrix(&cfg, 16);
+        assert_eq!(report.fingerprint, again.fingerprint, "SSI runs stay reproducible");
+        let si = crash_matrix(&ChaosConfig::with_seed(7), 16);
+        assert_ne!(report.fingerprint, si.fingerprint, "mode is part of the fingerprint");
     }
 
     #[test]

@@ -464,6 +464,228 @@ pub fn check_anomalies(history: &History) -> Vec<Violation> {
     violations
 }
 
+// ---------------------------------------------------------------------------
+// Serialization-graph (MVSG) construction and G2 detection
+// ---------------------------------------------------------------------------
+
+/// Dependency kind of one serialization-graph edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum DepKind {
+    /// Write-write: the source's version precedes the target's in the
+    /// committed version order of the key.
+    Ww,
+    /// Write-read: the target read the source's version.
+    Wr,
+    /// Read-write (antidependency): the target overwrote the version the
+    /// source read — the source logically precedes the target although
+    /// it never saw its write.
+    Rw,
+}
+
+/// Builds the multi-version serialization graph over the committed
+/// transactions of `history`: ww edges from per-key version orders, wr
+/// edges from observed read tags, rw antidependencies from reads of
+/// superseded (or absent) versions. Returns the deduplicated edge set.
+fn serialization_graph(history: &History) -> BTreeSet<(Xid, Xid, DepKind, u64)> {
+    let committed = history.committed();
+    let mut edges: BTreeSet<(Xid, Xid, DepKind, u64)> = BTreeSet::new();
+
+    // Committed version order per key, collapsed to one entry per
+    // consecutive writer run (a txn's own back-to-back writes of a key
+    // are not edges). Position of every committed tag for rw lookups.
+    let mut tag_pos: HashMap<(u64, WriteTag), usize> = HashMap::new();
+    let mut writer_runs: BTreeMap<u64, Vec<Xid>> = BTreeMap::new();
+    for (key, order) in &history.version_order {
+        let runs = writer_runs.entry(*key).or_default();
+        for (pos, tag) in order.iter().enumerate() {
+            if !committed.contains(&tag.xid) {
+                continue;
+            }
+            tag_pos.insert((*key, *tag), pos);
+            if runs.last() != Some(&tag.xid) {
+                runs.push(tag.xid);
+            }
+        }
+        // ww: consecutive distinct writers (transitive pairs follow by
+        // path, which is all cycle detection needs).
+        for w in runs.windows(2) {
+            edges.insert((w[0], w[1], DepKind::Ww, *key));
+        }
+    }
+
+    for t in &history.txns {
+        if !committed.contains(&t.xid) {
+            continue;
+        }
+        for op in &t.ops {
+            let HistOp::Read { key, observed } = op else { continue };
+            let order = history.version_order.get(key);
+            match observed {
+                Some(tag) => {
+                    if tag.xid != t.xid && committed.contains(&tag.xid) {
+                        edges.insert((tag.xid, t.xid, DepKind::Wr, *key));
+                    }
+                    // rw: the first distinct committed writer after the
+                    // observed version (later ones follow via ww).
+                    if let (Some(order), Some(&pos)) = (order, tag_pos.get(&(*key, *tag))) {
+                        if let Some(next) = order[pos + 1..]
+                            .iter()
+                            .filter(|n| committed.contains(&n.xid))
+                            .map(|n| n.xid)
+                            .find(|&x| x != t.xid && x != tag.xid)
+                        {
+                            edges.insert((t.xid, next, DepKind::Rw, *key));
+                        }
+                    }
+                }
+                None => {
+                    // Reading "absent" precedes every committed write of
+                    // the key: rw to the first distinct writer.
+                    if let Some(first) = order.into_iter().flatten().find_map(|n| {
+                        (committed.contains(&n.xid) && n.xid != t.xid).then_some(n.xid)
+                    }) {
+                        edges.insert((t.xid, first, DepKind::Rw, *key));
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// BFS for a path `from → … → to` over `adj`, restricted to edges
+/// satisfying `allow`. Returns the node sequence including both ends, or
+/// `None` when unreachable.
+fn find_path(
+    adj: &HashMap<Xid, Vec<(Xid, DepKind, u64)>>,
+    from: Xid,
+    to: Xid,
+    allow: impl Fn(DepKind) -> bool,
+) -> Option<Vec<Xid>> {
+    let mut prev: HashMap<Xid, Xid> = HashMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = prev[&cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &(next, kind, _) in adj.get(&n).into_iter().flatten() {
+            if allow(kind) && next != from && !prev.contains_key(&next) {
+                prev.insert(next, n);
+                queue.push_back(next);
+            }
+        }
+    }
+    (from == to).then(|| vec![from])
+}
+
+/// Renders one cycle as a violation with a predicate-free witness: the
+/// edge chain with kinds and keys, the pivot transactions (nodes whose
+/// incoming or outgoing cycle edge is an rw antidependency on both
+/// sides), and the key set.
+fn cycle_violation(
+    condition: &'static str,
+    cycle: &[Xid],
+    adj: &HashMap<Xid, Vec<(Xid, DepKind, u64)>>,
+) -> Violation {
+    // For each consecutive pair pick one concrete edge (prefer rw so the
+    // witness shows the antidependencies that make it G2).
+    let mut chain = String::new();
+    let mut keys: BTreeSet<u64> = BTreeSet::new();
+    let mut kinds: Vec<DepKind> = Vec::new();
+    for i in 0..cycle.len() {
+        let from = cycle[i];
+        let to = cycle[(i + 1) % cycle.len()];
+        let edge = adj
+            .get(&from)
+            .into_iter()
+            .flatten()
+            .filter(|&&(t, _, _)| t == to)
+            .max_by_key(|&&(_, kind, _)| kind)
+            .copied()
+            .expect("cycle edges exist in adjacency");
+        let (_, kind, key) = edge;
+        keys.insert(key);
+        kinds.push(kind);
+        chain.push_str(&format!("T{} -{:?}(k{})-> ", from.0, kind, key));
+    }
+    chain.push_str(&format!("T{}", cycle[0].0));
+    // Pivot: rw in *and* rw out within the cycle (the write-skew shape's
+    // distinguishing node).
+    let pivots: Vec<String> = (0..cycle.len())
+        .filter(|&i| {
+            let inc = kinds[(i + cycle.len() - 1) % cycle.len()];
+            let out = kinds[i];
+            inc == DepKind::Rw && out == DepKind::Rw
+        })
+        .map(|i| format!("T{}", cycle[i].0))
+        .collect();
+    Violation {
+        condition,
+        detail: format!(
+            "serialization cycle {chain}; pivots [{}]; keys {:?}",
+            pivots.join(", "),
+            keys
+        ),
+    }
+}
+
+/// Checks a history for serialization-graph cycles. Cycles containing at
+/// least one rw antidependency are reported as **G2** (write skew when
+/// predicate-free, as here); cycles of only ww/wr edges as **G1c**.
+///
+/// Plain SI *permits* G2 — run this on SI histories only to demonstrate
+/// skew, and on SSI histories to assert there is none. The existing
+/// [`check_anomalies`] conditions stay separate because they hold under
+/// both isolation levels.
+pub fn check_serializability(history: &History) -> Vec<Violation> {
+    let edges = serialization_graph(history);
+    let mut adj: HashMap<Xid, Vec<(Xid, DepKind, u64)>> = HashMap::new();
+    for &(from, to, kind, key) in &edges {
+        adj.entry(from).or_default().push((to, kind, key));
+    }
+    let mut violations = Vec::new();
+    let mut seen: BTreeSet<Vec<Xid>> = BTreeSet::new();
+    let mut report = |condition, cycle: Vec<Xid>, adj: &HashMap<_, Vec<(Xid, DepKind, u64)>>| {
+        let mut ids = cycle.clone();
+        ids.sort();
+        if seen.insert(ids) {
+            violations.push(cycle_violation(condition, &cycle, adj));
+        }
+    };
+    // Every rw edge a→b that closes (a reachable from b) witnesses a G2
+    // cycle; every wr edge that closes over ww/wr alone witnesses G1c
+    // (ww-only disagreement is G0, reported by `check_anomalies`).
+    for &(from, to, kind, _) in &edges {
+        match kind {
+            DepKind::Rw => {
+                if let Some(mut path) = find_path(&adj, to, from, |_| true) {
+                    let start = path.iter().position(|&x| x == from).unwrap_or(0);
+                    path.rotate_left(start);
+                    report("G2", path, &adj);
+                }
+            }
+            DepKind::Wr => {
+                if let Some(mut path) =
+                    find_path(&adj, to, from, |k| matches!(k, DepKind::Ww | DepKind::Wr))
+                {
+                    let start = path.iter().position(|&x| x == from).unwrap_or(0);
+                    path.rotate_left(start);
+                    report("G1c", path, &adj);
+                }
+            }
+            DepKind::Ww => {}
+        }
+    }
+    violations
+}
+
 /// What a crash-point probe recovered, compared against what the engine
 /// acknowledged before the crash. All fields are derived outside the
 /// engine: `prefix_commits` and `expected_state` come from decoding the
@@ -577,6 +799,7 @@ mod tests {
             checkpoint_interval_secs: 2,
             think_scale: 0.0,
             seed: 11,
+            serializable: false,
         };
         {
             let db = SiasDb::open(StorageConfig::in_memory());

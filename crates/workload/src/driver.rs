@@ -44,6 +44,10 @@ pub struct DriverConfig {
     pub think_scale: f64,
     /// Driver rng seed.
     pub seed: u64,
+    /// Run the engine in serializable (SSI) mode; pivot aborts surface
+    /// as retryable conflicts and in
+    /// [`BenchResult::serialization_aborts`].
+    pub serializable: bool,
 }
 
 impl DriverConfig {
@@ -60,7 +64,14 @@ impl DriverConfig {
             checkpoint_interval_secs: 30,
             think_scale: 1.0,
             seed: 0xDB72,
+            serializable: false,
         }
+    }
+
+    /// Switches the run to serializable (SSI) mode.
+    pub fn with_serializable(mut self, on: bool) -> Self {
+        self.serializable = on;
+        self
     }
 
     /// Overrides the measured duration.
@@ -140,6 +151,9 @@ pub struct BenchResult {
     pub p99_response_s: f64,
     /// Worst new-order response time, seconds.
     pub max_response_s: f64,
+    /// SSI pivot aborts over the whole run (zero unless the driver ran
+    /// with [`DriverConfig::serializable`]).
+    pub serialization_aborts: u64,
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> f64 {
@@ -159,6 +173,10 @@ pub fn run_benchmark<E: MvccEngine + ?Sized>(
     dcfg: &DriverConfig,
     clock: &VirtualClock,
 ) -> SiasResult<BenchResult> {
+    if dcfg.serializable {
+        engine.set_serializable();
+    }
+    let ser_aborts_base = engine.serialization_aborts();
     let start = clock.now_us();
     let warmup_end = start + dcfg.warmup_secs * 1_000_000;
     let end = start + (dcfg.warmup_secs + dcfg.duration_secs) * 1_000_000;
@@ -289,6 +307,7 @@ pub fn run_benchmark<E: MvccEngine + ?Sized>(
         p90_response_s: percentile(&responses_us, 0.90),
         p99_response_s: percentile(&responses_us, 0.99),
         max_response_s: percentile(&responses_us, 1.0),
+        serialization_aborts: engine.serialization_aborts().saturating_sub(ser_aborts_base),
     })
 }
 
@@ -314,6 +333,7 @@ mod tests {
             checkpoint_interval_secs: 3,
             think_scale: 0.0,
             seed: 1,
+            serializable: false,
         };
         let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
         assert!(res.notpm > 0.0, "{res:?}");
@@ -349,11 +369,35 @@ mod tests {
             checkpoint_interval_secs: 3,
             think_scale: 0.0,
             seed: 1,
+            serializable: false,
         };
         let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
         assert!(res.notpm > 0.0, "{res:?}");
         // On a real device model the engine must have issued writes.
         assert!(db.stack().data.stats().host_write_pages > 0);
+    }
+
+    #[test]
+    fn benchmark_runs_serializable_on_sias() {
+        // SSI mode must drive the full TPC-C mix end to end: pivot
+        // aborts surface as retryable conflicts, never as errors.
+        let db = SiasDb::open(StorageConfig::in_memory());
+        let cfg = TpccConfig::tiny();
+        let tables = load(&db, &cfg).unwrap();
+        let dcfg = DriverConfig {
+            terminals: 4,
+            duration_secs: 5,
+            warmup_secs: 1,
+            cpu_cores: 2,
+            bgwriter_interval_ms: 200,
+            checkpoint_interval_secs: 3,
+            think_scale: 0.0,
+            seed: 1,
+            serializable: true,
+        };
+        let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
+        assert!(res.notpm > 0.0, "SSI still commits work: {res:?}");
+        assert!(res.new_order_commits > 0);
     }
 
     #[test]
@@ -371,6 +415,7 @@ mod tests {
                 checkpoint_interval_secs: 2,
                 think_scale: 0.0,
                 seed: 42,
+                serializable: false,
             };
             run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap()
         };
@@ -397,6 +442,7 @@ mod tests {
             checkpoint_interval_secs: 10,
             think_scale: 0.0,
             seed: 2,
+            serializable: false,
         };
         let res = run_benchmark(&db, &tables, &cfg, &dcfg, &db.stack().clock).unwrap();
         // 1 core, ~7.2 ms mean mix cost → ≤ ~8.3k txn/min; new-order

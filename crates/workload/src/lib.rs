@@ -39,11 +39,12 @@ pub mod threaded;
 pub mod txns;
 
 pub use chaos::{
-    crash_matrix, run_chaos, scrub_scenario, ChaosConfig, ChaosRun, CrashMatrixReport, ScrubReport,
+    crash_matrix, run_chaos, scrub_scenario, write_skew_scenario, ChaosConfig, ChaosRun,
+    CrashMatrixReport, ScrubReport, WriteSkewReport,
 };
 pub use check::{
-    check_anomalies, check_consistency, check_durability, DurabilityInput, History, Violation,
-    WriteTag,
+    check_anomalies, check_consistency, check_durability, check_serializability, DurabilityInput,
+    History, Violation, WriteTag,
 };
 pub use config::{Tables, TpccConfig};
 pub use driver::{run_benchmark, BenchResult, DriverConfig};

@@ -48,6 +48,14 @@ pub struct ThreadedConfig {
     pub abort_ppm: u32,
     /// Master seed; thread `i` draws from `splitmix64(seed ^ mix(i))`.
     pub seed: u64,
+    /// Upgrade the engine to serializable snapshot isolation before the
+    /// contended phase.
+    pub serializable: bool,
+    /// Constraint-pair mode: each op picks a zipfian-distributed key
+    /// *pair* `(2p, 2p+1)`, reads both, and (at `update_pct`) writes one
+    /// of them — the write-skew-prone access pattern. Off: independent
+    /// uniform single-key read-modify-writes.
+    pub constraint_pairs: bool,
 }
 
 impl Default for ThreadedConfig {
@@ -60,6 +68,8 @@ impl Default for ThreadedConfig {
             update_pct: 60,
             abort_ppm: 20_000,
             seed: 1,
+            serializable: false,
+            constraint_pairs: false,
         }
     }
 }
@@ -75,6 +85,9 @@ pub struct ThreadedRun {
     pub aborted: u64,
     /// First-updater-wins conflicts encountered.
     pub conflicts: u64,
+    /// Serialization-failure aborts the engine reported during the run
+    /// (always 0 unless `serializable` was set).
+    pub serialization_aborts: u64,
     /// Wall-clock duration of the contended phase (excludes setup).
     pub wall: Duration,
 }
@@ -107,6 +120,23 @@ impl Rng {
     fn chance_ppm(&mut self, ppm: u32) -> bool {
         self.next() % 1_000_000 < u64::from(ppm)
     }
+
+    /// Zipf(s=1) sample over `0..n`: rank `i` drawn with probability
+    /// ∝ 1/(i+1). Fixed-point cumulative walk — deterministic, no
+    /// floats, n is small (constraint-pair counts).
+    fn zipf(&mut self, n: u64) -> u64 {
+        let n = n.max(1);
+        let total: u64 = (1..=n).map(|i| 1_000_000 / i).sum();
+        let mut r = self.next() % total.max(1);
+        for i in 0..n {
+            let w = 1_000_000 / (i + 1);
+            if r < w {
+                return i;
+            }
+            r -= w;
+        }
+        n - 1
+    }
 }
 
 /// Runs `cfg.threads` OS threads of read-modify-write transactions over
@@ -117,6 +147,10 @@ impl Rng {
 pub fn drive_threaded<E: MvccEngine + ?Sized>(db: &E, cfg: &ThreadedConfig) -> ThreadedRun {
     let rel = db.create_relation("threaded");
     let mut history = History::default();
+    if cfg.serializable {
+        db.set_serializable();
+    }
+    let ser_aborts_base = db.serialization_aborts();
 
     // Dense acknowledgement order across all threads. The anomaly
     // checker keys on outcomes and tags, not on this sequence, so a
@@ -165,31 +199,49 @@ pub fn drive_threaded<E: MvccEngine + ?Sized>(db: &E, cfg: &ThreadedConfig) -> T
                             TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
                         let mut op_seq = 0u32;
                         let mut alive = Some(txn);
-                        for _ in 0..cfg.ops_per_txn {
-                            let Some(txn) = alive.as_ref() else { break };
-                            let key = rng.next() % cfg.keys.max(1);
-                            let observed = match db.get(txn, rel, key) {
-                                Ok(Some(bytes)) => {
-                                    let (k, tag) = WriteTag::decode_payload(&bytes)
-                                        .expect("threaded payloads are checksummed tags");
-                                    assert_eq!(k, key, "payload key mismatch");
-                                    Some(tag)
-                                }
-                                Ok(None) => None,
-                                Err(_) => {
-                                    db.abort(alive.take().unwrap());
-                                    aborted += 1;
-                                    break;
-                                }
+                        'ops: for _ in 0..cfg.ops_per_txn {
+                            if alive.is_none() {
+                                break;
+                            }
+                            // Key set of this op: one uniform key, or a
+                            // zipfian constraint pair (both read, one
+                            // written) in pair mode.
+                            let keys = cfg.keys.max(1);
+                            let (reads, write_key) = if cfg.constraint_pairs && keys >= 2 {
+                                let p = rng.zipf(keys / 2);
+                                let (k0, k1) = (2 * p, 2 * p + 1);
+                                let wk = if rng.next().is_multiple_of(2) { k0 } else { k1 };
+                                (vec![k0, k1], wk)
+                            } else {
+                                let key = rng.next() % keys;
+                                (vec![key], key)
                             };
-                            rec.ops.push(HistOp::Read { key, observed });
+                            for key in reads {
+                                let txn = alive.as_ref().expect("txn alive in op loop");
+                                let observed = match db.get(txn, rel, key) {
+                                    Ok(Some(bytes)) => {
+                                        let (k, tag) = WriteTag::decode_payload(&bytes)
+                                            .expect("threaded payloads are checksummed tags");
+                                        assert_eq!(k, key, "payload key mismatch");
+                                        Some(tag)
+                                    }
+                                    Ok(None) => None,
+                                    Err(_) => {
+                                        db.abort(alive.take().unwrap());
+                                        aborted += 1;
+                                        break 'ops;
+                                    }
+                                };
+                                rec.ops.push(HistOp::Read { key, observed });
+                            }
                             if rng.next() % 100 >= u64::from(cfg.update_pct) {
                                 continue;
                             }
+                            let txn = alive.as_ref().expect("txn alive in op loop");
                             let tag = WriteTag { xid, seq: op_seq };
                             op_seq += 1;
-                            match db.update(txn, rel, key, &tag.encode_payload(key)) {
-                                Ok(()) => rec.ops.push(HistOp::Write { key, tag }),
+                            match db.update(txn, rel, write_key, &tag.encode_payload(write_key)) {
+                                Ok(()) => rec.ops.push(HistOp::Write { key: write_key, tag }),
                                 Err(e) => {
                                     if matches!(e, SiasError::WriteConflict { .. }) {
                                         conflicts += 1;
@@ -217,6 +269,13 @@ pub fn drive_threaded<E: MvccEngine + ?Sized>(db: &E, cfg: &ThreadedConfig) -> T
                                         };
                                         committed += 1;
                                     }
+                                    // A commit-time serialization abort
+                                    // is a definitive abort, not an
+                                    // uncertain outcome.
+                                    Err(SiasError::SerializationFailure(_)) => {
+                                        rec.outcome = HistOutcome::Aborted;
+                                        aborted += 1;
+                                    }
                                     Err(_) => rec.outcome = HistOutcome::Unacked,
                                 }
                             }
@@ -238,8 +297,9 @@ pub fn drive_threaded<E: MvccEngine + ?Sized>(db: &E, cfg: &ThreadedConfig) -> T
         aborted += a;
         conflicts += w;
     }
+    let serialization_aborts = db.serialization_aborts().saturating_sub(ser_aborts_base);
 
-    ThreadedRun { history, committed, aborted, conflicts, wall }
+    ThreadedRun { history, committed, aborted, conflicts, serialization_aborts, wall }
 }
 
 /// Fills `history.version_order` from a SIAS engine's own version

@@ -84,7 +84,13 @@ pub fn run_txn<E: MvccEngine + ?Sized>(
     };
     match result {
         Ok(outcome) => Ok(outcome),
-        Err(SiasError::WriteConflict { .. }) => Ok(Outcome::Conflicted),
+        // SSI pivot aborts are retryable exactly like first-updater-wins
+        // conflicts; the profile helpers abort the txn before erroring
+        // (commit-time failures abort inside the engine), so by here the
+        // transaction is gone either way.
+        Err(SiasError::WriteConflict { .. }) | Err(SiasError::SerializationFailure(_)) => {
+            Ok(Outcome::Conflicted)
+        }
         Err(e) => Err(e),
     }
 }

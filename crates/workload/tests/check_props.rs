@@ -12,7 +12,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use proptest::prelude::*;
 use sias_common::Xid;
 use sias_workload::check::{HistOp, HistOutcome, TxnRecord};
-use sias_workload::{check_anomalies, check_durability, DurabilityInput, History, WriteTag};
+use sias_workload::{
+    check_anomalies, check_durability, check_serializability, DurabilityInput, History, WriteTag,
+};
 
 /// splitmix64, so generated histories are reproducible per case.
 struct Rng(u64);
@@ -257,5 +259,76 @@ proptest! {
         let k = seed % keys;
         input.recovered_state.insert(k, WriteTag { xid: Xid(4096), seq: 9 });
         prop_assert_eq!(conditions(&check_durability(&h, &input)), vec!["DUR-STATE"]);
+    }
+
+    /// Serial histories are (trivially) serializable: the G2/G1c cycle
+    /// checker must never fire on them.
+    #[test]
+    fn clean_histories_have_no_cycles(seed in any::<u64>(), txns in 2u64..24, keys in 1u64..6) {
+        let (h, _) = clean_history(seed, txns, keys);
+        let v = check_serializability(&h);
+        prop_assert!(v.is_empty(), "serial history flagged non-serializable: {:?}", v);
+    }
+
+    /// Injected write skew grafted onto a clean history: two committed
+    /// transactions each read both of two fresh keys (absent under their
+    /// snapshots) and write one each. Plain SI admits this — no anomaly
+    /// condition fires — but the rw↔rw cycle must be reported as G2.
+    #[test]
+    fn injected_write_skew_is_flagged_g2(seed in any::<u64>(), txns in 2u64..16, keys in 1u64..6) {
+        let (mut h, _) = clean_history(seed, txns, keys);
+        let (k1, k2) = (keys, keys + 1);
+        let (xa, xb) = (Xid(1000), Xid(1001));
+        let (ta, tb) = (WriteTag { xid: xa, seq: 0 }, WriteTag { xid: xb, seq: 0 });
+        for (xid, wk, tag) in [(xa, k1, ta), (xb, k2, tb)] {
+            h.txns.push(TxnRecord {
+                xid,
+                ops: vec![
+                    HistOp::Read { key: k1, observed: None },
+                    HistOp::Read { key: k2, observed: None },
+                    HistOp::Write { key: wk, tag },
+                ],
+                outcome: HistOutcome::Committed { commit_seq: xid.0, acked_at_record: u64::MAX },
+            });
+            h.version_order.entry(wk).or_default().push(tag);
+        }
+        prop_assert!(check_anomalies(&h).is_empty(), "write skew is SI-legal");
+        let v = check_serializability(&h);
+        prop_assert_eq!(conditions(&v), vec!["G2"]);
+        prop_assert!(
+            v.iter().any(|v| v.detail.contains("pivots")),
+            "G2 witness must name pivots: {:?}",
+            v
+        );
+    }
+
+    /// Injected rw-cycle of arbitrary length n: transaction i reads key i
+    /// (absent) and writes key (i+1) mod n, so each read is overwritten by
+    /// its cyclic predecessor. Every edge is an rw-antidependency, every
+    /// node a pivot — the checker must always flag G2, never miss it.
+    #[test]
+    fn injected_rw_cycles_are_always_flagged_g2(
+        seed in any::<u64>(),
+        txns in 2u64..16,
+        keys in 1u64..6,
+        n in 2u64..6,
+    ) {
+        let (mut h, _) = clean_history(seed, txns, keys);
+        for i in 0..n {
+            let xid = Xid(1000 + i);
+            let wk = keys + ((i + 1) % n);
+            let tag = WriteTag { xid, seq: 0 };
+            h.txns.push(TxnRecord {
+                xid,
+                ops: vec![
+                    HistOp::Read { key: keys + i, observed: None },
+                    HistOp::Write { key: wk, tag },
+                ],
+                outcome: HistOutcome::Committed { commit_seq: xid.0, acked_at_record: u64::MAX },
+            });
+            h.version_order.entry(wk).or_default().push(tag);
+        }
+        let got = conditions(&check_serializability(&h));
+        prop_assert!(got.contains(&"G2"), "rw-cycle of length {} missed: {:?}", n, got);
     }
 }
