@@ -43,6 +43,7 @@ fn small_ssd() -> StorageConfig {
         faults: sias_storage::FaultPlan::none(),
         wal: sias_storage::WalConfig::default(),
         trace_capacity: sias_storage::DEFAULT_TRACE_CAPACITY,
+        io_queue_depth: 0,
     }
 }
 

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::RwLock;
-use sias_bench::{arg_value, write_results, ObsArgs};
+use sias_bench::{arg_value, io_depth_arg, write_results, Backend, ObsArgs};
 use sias_common::Xid;
 use sias_core::SiasDb;
 use sias_obs::SamplerHandle;
@@ -88,8 +88,12 @@ impl LockedClog {
 /// versions deep, plus a reader snapshot that predates every update (so
 /// its scans walk each chain to the bottom). Returns the db, relation,
 /// and the reader transaction.
-fn build_history(items: usize, depth: u64) -> (SiasDb, sias_common::RelId, sias_txn::Txn) {
-    let db = SiasDb::open(StorageConfig::in_memory().with_pool_frames(4096));
+fn build_history(
+    storage_cfg: &StorageConfig,
+    items: usize,
+    depth: u64,
+) -> (SiasDb, sias_common::RelId, sias_txn::Txn) {
+    let db = SiasDb::open(storage_cfg.clone());
     let rel = db.create_relation("readpath");
     let t = db.begin();
     let vids: Vec<_> =
@@ -119,8 +123,14 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (u128, R) {
     (best, out.expect("reps >= 1"))
 }
 
-fn run_cell(items: usize, depth: u64, threads: usize, reps: usize) -> Cell {
-    let (db, rel, reader) = build_history(items, depth);
+fn run_cell(
+    storage_cfg: &StorageConfig,
+    items: usize,
+    depth: u64,
+    threads: usize,
+    reps: usize,
+) -> Cell {
+    let (db, rel, reader) = build_history(storage_cfg, items, depth);
     // Correctness gate: all four scan paths must agree byte-for-byte.
     let serial = db.scan_vidmap(&reader, rel).expect("serial scan");
     assert_eq!(serial.len(), items, "old reader must see every item");
@@ -216,8 +226,13 @@ fn main() {
     let depths: Vec<u64> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
     let threads: Vec<usize> = if quick { vec![1, 8] } else { vec![1, 2, 4, 8] };
     let clog_probes: u64 = if quick { 200_000 } else { 1_000_000 };
+    let backend = Backend::from_args(&args, Backend::Mem);
+    let storage_cfg = backend.storage(4096, io_depth_arg(&args));
 
-    println!("readpath: items={items} reps={reps} depths={depths:?} threads={threads:?}");
+    println!(
+        "readpath: backend={} items={items} reps={reps} depths={depths:?} threads={threads:?}",
+        backend.label()
+    );
     println!(
         "{:>5} {:>7} {:>12} {:>12} {:>8} {:>10} {:>10} {:>9}",
         "depth", "threads", "scalar_ms", "batched_ms", "speedup", "pages", "fetched", "memo_hit%"
@@ -225,7 +240,7 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     for &depth in &depths {
         for &th in &threads {
-            let c = run_cell(items, depth, th, reps);
+            let c = run_cell(&storage_cfg, items, depth, th, reps);
             assert!(
                 c.page_visits <= c.versions_fetched,
                 "page visits ({}) must not exceed versions fetched ({})",
@@ -294,21 +309,24 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"readpath\",\n  \"items\": {items},\n  \"reps\": {reps},\n  \
+        "{{\n  \"bench\": \"readpath\",\n  \"backend\": \"{}\",\n  \
+         \"io_queue_depth\": {},\n  \"items\": {items},\n  \"reps\": {reps},\n  \
          \"quick\": {quick},\n  \"cells\": [{cell_rows}\n  ],\n  \"clog\": [{clog_rows}\n  ],\n  \
          \"acceptance\": {{\n    \"gate_threads\": {max_threads},\n    \
          \"min_speedup_depth_ge_4\": {gate_speedup:.3},\n    \
          \"page_visits_le_versions_fetched\": true,\n    \
-         \"batched_equals_scalar\": true\n  }}\n}}\n"
+         \"batched_equals_scalar\": true\n  }}\n}}\n",
+        backend.label(),
+        storage_cfg.io_queue_depth,
     );
-    let path = write_results("BENCH_readpath.json", &json);
+    let path = write_results(&backend.results_name("readpath"), &json);
     println!("wrote {}", path.display());
 
     // One extra instrumented cell for the observability dumps: the timed
     // sweep above stays untraced so its numbers are clean.
     if obs_args.metrics_out.is_some() || obs_args.tracing_requested() || obs_args.series_requested()
     {
-        let (db, rel, reader) = build_history(items.min(512), 4);
+        let (db, rel, reader) = build_history(&storage_cfg, items.min(512), 4);
         let registry = Arc::clone(db.obs_registry().expect("sias registry"));
         if obs_args.tracing_requested() {
             registry.tracer().set_enabled(true);

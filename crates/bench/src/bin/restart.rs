@@ -25,7 +25,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sias_bench::{arg_value, write_results, ObsArgs};
+use sias_bench::{arg_value, io_depth_arg, write_results, Backend, ObsArgs};
 use sias_core::{FlushPolicy, RecoveryStats, SiasDb};
 use sias_obs::{MetricsSnapshot, SamplerHandle, TimeSeries, TraceEvent};
 use sias_storage::{StorageConfig, Wal, WalRecord};
@@ -51,13 +51,31 @@ struct LogObs {
 /// checkpointing after 90% of them when asked, and returns the durable
 /// record stream a post-crash process would scan off the device plus
 /// the run's observability artifacts.
+/// Re-tags a file backend's paths with `tag`, so every cell gets its own
+/// backing files (a shorter log over a stale longer one could otherwise
+/// scan past its own tail). Simulated backends are returned unchanged.
+fn derive(backend: &Backend, tag: &str) -> Backend {
+    let retag = |p: &std::path::PathBuf| {
+        let mut s = p.clone().into_os_string();
+        s.push(".");
+        s.push(tag);
+        std::path::PathBuf::from(s)
+    };
+    match backend {
+        Backend::File(p) => Backend::File(retag(p)),
+        Backend::Striped(ps) => Backend::Striped(ps.iter().map(retag).collect()),
+        other => other.clone(),
+    }
+}
+
 fn build_log(
+    storage_cfg: &StorageConfig,
     txns: u64,
     keys: u64,
     checkpoint: bool,
     obs_args: &ObsArgs,
 ) -> (Vec<WalRecord>, LogObs) {
-    let db = SiasDb::open(StorageConfig::in_memory().with_pool_frames(512));
+    let db = SiasDb::open(storage_cfg.clone());
     let registry = Arc::clone(db.obs_registry().expect("sias registry"));
     if obs_args.tracing_requested() {
         registry.tracer().set_enabled(true);
@@ -98,14 +116,17 @@ fn build_log(
 
 /// Recovers `records` onto a fresh stack `reps` times, returning the
 /// best wall time and the (identical) replay counters.
-fn recover_cell(records: &[WalRecord], reps: usize) -> (u128, RecoveryStats) {
+fn recover_cell(
+    storage_cfg: &StorageConfig,
+    records: &[WalRecord],
+    reps: usize,
+) -> (u128, RecoveryStats) {
     let mut best = u128::MAX;
     let mut out = None;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let (db, stats) =
-            SiasDb::recover_from_wal(records, StorageConfig::in_memory(), FlushPolicy::T2)
-                .expect("recovery");
+        let (db, stats) = SiasDb::recover_from_wal(records, storage_cfg.clone(), FlushPolicy::T2)
+            .expect("recovery");
         best = best.min(t0.elapsed().as_nanos());
         drop(db);
         out = Some(stats);
@@ -120,8 +141,10 @@ fn main() {
     let keys: u64 = arg_value(&args, "--keys").and_then(|v| v.parse().ok()).unwrap_or(64);
     let reps: usize = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
     let sizes: Vec<u64> = if quick { vec![100, 400] } else { vec![100, 400, 1600, 6400] };
+    let backend = Backend::from_args(&args, Backend::Mem);
+    let io_depth = io_depth_arg(&args);
 
-    println!("restart: keys={keys} reps={reps} txn counts={sizes:?}");
+    println!("restart: backend={} keys={keys} reps={reps} txn counts={sizes:?}", backend.label());
     println!(
         "{:>6} {:>5} {:>9} {:>9} {:>9} {:>9} {:>11}",
         "txns", "ckpt", "records", "suffix", "replayed", "after_ck", "recover_ms"
@@ -132,8 +155,11 @@ fn main() {
     let mut last_obs: Option<LogObs> = None;
     for &txns in &sizes {
         for checkpointed in [false, true] {
-            let (records, obs) = build_log(txns, keys, checkpointed, &obs_args);
-            let (recover_ns, stats) = recover_cell(&records, reps);
+            let tag = format!("{txns}{}", if checkpointed { "c" } else { "p" });
+            let log_cfg = derive(&backend, &tag).storage(512, io_depth);
+            let rec_cfg = derive(&backend, &format!("{tag}.rec")).storage(512, io_depth);
+            let (records, obs) = build_log(&log_cfg, txns, keys, checkpointed, &obs_args);
+            let (recover_ns, stats) = recover_cell(&rec_cfg, &records, reps);
             println!(
                 "{:>6} {:>5} {:>9} {:>9} {:>9} {:>9} {:>11.3}",
                 txns,
@@ -211,11 +237,13 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"restart\",\n  \"keys\": {keys},\n  \"reps\": {reps},\n  \
+        "{{\n  \"bench\": \"restart\",\n  \"backend\": \"{}\",\n  \"keys\": {keys},\n  \
+         \"reps\": {reps},\n  \
          \"quick\": {quick},\n  \"cells\": [{rows}\n  ],\n  \"acceptance\": {{\n    \
-         \"suffix_bounded_with_checkpoint\": {ok}\n  }}\n}}\n"
+         \"suffix_bounded_with_checkpoint\": {ok}\n  }}\n}}\n",
+        backend.label(),
     );
-    let path = write_results("BENCH_restart.json", &json);
+    let path = write_results(&backend.results_name("restart"), &json);
     println!("wrote {}", path.display());
 
     assert!(ok, "acceptance: checkpointed restarts must replay a bounded suffix");

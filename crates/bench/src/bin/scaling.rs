@@ -34,7 +34,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sias_bench::{arg_value, write_results, EngineKind, ObsArgs};
+use sias_bench::{arg_value, io_depth_arg, write_results, Backend, EngineKind, ObsArgs};
 use sias_core::SiasDb;
 use sias_obs::{SamplerHandle, TimeSeries, TraceEvent};
 use sias_si::SiDb;
@@ -74,17 +74,21 @@ struct TraceOut {
     dropped: u64,
 }
 
-fn storage() -> StorageConfig {
-    StorageConfig::in_memory().with_wal_config(WalConfig {
+fn storage(backend: &Backend, io_depth: Option<usize>) -> StorageConfig {
+    // Real files pay their own fsync latency; only simulated media get
+    // the modelled force sleep.
+    let force_sleep_us = if backend.is_file_backed() { 0 } else { FORCE_SLEEP_US };
+    backend.storage(1024, io_depth).with_wal_config(WalConfig {
         group_timeout_ticks: 64,
         max_batch: 64,
-        force_sleep_us: FORCE_SLEEP_US,
+        force_sleep_us,
     })
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run(
     kind: EngineKind,
+    storage_cfg: &StorageConfig,
     threads: usize,
     txns_per_thread: usize,
     seed: u64,
@@ -133,14 +137,14 @@ fn run(
     };
     let (run, snap, shards, tout) = match kind {
         EngineKind::Si => {
-            let db = SiDb::open(storage());
+            let db = SiDb::open(storage_cfg.clone());
             let registry = Arc::clone(db.obs_registry().expect("si registry"));
             let (run, tout) = drive(&registry, &|| drive_threaded(&db, &tcfg));
             let shards = db.stack().pool.shard_count();
             (run, db.metrics_snapshot(), shards, tout)
         }
         _ => {
-            let db = SiasDb::open(storage());
+            let db = SiasDb::open(storage_cfg.clone());
             let registry = Arc::clone(db.obs_registry().expect("sias registry"));
             let (run, tout) = drive(&registry, &|| drive_threaded(&db, &tcfg));
             let shards = db.stack().pool.shard_count();
@@ -177,6 +181,9 @@ fn main() {
     let engine_sel = arg_value(&args, "--engine").unwrap_or_else(|| "both".to_string());
     let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
     let ssi = args.iter().any(|a| a == "--ssi");
+    let backend = Backend::from_args(&args, Backend::Mem);
+    let io_depth = io_depth_arg(&args);
+    let storage_cfg = storage(&backend, io_depth);
 
     let mut sweep: Vec<usize> = Vec::new();
     let mut t = 1;
@@ -220,7 +227,7 @@ fn main() {
     for &kind in &kinds {
         for &threads in &sweep {
             let (cell, snap, _) =
-                run(kind, threads, txns_per_thread, seed, ssi, false, false, None);
+                run(kind, &storage_cfg, threads, txns_per_thread, seed, ssi, false, false, None);
             println!(
                 "{:<8} {:>7} {:>9} {:>8} {:>9} {:>9.3} {:>11.0} {:>7} {:>9} {:>9}",
                 cell.engine,
@@ -263,6 +270,7 @@ fn main() {
     let overhead_threads = *sweep.last().unwrap();
     let (on_cell, _, tout) = run(
         overhead_kind,
+        &storage_cfg,
         overhead_threads,
         txns_per_thread,
         seed,
@@ -328,10 +336,14 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"config\": {{\"txns_per_thread\": {txns_per_thread}, \"keys\": 256, \
+        "  \"config\": {{\"backend\": \"{}\", \"io_queue_depth\": {}, \
+         \"txns_per_thread\": {txns_per_thread}, \"keys\": 256, \
          \"ops_per_txn\": 4, \"update_pct\": 60, \"seed\": {seed}, \
-         \"force_sleep_us\": {FORCE_SLEEP_US}, \"group_timeout_ticks\": 64, \
-         \"max_batch\": 64, \"quick\": {quick}, \"serializable\": {ssi}}},\n"
+         \"force_sleep_us\": {}, \"group_timeout_ticks\": 64, \
+         \"max_batch\": 64, \"quick\": {quick}, \"serializable\": {ssi}}},\n",
+        backend.label(),
+        storage_cfg.io_queue_depth,
+        storage_cfg.wal.force_sleep_us,
     ));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -364,6 +376,6 @@ fn main() {
     }
     json.push_str("}\n");
 
-    let path = write_results("BENCH_scaling.json", &json);
+    let path = write_results(&backend.results_name("scaling"), &json);
     println!("wrote {}", path.display());
 }

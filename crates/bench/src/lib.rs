@@ -66,6 +66,133 @@ impl Testbed {
     }
 }
 
+/// Storage backend selection shared by every bench binary: simulated
+/// testbed media (virtual time), the zero-latency in-memory device, or
+/// real files on the host filesystem (wall-clock time, optional
+/// O_DIRECT, async I/O queue).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Zero-latency in-memory device.
+    Mem,
+    /// Simulated flash/HDD testbed.
+    Sim(Testbed),
+    /// One real file at the given path (WAL in a `.wal` sibling).
+    File(std::path::PathBuf),
+    /// Stripe over several real files.
+    Striped(Vec<std::path::PathBuf>),
+}
+
+impl Backend {
+    /// Parses a `--backend` CLI value: `mem`, `flash`/`sim` (single
+    /// simulated SSD), any [`Testbed::parse`] name, `file:<path>`, or
+    /// `striped:<path1,path2,...>`.
+    pub fn parse(s: &str) -> Option<Backend> {
+        if let Some(p) = s.strip_prefix("file:") {
+            if p.is_empty() {
+                return None;
+            }
+            return Some(Backend::File(p.into()));
+        }
+        if let Some(list) = s.strip_prefix("striped:") {
+            let paths: Vec<std::path::PathBuf> =
+                list.split(',').filter(|p| !p.is_empty()).map(Into::into).collect();
+            if paths.is_empty() {
+                return None;
+            }
+            return Some(Backend::Striped(paths));
+        }
+        match s {
+            "mem" => Some(Backend::Mem),
+            "flash" | "sim" => Some(Backend::Sim(Testbed::Ssd)),
+            other => Testbed::parse(other).map(Backend::Sim),
+        }
+    }
+
+    /// Reads `--backend` from raw argv, falling back to `default`.
+    /// Panics (with the offending value) on an unparsable backend, so a
+    /// typo fails loudly instead of silently benchmarking the default.
+    pub fn from_args(args: &[String], default: Backend) -> Backend {
+        match arg_value(args, "--backend") {
+            Some(v) => {
+                Backend::parse(&v).unwrap_or_else(|| panic!("unknown --backend value {v:?}"))
+            }
+            None => default,
+        }
+    }
+
+    /// `true` when the backend touches real files (results should go to
+    /// the `BENCH_file_*` namespace and timings are wall-clock).
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self, Backend::File(_) | Backend::Striped(_))
+    }
+
+    /// Short label for result JSON (`mem`, `ssd`, `file`, `striped:2`).
+    pub fn label(&self) -> String {
+        match self {
+            Backend::Mem => "mem".into(),
+            Backend::Sim(t) => format!("{t:?}").to_lowercase(),
+            Backend::File(_) => "file".into(),
+            Backend::Striped(paths) => format!("striped:{}", paths.len()),
+        }
+    }
+
+    /// Results-file name: `BENCH_<base>.json` for simulated backends,
+    /// `BENCH_file_<base>.json` for real files.
+    pub fn results_name(&self, base: &str) -> String {
+        if self.is_file_backed() {
+            format!("BENCH_file_{base}.json")
+        } else {
+            format!("BENCH_{base}.json")
+        }
+    }
+
+    /// Builds the storage configuration — the one construction every
+    /// bench binary shares. `io_depth` overrides the per-member async
+    /// queue depth (`None` keeps the backend's default: 8 for files, 0
+    /// for simulated media).
+    pub fn storage(&self, pool_frames: usize, io_depth: Option<usize>) -> StorageConfig {
+        let cfg = match self {
+            Backend::Mem => StorageConfig::in_memory(),
+            Backend::Sim(t) => t.storage(pool_frames),
+            Backend::File(p) => StorageConfig::file(p).with_capacity_pages(1 << 17),
+            Backend::Striped(paths) => {
+                StorageConfig::striped(paths.clone()).with_capacity_pages(1 << 17)
+            }
+        };
+        let cfg = cfg.with_pool_frames(pool_frames);
+        match io_depth {
+            Some(d) => cfg.with_io_queue_depth(d),
+            None => cfg,
+        }
+    }
+}
+
+/// Reads the `--io-depth <n>` override from raw argv.
+pub fn io_depth_arg(args: &[String]) -> Option<usize> {
+    arg_value(args, "--io-depth").and_then(|v| v.parse().ok())
+}
+
+/// Builds an engine of `kind` on an arbitrary backend (the
+/// backend-aware twin of [`build`]).
+pub fn backend_build(
+    kind: EngineKind,
+    backend: &Backend,
+    pool_frames: usize,
+    io_depth: Option<usize>,
+) -> AnyEngine {
+    let storage = backend.storage(pool_frames, io_depth);
+    build_on(kind, storage)
+}
+
+/// Builds an engine of `kind` over an explicit storage configuration.
+pub fn build_on(kind: EngineKind, storage: StorageConfig) -> AnyEngine {
+    match kind {
+        EngineKind::Si => AnyEngine::Si(SiDb::open(storage)),
+        EngineKind::SiasT1 => AnyEngine::Sias(SiasDb::open_with_policy(storage, FlushPolicy::T1)),
+        EngineKind::SiasT2 => AnyEngine::Sias(SiasDb::open_with_policy(storage, FlushPolicy::T2)),
+    }
+}
+
 /// Which engine + flush policy to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineKind {
@@ -153,12 +280,7 @@ impl AnyEngine {
 
 /// Builds an engine of `kind` on `testbed`.
 pub fn build(kind: EngineKind, testbed: Testbed, pool_frames: usize) -> AnyEngine {
-    let storage = testbed.storage(pool_frames);
-    match kind {
-        EngineKind::Si => AnyEngine::Si(SiDb::open(storage)),
-        EngineKind::SiasT1 => AnyEngine::Sias(SiasDb::open_with_policy(storage, FlushPolicy::T1)),
-        EngineKind::SiasT2 => AnyEngine::Sias(SiasDb::open_with_policy(storage, FlushPolicy::T2)),
-    }
+    build_on(kind, testbed.storage(pool_frames))
 }
 
 /// Runs one experiment cell: build, load, measure, verify.
@@ -369,6 +491,28 @@ mod tests {
         assert_eq!(EngineKind::parse("si"), Some(EngineKind::Si));
         assert_eq!(EngineKind::parse("sias"), Some(EngineKind::SiasT2));
         assert_eq!(EngineKind::parse("sias-t1"), Some(EngineKind::SiasT1));
+    }
+
+    #[test]
+    fn backend_parser_and_result_names() {
+        assert_eq!(Backend::parse("mem"), Some(Backend::Mem));
+        assert_eq!(Backend::parse("flash"), Some(Backend::Sim(Testbed::Ssd)));
+        assert_eq!(Backend::parse("hdd"), Some(Backend::Sim(Testbed::Hdd)));
+        assert_eq!(Backend::parse("file:/tmp/x.dat"), Some(Backend::File("/tmp/x.dat".into())));
+        assert_eq!(
+            Backend::parse("striped:a.dat,b.dat"),
+            Some(Backend::Striped(vec!["a.dat".into(), "b.dat".into()]))
+        );
+        assert_eq!(Backend::parse("file:"), None);
+        assert_eq!(Backend::parse("striped:"), None);
+        assert_eq!(Backend::parse("nvme"), None);
+        assert_eq!(Backend::Mem.results_name("scaling"), "BENCH_scaling.json");
+        assert_eq!(Backend::File("x".into()).results_name("scaling"), "BENCH_file_scaling.json");
+        assert!(Backend::Striped(vec!["a".into()]).is_file_backed());
+        // The storage helper honours the io-depth override.
+        let cfg = Backend::File("x".into()).storage(64, Some(16));
+        assert_eq!(cfg.io_queue_depth, 16);
+        assert_eq!(cfg.pool_frames, 64);
     }
 
     #[test]

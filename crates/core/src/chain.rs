@@ -161,6 +161,17 @@ pub fn visible_versions_batch(
 
     while !pending.is_empty() {
         pending.sort_unstable_by_key(|&(_, tid)| tid.block);
+        // With an async I/O queue attached, overlap this round's miss
+        // fills: submit one batched read for every distinct block before
+        // the per-block walk pins them (already-resident blocks are
+        // skipped inside `prefetch_blocks`).
+        if pool.has_io_queue() {
+            let mut blocks: Vec<u32> = pending.iter().map(|&(_, tid)| tid.block).collect();
+            blocks.dedup();
+            if blocks.len() > 1 {
+                pool.prefetch_blocks(rel, &blocks);
+            }
+        }
         let mut start = 0;
         while start < pending.len() {
             let block = pending[start].1.block;

@@ -449,6 +449,7 @@ mod tests {
             faults: sias_storage::FaultPlan::none(),
             wal: sias_storage::WalConfig::default(),
             trace_capacity: sias_storage::DEFAULT_TRACE_CAPACITY,
+            io_queue_depth: 0,
         };
         let db = SiasDb::open_with_policy(storage, FlushPolicy::T2);
         let rel = db.create_relation("t");

@@ -49,10 +49,14 @@ pub enum SpanName {
     ChaosCrash = 17,
     /// Instant: the anomaly checker flagged a violation; `txn` = xid.
     AnomalyFlag = 18,
+    /// I/O queue batch submit; `arg` = ops in the batch.
+    IoSubmit = 19,
+    /// I/O queue completion reap; `arg` = completions reaped.
+    IoReap = 20,
 }
 
 /// Number of distinct span names (table size for exporters).
-pub const SPAN_NAME_COUNT: u16 = 19;
+pub const SPAN_NAME_COUNT: u16 = 21;
 
 impl SpanName {
     /// The exported dotted name, shared by both engines.
@@ -77,6 +81,8 @@ impl SpanName {
             SpanName::Maintenance => "maintenance",
             SpanName::ChaosCrash => "chaos.crash",
             SpanName::AnomalyFlag => "anomaly.flag",
+            SpanName::IoSubmit => "io.submit",
+            SpanName::IoReap => "io.reap",
         }
     }
 
@@ -104,6 +110,8 @@ impl SpanName {
             16 => Maintenance,
             17 => ChaosCrash,
             18 => AnomalyFlag,
+            19 => IoSubmit,
+            20 => IoReap,
             _ => return None,
         })
     }

@@ -40,7 +40,8 @@ use parking_lot::{Mutex, RwLock};
 use sias_common::{BlockId, RelId, SiasError, SiasResult};
 use sias_obs::{Counter, FlightRecorder, Registry, SpanName};
 
-use crate::device::{retry_io, Device, RetryCtx, RetryPolicy};
+use crate::device::{retry_io, Device, RetryClock, RetryCtx, RetryPolicy};
+use crate::io_queue::{IoOp, IoQueue};
 use crate::page::Page;
 use crate::tablespace::Tablespace;
 
@@ -132,6 +133,9 @@ pub struct BufferPool {
     space: Arc<Tablespace>,
     retry: RetryPolicy,
     retry_ctx: RetryCtx,
+    /// Async submit/reap queue for batched miss fills and checkpoint
+    /// write-back; `None` keeps every path on blocking per-page I/O.
+    io: Option<Arc<IoQueue>>,
     stats: StatCell,
     /// Pages that failed checksum verification, keyed by page id with
     /// the `(stored, computed)` CRC pair that condemned them. A
@@ -219,8 +223,9 @@ impl BufferPool {
             retry_ctx: RetryCtx {
                 retries: obs.counter("storage.buffer.io_retries"),
                 backoff_ticks: obs.histogram("storage.io.retry_backoff_ticks"),
-                clock: None,
+                clock: RetryClock::Disabled,
             },
+            io: None,
             stats: StatCell::register(obs),
             quarantine: Mutex::new(HashMap::new()),
         }
@@ -238,11 +243,30 @@ impl BufferPool {
         self
     }
 
-    /// Charges retry backoff to `clock` (builder style). Without a
-    /// clock, retries are immediate but still histogram-recorded.
-    pub fn with_clock(mut self, clock: Arc<sias_common::VirtualClock>) -> Self {
-        self.retry_ctx.clock = Some(clock);
+    /// Charges retry backoff to the virtual `clock` (builder style;
+    /// simulated devices).
+    pub fn with_clock(self, clock: Arc<sias_common::VirtualClock>) -> Self {
+        self.with_retry_clock(RetryClock::Virtual(clock))
+    }
+
+    /// Selects the retry backoff clock source explicitly (builder
+    /// style): virtual for simulated devices, wall for real files.
+    pub fn with_retry_clock(mut self, clock: RetryClock) -> Self {
+        self.retry_ctx.clock = clock;
         self
+    }
+
+    /// Attaches an async I/O queue (builder style): batched prefetch
+    /// fills and queued checkpoint write-back run through it.
+    pub fn with_io_queue(mut self, io: Arc<IoQueue>) -> Self {
+        self.io = Some(io);
+        self
+    }
+
+    /// True when an async I/O queue is attached (callers use this to
+    /// decide whether batching a round of misses is worth collecting).
+    pub fn has_io_queue(&self) -> bool {
+        self.io.is_some()
     }
 
     /// The tablespace this pool addresses through.
@@ -510,6 +534,155 @@ impl BufferPool {
         Ok(idx)
     }
 
+    /// Best-effort batched prefetch: issues one async read batch for
+    /// every non-resident, non-quarantined page of `blocks` and
+    /// installs the images, returning how many pages were brought in.
+    /// A no-op without an attached [`IoQueue`].
+    ///
+    /// Correctness follows the miss path's IO-in-progress discipline:
+    /// each target frame is pinned and write-latched *before* its read
+    /// is submitted and stays latched until the image is installed, so
+    /// no concurrent fetch can fault the same page in, dirty it, and
+    /// have this prefetch overwrite it with a stale image. Frames under
+    /// prefetch are published in the shard table (concurrent fetches of
+    /// the same key pin them and wait on the latch like any hit).
+    /// Failures (read error, checksum mismatch, no evictable victim)
+    /// skip the page; the foreground fetch will retry it blocking and
+    /// surface the error with proper retries attached.
+    pub fn prefetch_blocks(&self, rel: RelId, blocks: &[BlockId]) -> usize {
+        let Some(io) = self.io.as_ref() else { return 0 };
+        struct Pending<'a> {
+            idx: usize,
+            key: (RelId, BlockId),
+            guard: parking_lot::RwLockWriteGuard<'a, FrameData>,
+        }
+        let mut pending: Vec<Pending<'_>> = Vec::new();
+        let mut lbas: Vec<u64> = Vec::new();
+        for &block in blocks {
+            let key = (rel, block);
+            if self.quarantine.lock().contains_key(&key) {
+                continue;
+            }
+            let Ok(lba) = self.space.resolve(rel, block) else { continue };
+            let shard = self.shard_of(key);
+            let mut table = shard.table.lock();
+            if table.contains_key(&key) {
+                continue; // resident (or already claimed by this batch)
+            }
+            shard.cell.misses.fetch_add(1, Ordering::Relaxed);
+            let n = shard.len;
+            let mut victim = None;
+            for _ in 0..5 * n {
+                let idx = shard.lo + shard.hand.fetch_add(1, Ordering::Relaxed) % n;
+                let frame = &self.frames[idx];
+                if frame.pins.load(Ordering::Acquire) > 0 {
+                    continue;
+                }
+                if frame.usage.load(Ordering::Relaxed) > 0 {
+                    frame.usage.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                }
+                victim = Some(idx);
+                break;
+            }
+            // Pool pressure (everything pinned or hot): prefetching is
+            // optional, leave the page to the foreground fetch.
+            let Some(idx) = victim else { continue };
+            let frame = &self.frames[idx];
+            frame.pins.fetch_add(1, Ordering::Acquire);
+            // Same ordering as `fetch`: latch under the table lock; the
+            // sweep saw pins == 0 here, so this cannot block.
+            let mut guard = frame.data.write();
+            if let Some(old_key) = guard.key {
+                if old_key == key {
+                    // Table and frame disagreed transiently; the frame
+                    // already holds our page — republish and move on.
+                    table.insert(key, idx);
+                    drop(guard);
+                    drop(table);
+                    frame.pins.fetch_sub(1, Ordering::Release);
+                    continue;
+                }
+                if guard.dirty {
+                    let Ok(old_lba) = self.space.resolve(old_key.0, old_key.1) else {
+                        drop(guard);
+                        drop(table);
+                        frame.pins.fetch_sub(1, Ordering::Release);
+                        continue;
+                    };
+                    guard.page.stamp_checksum();
+                    if retry_io(self.retry, &self.retry_ctx, || {
+                        self.device.try_write_page(old_lba, guard.page.as_bytes(), true)
+                    })
+                    .is_err()
+                    {
+                        drop(guard);
+                        drop(table);
+                        frame.pins.fetch_sub(1, Ordering::Release);
+                        continue;
+                    }
+                    guard.dirty = false;
+                    shard.cell.eviction_writes.fetch_add(1, Ordering::Relaxed);
+                }
+                table.remove(&old_key);
+                shard.cell.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            table.insert(key, idx);
+            frame.usage.store(1, Ordering::Relaxed);
+            drop(table);
+            guard.key = Some(key);
+            guard.dirty = false;
+            pending.push(Pending { idx, key, guard });
+            lbas.push(lba);
+        }
+        if pending.is_empty() {
+            return 0;
+        }
+        let ops: Vec<(u64, IoOp)> =
+            lbas.iter().enumerate().map(|(i, &lba)| (i as u64, IoOp::Read { lba })).collect();
+        let batch = io.submit(ops);
+        let comps = io.reap_exact(batch, pending.len());
+        let mut installed = 0;
+        for c in comps {
+            let p = &mut pending[c.tag as usize];
+            let image = match c.result {
+                Ok(Some(buf)) => {
+                    let page = Page::from_bytes(&buf);
+                    match page.checksum_mismatch() {
+                        None => Some(page),
+                        Some((stored, computed)) => {
+                            self.stats.checksum_failures.inc();
+                            self.quarantine.lock().insert(p.key, (stored, computed));
+                            None
+                        }
+                    }
+                }
+                _ => None,
+            };
+            match image {
+                Some(page) => {
+                    p.guard.page = page;
+                    installed += 1;
+                }
+                None => {
+                    // Mirror the miss path's read-error unwind: unmap
+                    // the frame entirely.
+                    p.guard.key = None;
+                    let mut table = self.shard_of(p.key).table.lock();
+                    if table.get(&p.key) == Some(&p.idx) {
+                        table.remove(&p.key);
+                    }
+                }
+            }
+        }
+        for p in pending {
+            let idx = p.idx;
+            drop(p.guard);
+            self.frames[idx].pins.fetch_sub(1, Ordering::Release);
+        }
+        installed
+    }
+
     /// Flushes one page if resident and dirty. `sync` selects whether the
     /// host blocks on the device write.
     pub fn flush_block(&self, rel: RelId, block: BlockId, sync: bool) -> SiasResult<bool> {
@@ -572,9 +745,27 @@ impl BufferPool {
     }
 
     /// Checkpoint: flush every dirty page (asynchronously — checkpoints
-    /// are spread out and do not stall foreground work). Returns pages
-    /// written.
+    /// are spread out and do not stall foreground work), then issue one
+    /// device-level durability barrier so the `sync: false` writes are
+    /// actually on stable media before the checkpoint record claims so.
+    /// With an [`IoQueue`] attached the write-back is batched through
+    /// it (waves of in-flight writes, single fsync at the end); without
+    /// one it stays a serial per-page loop. Returns pages written.
     pub fn flush_all(&self) -> usize {
+        let written = match self.io.as_ref() {
+            Some(io) => self.flush_all_queued(io),
+            None => self.flush_all_serial(),
+        };
+        // Best-effort like the page writes themselves: an unreachable
+        // device leaves pages dirty for the next checkpoint to retry.
+        let _ = self.device.flush();
+        self.stats.checkpoint_writes.add(written as u64);
+        written
+    }
+
+    /// Serial checkpoint write-back: one blocking `sync: false` write
+    /// per dirty page. Best-effort — a failed page stays dirty.
+    fn flush_all_serial(&self) -> usize {
         let mut written = 0;
         for frame in &self.frames {
             let mut guard = frame.data.write();
@@ -595,7 +786,58 @@ impl BufferPool {
             guard.dirty = false;
             written += 1;
         }
-        self.stats.checkpoint_writes.add(written as u64);
+        written
+    }
+
+    /// Queued checkpoint write-back: collect a wave of dirty frames
+    /// (write-latched so their images cannot change mid-flight), submit
+    /// the wave as one async batch, reap, and mark the successes clean.
+    /// Failed pages stay dirty, as in the serial path.
+    fn flush_all_queued(&self, io: &Arc<IoQueue>) -> usize {
+        let wave_size = (io.depth() * 2).max(8);
+        let mut written = 0;
+        let mut next = 0usize;
+        while next < self.frames.len() {
+            let mut held: Vec<(parking_lot::RwLockWriteGuard<'_, FrameData>, u64)> =
+                Vec::with_capacity(wave_size);
+            while next < self.frames.len() && held.len() < wave_size {
+                let frame = &self.frames[next];
+                next += 1;
+                let mut guard = frame.data.write();
+                if !guard.dirty {
+                    continue;
+                }
+                let Some((rel, block)) = guard.key else { continue };
+                let Ok(lba) = self.space.resolve(rel, block) else { continue };
+                guard.page.stamp_checksum();
+                held.push((guard, lba));
+            }
+            if held.is_empty() {
+                continue;
+            }
+            let ops: Vec<(u64, IoOp)> = held
+                .iter()
+                .enumerate()
+                .map(|(i, (guard, lba))| {
+                    (
+                        i as u64,
+                        IoOp::Write {
+                            lba: *lba,
+                            data: guard.page.as_bytes().to_vec(),
+                            sync: false,
+                        },
+                    )
+                })
+                .collect();
+            let want = held.len();
+            let batch = io.submit(ops);
+            for c in io.reap_exact(batch, want) {
+                if c.result.is_ok() {
+                    held[c.tag as usize].0.dirty = false;
+                    written += 1;
+                }
+            }
+        }
         written
     }
 
@@ -1019,6 +1261,73 @@ mod tests {
         let page = Page::from_bytes(&img);
         assert_ne!(page.stored_checksum(), 0, "durable image carries a CRC");
         assert_eq!(page.checksum_mismatch(), None);
+    }
+
+    #[test]
+    fn prefetch_installs_cold_pages_byte_identical_to_blocking_path() {
+        use crate::io_queue::IoQueue;
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::standalone(1 << 16));
+        let space = Arc::new(Tablespace::new(1 << 16));
+        space.create_relation(RelId(1));
+        let p = Arc::new(
+            BufferPool::new(16, Arc::clone(&dev), space)
+                .with_io_queue(IoQueue::detached(Arc::clone(&dev), 4)),
+        );
+        assert!(p.has_io_queue());
+        let rel = RelId(1);
+        let blocks: Vec<BlockId> = (0..10).map(|_| p.allocate_block(rel).unwrap()).collect();
+        for (i, &b) in blocks.iter().enumerate() {
+            p.with_page_mut(rel, b, |page| {
+                page.add_item(&[i as u8; 16]).unwrap().unwrap();
+            })
+            .unwrap();
+        }
+        assert!(p.flush_all() >= 10);
+        // Drop every cached copy so the prefetch really reads the device.
+        for &b in &blocks {
+            assert!(p.invalidate_block(rel, b));
+        }
+        let reads_before = d_reads(&dev);
+        let installed = p.prefetch_blocks(rel, &blocks);
+        assert_eq!(installed, 10);
+        assert_eq!(d_reads(&dev) - reads_before, 10, "one device read per page");
+        // Every page is now a hit with the exact blocking-path contents.
+        for (i, &b) in blocks.iter().enumerate() {
+            let v = p.with_page(rel, b, |page| page.item(0).unwrap().to_vec()).unwrap();
+            assert_eq!(v, vec![i as u8; 16]);
+        }
+        assert_eq!(d_reads(&dev) - reads_before, 10, "post-prefetch reads are pool hits");
+        // Resident pages are skipped on a re-prefetch.
+        assert_eq!(p.prefetch_blocks(rel, &blocks), 0);
+        p.debug_validate();
+    }
+
+    fn d_reads(dev: &Arc<dyn Device>) -> u64 {
+        dev.stats().host_read_pages
+    }
+
+    #[test]
+    fn queued_flush_all_writes_every_dirty_page() {
+        use crate::io_queue::IoQueue;
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::standalone(1 << 16));
+        let space = Arc::new(Tablespace::new(1 << 16));
+        space.create_relation(RelId(1));
+        let p = BufferPool::new(32, Arc::clone(&dev), space)
+            .with_io_queue(IoQueue::detached(Arc::clone(&dev), 3));
+        let rel = RelId(1);
+        for _ in 0..20 {
+            let b = p.allocate_block(rel).unwrap();
+            p.with_page_mut(rel, b, |page| {
+                page.add_item(b"ckpt").unwrap().unwrap();
+            })
+            .unwrap();
+        }
+        assert_eq!(p.flush_all(), 20);
+        assert_eq!(p.dirty_count(), 0);
+        assert_eq!(dev.stats().host_write_pages, 20);
+        assert_eq!(p.flush_all(), 0, "second checkpoint has nothing to do");
+        assert_eq!(p.stats().checkpoint_writes, 20);
+        p.debug_validate();
     }
 
     #[test]

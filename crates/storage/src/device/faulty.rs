@@ -298,6 +298,15 @@ impl Device for FaultyDevice {
         self.inner.trim(lba);
     }
 
+    fn flush(&self) -> SiasResult<()> {
+        // A frozen (power-cut) device can no longer make anything
+        // durable; the dropped writes are already gone.
+        if self.frozen.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        self.inner.flush()
+    }
+
     fn stats(&self) -> DeviceStats {
         self.inner.stats()
     }

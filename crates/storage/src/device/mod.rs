@@ -26,6 +26,7 @@
 //! device channels.
 
 pub mod faulty;
+pub mod file;
 pub mod flash;
 pub mod hdd;
 pub mod mem;
@@ -35,6 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 pub use faulty::{FaultConfig, FaultPlan, FaultyDevice};
+pub use file::{FileDevice, StripedDevice};
 pub use flash::{FlashConfig, FlashDevice};
 pub use hdd::{HddConfig, HddDevice};
 pub use mem::MemDevice;
@@ -84,6 +86,16 @@ pub trait Device: Send + Sync {
     /// Default: no-op (HDDs, memory).
     fn trim(&self, lba: u64) {
         let _ = lba;
+    }
+
+    /// Durability barrier: blocks until every previously acknowledged
+    /// write (including `sync: false` ones) is on stable media. Real
+    /// file devices issue `fdatasync`; the simulated models are
+    /// implicitly durable, so the default is a no-op. Checkpoint
+    /// write-back and the async WAL force path call this once per batch
+    /// instead of paying a sync per page.
+    fn flush(&self) -> SiasResult<()> {
+        Ok(())
     }
 
     /// Snapshot of the device counters.
@@ -192,8 +204,10 @@ impl DeviceEnv {
 /// waits `base_backoff_us << (k-1)` µs, capped at `max_backoff_us`,
 /// plus up to 50% jitter drawn from a splitmix64 stream keyed by
 /// `(jitter_seed, k)` — fully deterministic, so seeded chaos runs stay
-/// reproducible. The wait is charged on the *virtual* clock via the
-/// [`RetryCtx`], never a real sleep.
+/// reproducible. Where the wait is charged depends on the
+/// [`RetryClock`] in the [`RetryCtx`]: simulated devices advance the
+/// virtual clock (no real time passes), real file devices sleep
+/// wall-clock.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts (first try included) before the error propagates.
@@ -237,21 +251,52 @@ impl RetryPolicy {
     }
 }
 
+/// Where [`retry_io`] charges backoff waits. Simulated devices advance
+/// the shared [`VirtualClock`] (deterministic, no real time passes);
+/// real file devices must actually sleep wall-clock, or the backoff is
+/// a lie and a busy-loop hammers the failing device.
+#[derive(Clone, Debug, Default)]
+pub enum RetryClock {
+    /// Record the histogram but wait nowhere (standalone tests).
+    #[default]
+    Disabled,
+    /// Charge waits to the virtual clock (simulated devices).
+    Virtual(Arc<VirtualClock>),
+    /// Sleep the calling thread for the backoff (real file devices).
+    Wall,
+}
+
+impl RetryClock {
+    /// Applies a backoff wait of `us` microseconds to this clock source.
+    pub fn wait_us(&self, us: u64) {
+        if us == 0 {
+            return;
+        }
+        match self {
+            RetryClock::Disabled => {}
+            RetryClock::Virtual(clock) => {
+                clock.advance_us(us);
+            }
+            RetryClock::Wall => std::thread::sleep(std::time::Duration::from_micros(us)),
+        }
+    }
+}
+
 /// Clock and metrics context threaded through [`retry_io`]: the retry
 /// counter of the calling subsystem, the shared
-/// `storage.io.retry_backoff_ticks` histogram, and (when available) the
-/// virtual clock that backoff waits are charged to.
+/// `storage.io.retry_backoff_ticks` histogram, and the clock source
+/// that backoff waits are charged to.
 #[derive(Clone)]
 pub struct RetryCtx {
     /// Per-subsystem transient-retry counter (`storage.wal.io_retries`,
     /// `storage.buffer.io_retries`).
     pub retries: Arc<Counter>,
-    /// Histogram of backoff waits in virtual µs, shared across
-    /// subsystems as `storage.io.retry_backoff_ticks`.
+    /// Histogram of backoff waits in µs (virtual or wall, per the
+    /// clock), shared across subsystems as
+    /// `storage.io.retry_backoff_ticks`.
     pub backoff_ticks: Arc<Histogram>,
-    /// Virtual clock to charge waits on. `None` (standalone tests)
-    /// records the histogram but advances nothing.
-    pub clock: Option<Arc<VirtualClock>>,
+    /// Clock source backoff waits are charged to.
+    pub clock: RetryClock,
 }
 
 impl RetryCtx {
@@ -262,15 +307,15 @@ impl RetryCtx {
         RetryCtx {
             retries: Arc::new(Counter::new()),
             backoff_ticks: Arc::new(Histogram::new()),
-            clock: None,
+            clock: RetryClock::Disabled,
         }
     }
 }
 
 /// Runs `op` up to `policy.max_attempts` times, counting each retry in
 /// `ctx.retries` and charging the policy's backoff schedule to the
-/// virtual clock between attempts. Returns the last error if every
-/// attempt fails.
+/// context's clock source between attempts. Returns the last error if
+/// every attempt fails.
 pub fn retry_io<T>(
     policy: RetryPolicy,
     ctx: &RetryCtx,
@@ -283,9 +328,7 @@ pub fn retry_io<T>(
             ctx.retries.inc();
             let wait = policy.backoff_us(attempt);
             ctx.backoff_ticks.record(wait);
-            if let (Some(clock), true) = (&ctx.clock, wait > 0) {
-                clock.advance_us(wait);
-            }
+            ctx.clock.wait_us(wait);
         }
         match op() {
             Ok(v) => return Ok(v),
@@ -374,7 +417,7 @@ mod tests {
         let ctx = RetryCtx {
             retries: Arc::new(Counter::new()),
             backoff_ticks: Arc::new(Histogram::new()),
-            clock: Some(Arc::clone(&clock)),
+            clock: RetryClock::Virtual(Arc::clone(&clock)),
         };
         let policy =
             RetryPolicy { max_attempts: 3, base_backoff_us: 100, ..RetryPolicy::default() };
@@ -387,5 +430,36 @@ mod tests {
         assert!(elapsed >= 300, "virtual clock advanced by backoff: {elapsed}");
         assert_eq!(ctx.backoff_ticks.count(), 2);
         assert_eq!(ctx.backoff_ticks.sum(), elapsed, "histogram mirrors the charged wait");
+    }
+
+    #[test]
+    fn retry_backoff_sleeps_wall_clock_on_real_devices() {
+        let ctx = RetryCtx { clock: RetryClock::Wall, ..RetryCtx::detached() };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 2_000,
+            max_backoff_us: 4_000,
+            jitter_seed: 1,
+        };
+        let start = std::time::Instant::now();
+        let out: SiasResult<()> =
+            retry_io(policy, &ctx, || Err(sias_common::SiasError::Device("hard".into())));
+        assert!(out.is_err());
+        // Two retries: ≥ 2 + 4 ms of real sleep (jitter adds more).
+        assert!(start.elapsed() >= std::time::Duration::from_micros(6_000));
+        assert_eq!(ctx.backoff_ticks.count(), 2);
+    }
+
+    #[test]
+    fn disabled_retry_clock_waits_nowhere() {
+        let ctx = RetryCtx::detached();
+        let policy =
+            RetryPolicy { max_attempts: 2, base_backoff_us: 1_000_000, ..RetryPolicy::default() };
+        let start = std::time::Instant::now();
+        let out: SiasResult<()> =
+            retry_io(policy, &ctx, || Err(sias_common::SiasError::Device("hard".into())));
+        assert!(out.is_err());
+        assert!(start.elapsed() < std::time::Duration::from_millis(500), "no real sleep");
+        assert_eq!(ctx.backoff_ticks.count(), 1, "histogram still records");
     }
 }

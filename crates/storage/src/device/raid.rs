@@ -7,6 +7,8 @@
 
 use std::sync::Arc;
 
+use sias_common::SiasResult;
+
 use super::{Device, DeviceStats};
 
 /// A stripe set over homogeneous member devices.
@@ -54,9 +56,26 @@ impl Device for Raid0 {
         self.members.iter().map(|m| m.capacity_pages()).min().unwrap_or(0) * n
     }
 
+    fn try_read_page(&self, lba: u64, buf: &mut [u8]) -> SiasResult<()> {
+        let (m, mlba) = self.route(lba);
+        self.members[m].try_read_page(mlba, buf)
+    }
+
+    fn try_write_page(&self, lba: u64, data: &[u8], sync: bool) -> SiasResult<()> {
+        let (m, mlba) = self.route(lba);
+        self.members[m].try_write_page(mlba, data, sync)
+    }
+
     fn trim(&self, lba: u64) {
         let (m, mlba) = self.route(lba);
         self.members[m].trim(mlba);
+    }
+
+    fn flush(&self) -> SiasResult<()> {
+        for m in &self.members {
+            m.flush()?;
+        }
+        Ok(())
     }
 
     fn stats(&self) -> DeviceStats {

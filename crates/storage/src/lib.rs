@@ -29,6 +29,7 @@ pub mod buffer;
 mod checksum;
 pub mod device;
 pub mod fsm;
+pub mod io_queue;
 pub mod page;
 pub mod stack;
 pub mod tablespace;
@@ -37,10 +38,11 @@ pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use device::{
-    Device, DeviceRef, DeviceStats, FaultConfig, FaultPlan, FaultyDevice, FlashConfig, HddConfig,
-    RetryCtx, RetryPolicy,
+    Device, DeviceRef, DeviceStats, FaultConfig, FaultPlan, FaultyDevice, FileDevice, FlashConfig,
+    HddConfig, RetryClock, RetryCtx, RetryPolicy, StripedDevice,
 };
 pub use fsm::FreeSpaceMap;
+pub use io_queue::{IoCompletion, IoOp, IoQueue};
 pub use page::Page;
 pub use stack::{Media, StorageConfig, StorageStack};
 pub use tablespace::Tablespace;

@@ -63,6 +63,7 @@ proptest! {
             faults: sias_storage::FaultPlan::none(),
             wal: sias_storage::WalConfig::default(),
             trace_capacity: sias_storage::DEFAULT_TRACE_CAPACITY,
+            io_queue_depth: 0,
         };
         let stack = StorageStack::new(&cfg);
         let pool = &stack.pool;
