@@ -12,7 +12,7 @@
 //! cargo run --release -p sias-bench --bin crashmatrix -- \
 //!     [--seeds 8] [--crash-every 16] [--txns 48] [--keys 12] \
 //!     [--terminals 4] [--hostile] [--plant-bug] [--ssi] \
-//!     [--scrub] [--rot-pages 3] [--skew] [--pairs 4]
+//!     [--scrub] [--rot-pages 3] [--skew] [--pairs 4] [--gc]
 //! ```
 //!
 //! Exits non-zero if any violation is found — except under
@@ -34,6 +34,14 @@
 //! repaired (`pages_corrupt == pages_repaired`) and the post-repair
 //! history passes the SI-anomaly checker with zero violations.
 //!
+//! `--gc` swaps the crash sweep for the incremental-GC crash gate: per
+//! seed and per relocation crash point (after the relocation append,
+//! after the CAS publish, just before a deferred recycle), the
+//! update-heavy serial workload builds garbage, GC is killed mid-slice,
+//! the WAL is recovered on a fresh stack, and the run fails unless
+//! recovery lost no committed version and both the recovered and the
+//! surviving engine show zero anomalies.
+//!
 //! `--ssi` runs the chaos workload under serializable snapshot
 //! isolation; the matrix then additionally gates the history on the
 //! serialization-graph checker (no G2 cycle may survive SSI).
@@ -44,11 +52,58 @@
 //! (proving the checker sees them) and SSI aborts one pivot per pair
 //! leaving zero G2 (proving the machinery kills them).
 
+use sias_core::GcCrashPoint;
 use sias_obs::export;
 use sias_storage::FaultConfig;
-use sias_workload::chaos::{crash_matrix, scrub_scenario, write_skew_scenario, ChaosConfig};
+use sias_workload::chaos::{
+    crash_matrix, gc_crash_scenario, scrub_scenario, write_skew_scenario, ChaosConfig,
+};
 
 use sias_bench::{arg_value, write_results, ObsArgs};
+
+/// The `--gc` gate: seeded crashes inside incremental GC slices. Per
+/// seed, the update-heavy serial workload builds version garbage, then
+/// GC is killed at each of the three relocation crash points in turn;
+/// every run must recover with zero lost keys, zero SI anomalies, and a
+/// live engine whose index survives validation.
+fn run_gc_gate(seeds: u64, txns: usize, keys: u64) {
+    const POINTS: [GcCrashPoint; 3] = [
+        GcCrashPoint::AfterRelocationAppend,
+        GcCrashPoint::AfterCasPublish,
+        GcCrashPoint::BeforeRecycle,
+    ];
+    println!(
+        "GC crash gate: {seeds} seeds x {} crash points, {txns} txns over {keys} keys\n",
+        POINTS.len()
+    );
+    let mut failures = 0usize;
+    for seed in 1..=seeds {
+        for point in POINTS {
+            let cfg = ChaosConfig { seed, txns, keys, ..ChaosConfig::default() };
+            let report = gc_crash_scenario(&cfg, point);
+            println!("{}", report.summary());
+            for v in &report.violations {
+                println!("    [{}] {}", v.condition, v.detail);
+            }
+            if !report.crash_fired {
+                println!(
+                    "    FAIL: crash point {point:?} was never reached — the gate proved nothing"
+                );
+                failures += 1;
+            }
+            if report.lost_keys > 0 {
+                println!("    FAIL: {} committed keys lost across the crash", report.lost_keys);
+                failures += 1;
+            }
+            failures += report.violations.len();
+        }
+    }
+    if failures > 0 {
+        println!("\nFAIL: {failures} GC crash-gate failures");
+        std::process::exit(1);
+    }
+    println!("\nevery mid-relocation crash recovered with zero anomalies and no lost versions");
+}
 
 /// The `--scrub` sweep: seeded bit-rot, scrub, verify, report.
 fn run_scrub_sweep(seeds: u64, rot_pages: usize, txns: usize, keys: u64) {
@@ -133,6 +188,12 @@ fn main() {
     if args.iter().any(|a| a == "--skew") {
         let pairs: u64 = arg_value(&args, "--pairs").and_then(|v| v.parse().ok()).unwrap_or(4);
         run_skew_gate(seeds, pairs);
+        return;
+    }
+    if args.iter().any(|a| a == "--gc") {
+        let txns: usize = arg_value(&args, "--txns").and_then(|v| v.parse().ok()).unwrap_or(48);
+        let keys: u64 = arg_value(&args, "--keys").and_then(|v| v.parse().ok()).unwrap_or(12);
+        run_gc_gate(seeds, txns, keys);
         return;
     }
     if args.iter().any(|a| a == "--scrub") {

@@ -86,6 +86,11 @@ impl SiasDb {
         obs.counter("storage.ckpt.runs").inc();
         obs.counter("storage.ckpt.pages_flushed").add(pages_flushed);
         span.set_arg(pages_flushed);
+        // Reset the pacing watermark: WAL volume since *any* checkpoint
+        // (explicit or paced) is what drives the next paced one.
+        self.maint
+            .last_ckpt_lsn
+            .store(self.stack.wal.current_lsn(), std::sync::atomic::Ordering::Release);
         Ok(CheckpointStats {
             redo_lsn,
             redo_records,
@@ -94,6 +99,28 @@ impl SiasDb {
             map_buckets_saved,
             wal_bytes_truncated,
         })
+    }
+
+    /// WAL-volume-paced fuzzy checkpoint: runs [`SiasDb::checkpoint`]
+    /// only once at least `wal_bytes` of log have been appended since
+    /// the last checkpoint (explicit or paced), so checkpoint frequency
+    /// tracks write traffic instead of wall-clock guesses. Returns
+    /// `Ok(None)` when below the pacing threshold. Ticks
+    /// `storage.ckpt.paced_*`.
+    pub fn maybe_checkpoint(&self, wal_bytes: u64) -> SiasResult<Option<CheckpointStats>> {
+        let obs = &self.stack.obs;
+        let current = self.stack.wal.current_lsn();
+        let last = self.maint.last_ckpt_lsn.load(std::sync::atomic::Ordering::Acquire);
+        if current.saturating_sub(last) < wal_bytes {
+            obs.counter("storage.ckpt.paced_skipped").inc();
+            return Ok(None);
+        }
+        let mut span = self.metrics.tracer.span(SpanName::CkptPaced);
+        let stats = self.checkpoint()?;
+        span.set_arg(stats.pages_flushed);
+        obs.counter("storage.ckpt.paced_runs").inc();
+        obs.counter("storage.ckpt.paced_pages").add(stats.pages_flushed);
+        Ok(Some(stats))
     }
 }
 

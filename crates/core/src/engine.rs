@@ -30,6 +30,7 @@ use crate::append::{AppendRegion, FlushPolicy};
 use crate::chain::{
     fetch_version, skipped_newer_writers, visible_version_depth, visible_versions_batch,
 };
+use crate::maintenance::MaintState;
 use crate::scanpool::ScanPool;
 use crate::version::TupleVersion;
 use crate::vidmap::VidMap;
@@ -64,6 +65,9 @@ pub struct SiasDb {
     pub(crate) metrics: EngineMetrics,
     /// Long-lived workers shared by every parallel VID-map scan.
     scan_pool: ScanPool,
+    /// Shared state of the online-maintenance subsystems (deferred
+    /// page recycles, checkpoint pacing watermark, sweep cursors).
+    pub(crate) maint: MaintState,
 }
 
 impl SiasDb {
@@ -89,6 +93,7 @@ impl SiasDb {
             bgwriter_budget: 128,
             metrics,
             scan_pool,
+            maint: MaintState::new(cfg.maint_pages_per_sec),
         }
     }
 

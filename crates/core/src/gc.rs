@@ -23,19 +23,37 @@
 //!   erased from the VID map (their ⟨key, VID⟩ index record dropped when
 //!   the tombstone recorded the key).
 //!
-//! Vacuum requires a quiescent system (no active transactions) — the
-//! paper's prototype likewise integrates GC as a deterministic process
-//! "triggered by the MV-DBMS", not a concurrent one.
+//! GC runs in two modes:
+//!
+//! * [`SiasDb::vacuum_relation`] — the paper's deterministic whole-pass
+//!   vacuum, requiring a quiescent system (no active transactions);
+//! * [`SiasDb::vacuum_slice`] — an **incremental, concurrent** slice
+//!   that examines a bounded number of candidate pages while foreground
+//!   transactions keep running. A slice takes the per-tuple write lock
+//!   (non-blocking — contended items are skipped and retried on a later
+//!   slice), relocates live versions through the ordinary append path
+//!   while readers continue down the *old* chain, publishes each
+//!   relocation with a CAS on the lock-free VID-map entry, and defers
+//!   the physical recycle of the victim page until the oldest active
+//!   snapshot passes the relocation epoch
+//!   ([`TransactionManager::horizon_passed`](sias_txn::TransactionManager::horizon_passed)).
 
 use sias_obs::SpanName;
 use std::collections::BTreeSet;
 
-use sias_common::{RelId, SiasError, SiasResult, Tid, Vid, Xid};
+use sias_common::{BlockId, RelId, SiasError, SiasResult, Tid, Vid, Xid};
 use sias_txn::TxnStatus;
 
 use crate::chain::collect_reachable;
 use crate::engine::{SiasDb, SiasRelation};
+use crate::maintenance::DeferredPage;
 use crate::version::TupleVersion;
+
+/// Synthetic lock owner used by incremental GC slices. Tuple locks are
+/// keyed by xid; this value is far above anything the allocator hands
+/// out, so a slice can exclude writers from one item at a time without
+/// owning a transaction.
+const GC_SLICE_XID: Xid = Xid(u64::MAX - 1);
 
 /// Default dead-space fraction that makes a page a GC victim.
 pub const DEFAULT_VACUUM_THRESHOLD: f64 = 0.5;
@@ -53,6 +71,12 @@ pub struct GcStats {
     pub versions_relocated: u64,
     /// Data items whose chain aged out entirely (VID map slot cleared).
     pub items_cleared: u64,
+    /// Items skipped by a concurrent slice because a writer held the
+    /// tuple lock or the entrypoint moved (retried on a later slice).
+    pub items_contended: u64,
+    /// Victim pages queued for horizon-gated recycling (they count as
+    /// `pages_reclaimed` once the deferred recycle actually runs).
+    pub pages_deferred: u64,
 }
 
 /// Per-item chain classification used inside one vacuum pass.
@@ -74,7 +98,58 @@ impl GcStats {
         self.versions_discarded += other.versions_discarded;
         self.versions_relocated += other.versions_relocated;
         self.items_cleared += other.items_cleared;
+        self.items_contended += other.items_contended;
+        self.pages_deferred += other.pages_deferred;
     }
+}
+
+/// Tuning of one incremental GC slice.
+#[derive(Clone, Copy, Debug)]
+pub struct GcSliceOpts {
+    /// Upper bound on candidate pages examined per slice.
+    pub max_pages: usize,
+    /// Dead-space fraction that makes a page a victim.
+    pub threshold: f64,
+    /// Longest keep-chain a slice will relocate. Relocation copies the
+    /// whole committed suffix of a chain, so under a long-stuck snapshot
+    /// horizon a hot item's chain can grow to hundreds of versions —
+    /// re-copying that repeatedly amplifies write traffic without
+    /// reclaiming anything. Longer chains are skipped (counted
+    /// contended) until the horizon advances and their keep shrinks.
+    pub max_chain: usize,
+}
+
+impl Default for GcSliceOpts {
+    fn default() -> Self {
+        GcSliceOpts { max_pages: 4, threshold: DEFAULT_VACUUM_THRESHOLD, max_chain: 128 }
+    }
+}
+
+/// Hook points where an interruptible GC slice can be abandoned
+/// mid-protocol. The `crashmatrix --gc` gate stops at seeded points to
+/// prove that every intermediate relocation state recovers cleanly and
+/// stays invisible to readers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcCrashPoint {
+    /// Live versions re-appended through the append path; relocated
+    /// entrypoint **not yet published** (VID-map CAS pending).
+    AfterRelocationAppend,
+    /// Relocated entrypoint published via CAS; victim page **not yet**
+    /// queued for recycling.
+    AfterCasPublish,
+    /// A deferred victim page is about to be physically recycled (its
+    /// relocation epoch has passed the snapshot horizon).
+    BeforeRecycle,
+}
+
+/// Outcome of relocating one item's keep-chain.
+enum Reloc {
+    /// Entrypoint swung to the relocated chain.
+    Published,
+    /// Writer contention (or an in-flight-only chain): left untouched.
+    Contended,
+    /// The interrupt hook fired — abandon the slice immediately.
+    Interrupted,
 }
 
 impl SiasDb {
@@ -109,6 +184,9 @@ impl SiasDb {
         let r = self.relation_handle(rel)?;
         let horizon = self.txm.horizon();
         let mut stats = GcStats::default();
+        // Quiescence means every relocation epoch has passed: recycle
+        // pages deferred by earlier concurrent slices right away.
+        self.drain_deferred(&mut stats, &mut |_| false)?;
         let nblocks = self.stack.space.relation_blocks(rel);
         for block in 0..nblocks {
             if r.append.open_block() == Some(block) || r.append.is_free(block) {
@@ -131,7 +209,7 @@ impl SiasDb {
             }
             let mut items: Vec<ItemChains> = Vec::new();
             for vid in vids {
-                if let Some(item) = self.classify_item(&r, rel, vid, horizon, &mut stats)? {
+                if let Some(item) = self.classify_item(&r, rel, vid, horizon, &mut stats, false)? {
                     items.push(item);
                 }
             }
@@ -161,8 +239,9 @@ impl SiasDb {
                 if item.reach.iter().all(|(t, _)| t.block != block) {
                     continue; // this item's reachable versions live elsewhere
                 }
-                if !self.relocate_chain(&r, item.vid, item.entry, &item.keep, &mut stats)? {
-                    ok = false;
+                match self.relocate_chain(&r, item, &mut stats, false, &mut |_| false)? {
+                    Reloc::Published => {}
+                    Reloc::Contended | Reloc::Interrupted => ok = false,
                 }
             }
             if ok {
@@ -171,6 +250,8 @@ impl SiasDb {
                 stats.versions_discarded += dead_here as u64;
             }
         }
+        #[cfg(debug_assertions)]
+        self.debug_validate_index(rel)?;
         let m = &self.metrics;
         m.gc_runs.inc();
         m.gc_pages_examined.add(stats.pages_examined);
@@ -189,6 +270,11 @@ impl SiasDb {
     /// subset, which relocation re-inserts (splicing out aborted interior
     /// versions). Items that turn out fully dead (aged tombstone,
     /// aborted-only chain) are erased here and `None` is returned.
+    ///
+    /// With `concurrent` set the erasure is guarded: the tuple lock is
+    /// taken non-blocking (skipping the item on contention), in-flight
+    /// chains are never touched, and the VID-map slot is cleared with a
+    /// CAS so a racing entrypoint move loses nothing.
     fn classify_item(
         &self,
         r: &SiasRelation,
@@ -196,6 +282,7 @@ impl SiasDb {
         vid: Vid,
         horizon: Xid,
         stats: &mut GcStats,
+        concurrent: bool,
     ) -> SiasResult<Option<ItemChains>> {
         let Some(entry) = r.vidmap.get(vid) else {
             return Ok(None); // already cleared: residue is orphaned/dead
@@ -206,6 +293,8 @@ impl SiasDb {
             .filter(|(_, v)| self.txm.clog.status(v.create) == TxnStatus::Committed)
             .cloned()
             .collect();
+        let in_flight =
+            reach.iter().any(|(_, v)| self.txm.clog.status(v.create) == TxnStatus::InProgress);
         let anchored = reach
             .last()
             .map(|(_, v)| {
@@ -213,36 +302,104 @@ impl SiasDb {
             })
             .unwrap_or(false);
         // Aged tombstone: the only version any snapshot can see says
-        // "deleted" — the whole item is reclaimable.
-        if anchored && keep.len() == 1 && keep[0].1.tombstone {
-            let t = &keep[0].1;
-            if t.payload.len() == 8 {
-                let key = u64::from_le_bytes(t.payload.as_ref().try_into().unwrap());
-                let _ = r.index.remove(key, vid.0)?;
+        // "deleted" — the whole item is reclaimable. Aborted-only chains
+        // (`keep` empty, nothing in flight) never existed at all.
+        let erasable = (anchored && keep.len() == 1 && keep[0].1.tombstone && !in_flight)
+            || (keep.is_empty() && !in_flight);
+        if erasable {
+            if concurrent {
+                if !self.txm.locks.try_lock(rel, vid, GC_SLICE_XID) {
+                    stats.items_contended += 1;
+                    return Ok(None);
+                }
+                let cleared = r.vidmap.compare_and_remove(vid, entry);
+                self.txm.locks.release_all(GC_SLICE_XID);
+                if !cleared {
+                    stats.items_contended += 1;
+                    return Ok(None);
+                }
+            } else {
+                r.vidmap.remove(vid);
             }
-            r.vidmap.remove(vid);
+            self.drop_index_records(r, vid, keep.first().map(|(_, v)| v))?;
             stats.items_cleared += 1;
             return Ok(None);
         }
         if keep.is_empty() {
-            // Whole chain aborted/crashed: the item never existed.
-            r.vidmap.remove(vid);
-            stats.items_cleared += 1;
-            return Ok(None);
+            // Only an uncommitted in-flight chain: leave it alone, but
+            // keep its versions accounted as reachable so the page is
+            // not treated as dead space.
+            stats.items_contended += 1;
         }
         Ok(Some(ItemChains { vid, entry, reach, keep }))
     }
 
-    /// Re-inserts a keep-chain (oldest first), rebuilding predecessor
-    /// pointers, and swings the VID map to the relocated entrypoint.
-    fn relocate_chain(
+    /// Drops every ⟨key, VID⟩ record of an item being erased. Tombstones
+    /// record their key in the payload (the fast path); chains without
+    /// one — `delete_item` with no key, or aborted-only inserts — fall
+    /// back to an index sweep, so clearing a VID-map slot can never
+    /// strand a dangling index record (the bug the post-GC
+    /// [`SiasDb::debug_validate_index`] check guards against).
+    fn drop_index_records(
         &self,
         r: &SiasRelation,
         vid: Vid,
-        entry: Tid,
-        keep: &[(Tid, TupleVersion)],
+        newest: Option<&TupleVersion>,
+    ) -> SiasResult<()> {
+        if let Some(v) = newest {
+            if v.tombstone && v.payload.len() == 8 {
+                let key = u64::from_le_bytes(v.payload.as_ref().try_into().unwrap());
+                let _ = r.index.remove(key, vid.0)?;
+                return Ok(());
+            }
+        }
+        for (key, val) in r.index.range(0, u64::MAX)? {
+            if val == vid.0 {
+                let _ = r.index.remove(key, val)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-inserts a keep-chain (oldest first), rebuilding predecessor
+    /// pointers, and swings the VID map to the relocated entrypoint.
+    ///
+    /// Concurrent mode takes the tuple lock non-blocking first, so a
+    /// writer mid-`modify_item` is never raced: contended items are
+    /// skipped and retried on a later slice. Readers keep walking the
+    /// old chain throughout — versions are immutable, and the old page
+    /// is only recycled once the relocation epoch passes the horizon.
+    fn relocate_chain(
+        &self,
+        r: &SiasRelation,
+        item: &ItemChains,
         stats: &mut GcStats,
-    ) -> SiasResult<bool> {
+        concurrent: bool,
+        interrupt: &mut dyn FnMut(GcCrashPoint) -> bool,
+    ) -> SiasResult<Reloc> {
+        let ItemChains { vid, entry, keep, .. } = item;
+        let (vid, entry) = (*vid, *entry);
+        if keep.is_empty() {
+            return Ok(Reloc::Contended); // in-flight-only chain: retry later
+        }
+        if concurrent {
+            if !self.txm.locks.try_lock(r.rel, vid, GC_SLICE_XID) {
+                stats.items_contended += 1;
+                return Ok(Reloc::Contended);
+            }
+            // Re-check under the lock: a writer may have published a new
+            // entrypoint between classification and now.
+            if r.vidmap.get(vid) != Some(entry) {
+                self.txm.locks.release_all(GC_SLICE_XID);
+                stats.items_contended += 1;
+                return Ok(Reloc::Contended);
+            }
+        }
+        let unlock = |db: &SiasDb| {
+            if concurrent {
+                db.txm.locks.release_all(GC_SLICE_XID);
+            }
+        };
         let mut new_pred: Option<(Tid, Xid)> = None;
         let mut new_entry = None;
         for (_, v) in keep.iter().rev() {
@@ -254,18 +411,242 @@ impl SiasDb {
                 tombstone: v.tombstone,
                 payload: v.payload.clone(),
             };
-            let tid = r.append.append(&rebuilt.encode())?;
+            let tid = match r.append.append(&rebuilt.encode()) {
+                Ok(tid) => tid,
+                Err(e) => {
+                    unlock(self);
+                    return Err(e);
+                }
+            };
             stats.versions_relocated += 1;
             new_pred = Some((tid, v.create));
             new_entry = Some(tid);
         }
+        if interrupt(GcCrashPoint::AfterRelocationAppend) {
+            unlock(self);
+            return Ok(Reloc::Interrupted);
+        }
         let new_entry = new_entry.expect("non-empty keep chain");
         if !r.vidmap.compare_and_set(vid, Some(entry), new_entry) {
+            unlock(self);
+            if concurrent {
+                stats.items_contended += 1;
+                return Ok(Reloc::Contended);
+            }
             return Err(SiasError::Device(format!(
                 "vidmap entry of {vid} moved during quiescent vacuum"
             )));
         }
+        unlock(self);
+        if interrupt(GcCrashPoint::AfterCasPublish) {
+            return Ok(Reloc::Interrupted);
+        }
+        Ok(Reloc::Published)
+    }
+
+    /// Runs one incremental GC slice over `rel`: recycles deferred
+    /// victims whose relocation epoch has passed the snapshot horizon,
+    /// then examines up to [`GcSliceOpts::max_pages`] candidate pages
+    /// starting at `cursor` (a caller-held sweep position, wrapped
+    /// around the relation). Safe to run concurrently with foreground
+    /// transactions; contended items are skipped, never blocked on.
+    pub fn vacuum_slice(
+        &self,
+        rel: RelId,
+        cursor: &mut BlockId,
+        opts: &GcSliceOpts,
+    ) -> SiasResult<GcStats> {
+        self.gc_slice_inner(rel, cursor, opts, &mut |_| false)
+    }
+
+    /// [`SiasDb::vacuum_slice`] with an interrupt hook: the slice is
+    /// abandoned at the first [`GcCrashPoint`] for which `interrupt`
+    /// returns `true`. Crash-gate harness use.
+    #[doc(hidden)]
+    pub fn vacuum_slice_interruptible(
+        &self,
+        rel: RelId,
+        cursor: &mut BlockId,
+        opts: &GcSliceOpts,
+        interrupt: &mut dyn FnMut(GcCrashPoint) -> bool,
+    ) -> SiasResult<GcStats> {
+        self.gc_slice_inner(rel, cursor, opts, interrupt)
+    }
+
+    fn gc_slice_inner(
+        &self,
+        rel: RelId,
+        cursor: &mut BlockId,
+        opts: &GcSliceOpts,
+        interrupt: &mut dyn FnMut(GcCrashPoint) -> bool,
+    ) -> SiasResult<GcStats> {
+        let pause_start = std::time::Instant::now();
+        let mut span = self.metrics.tracer.span(SpanName::GcSlice);
+        let r = self.relation_handle(rel)?;
+        let mut stats = GcStats::default();
+        let mut interrupted = !self.drain_deferred(&mut stats, interrupt)?;
+        let nblocks = self.stack.space.relation_blocks(rel);
+        if !interrupted && nblocks > 0 {
+            let horizon = self.txm.horizon();
+            // Blocks already awaiting their deferred recycle are invisible
+            // to the sweep: their versions are unreachable by construction
+            // and recycling them twice could free a page a later allocation
+            // is already using.
+            let parked: BTreeSet<BlockId> = {
+                let q = self.maint.deferred.lock();
+                q.iter().filter(|p| p.rel == rel).map(|p| p.block).collect()
+            };
+            let mut examined = 0usize;
+            let mut considered: BlockId = 0;
+            'sweep: while examined < opts.max_pages && considered < nblocks {
+                let block = *cursor % nblocks;
+                *cursor = (*cursor + 1) % nblocks;
+                considered += 1;
+                if r.append.open_block() == Some(block)
+                    || r.append.is_free(block)
+                    || parked.contains(&block)
+                {
+                    continue;
+                }
+                examined += 1;
+                stats.pages_examined += 1;
+                // Bounded page visit: the pin is released when the closure
+                // returns — a slice never holds a pin across a yield.
+                let versions: Vec<(u16, Vec<u8>)> =
+                    self.stack.pool.with_page(rel, block, |p| {
+                        p.live_slots()
+                            .map(|s| p.item(s).map(|i| (s, i.to_vec())))
+                            .collect::<SiasResult<Vec<_>>>()
+                    })??;
+                if versions.is_empty() {
+                    continue;
+                }
+                let mut vids = BTreeSet::new();
+                for (_, bytes) in &versions {
+                    vids.insert(TupleVersion::decode(bytes)?.vid);
+                }
+                let mut items: Vec<ItemChains> = Vec::new();
+                for vid in vids {
+                    if let Some(item) =
+                        self.classify_item(&r, rel, vid, horizon, &mut stats, true)?
+                    {
+                        items.push(item);
+                    }
+                }
+                let reach_tids: BTreeSet<Tid> =
+                    items.iter().flat_map(|i| i.reach.iter().map(|(t, _)| *t)).collect();
+                let live_here = versions
+                    .iter()
+                    .filter(|(slot, _)| reach_tids.contains(&Tid::new(block, *slot)))
+                    .count();
+                let dead_here = versions.len() - live_here;
+                if live_here > 0 && (dead_here as f64) / (versions.len() as f64) < opts.threshold {
+                    continue; // not a victim yet
+                }
+                let mut ok = true;
+                for item in &items {
+                    if item.reach.iter().all(|(t, _)| t.block != block) {
+                        continue;
+                    }
+                    if item.keep.len() > opts.max_chain {
+                        stats.items_contended += 1;
+                        ok = false;
+                        continue;
+                    }
+                    match self.relocate_chain(&r, item, &mut stats, true, interrupt)? {
+                        Reloc::Published => {}
+                        Reloc::Contended => ok = false,
+                        Reloc::Interrupted => {
+                            interrupted = true;
+                            break 'sweep;
+                        }
+                    }
+                }
+                if ok {
+                    // Every reachable version now lives elsewhere — but a
+                    // reader that resolved the old entrypoint before the
+                    // CAS may still be walking this page. Park it until
+                    // the oldest active snapshot passes the epoch.
+                    let epoch = self.txm.relocation_epoch();
+                    self.maint.deferred.lock().push(DeferredPage { rel, block, epoch });
+                    stats.pages_deferred += 1;
+                    stats.versions_discarded += dead_here as u64;
+                }
+            }
+        }
+        let _ = interrupted;
+        let m = &self.metrics;
+        m.gc_runs.inc();
+        m.gc_pages_examined.add(stats.pages_examined);
+        m.gc_pages_reclaimed.add(stats.pages_reclaimed);
+        m.gc_versions_discarded.add(stats.versions_discarded);
+        m.gc_versions_relocated.add(stats.versions_relocated);
+        m.gc_items_cleared.add(stats.items_cleared);
+        let obs = &self.stack.obs;
+        obs.counter("storage.gc.slices").inc();
+        obs.counter("storage.gc.slice_pages").add(stats.pages_examined);
+        obs.counter("storage.gc.pages_reclaimed").add(stats.pages_reclaimed);
+        obs.counter("storage.gc.pages_deferred").add(stats.pages_deferred);
+        obs.counter("storage.gc.versions_relocated").add(stats.versions_relocated);
+        obs.counter("storage.gc.cas_skipped").add(stats.items_contended);
+        obs.counter("storage.gc.items_cleared").add(stats.items_cleared);
+        span.set_arg(stats.pages_examined);
+        m.gc_pause.record_duration(pause_start.elapsed());
+        Ok(stats)
+    }
+
+    /// Recycles every deferred victim page whose relocation epoch has
+    /// passed the snapshot horizon. Returns `false` when the interrupt
+    /// hook abandoned the drain (remaining pages stay parked).
+    fn drain_deferred(
+        &self,
+        stats: &mut GcStats,
+        interrupt: &mut dyn FnMut(GcCrashPoint) -> bool,
+    ) -> SiasResult<bool> {
+        let ready: Vec<DeferredPage> = {
+            let mut q = self.maint.deferred.lock();
+            let mut ready = Vec::new();
+            q.retain(|p| {
+                if self.txm.horizon_passed(p.epoch) {
+                    ready.push(*p);
+                    false
+                } else {
+                    true
+                }
+            });
+            ready
+        };
+        for (i, p) in ready.iter().enumerate() {
+            if interrupt(GcCrashPoint::BeforeRecycle) {
+                self.maint.deferred.lock().extend(ready[i..].iter().copied());
+                return Ok(false);
+            }
+            if let Ok(r) = self.relation_handle(p.rel) {
+                r.append.recycle(p.block);
+                stats.pages_reclaimed += 1;
+            }
+        }
         Ok(true)
+    }
+
+    /// Number of victim pages parked for horizon-gated recycling.
+    pub fn gc_backlog(&self) -> usize {
+        self.maint.deferred.lock().len()
+    }
+
+    /// Post-GC index-consistency check: every ⟨key, VID⟩ record in the
+    /// B+-tree must resolve to an occupied VID-map slot. O(index) — run
+    /// it from tests or quiescent passes, not hot paths.
+    pub fn debug_validate_index(&self, rel: RelId) -> SiasResult<()> {
+        let r = self.relation_handle(rel)?;
+        for (key, val) in r.index.range(0, u64::MAX)? {
+            if r.vidmap.get(Vid(val)).is_none() {
+                return Err(SiasError::Device(format!(
+                    "dangling index record ⟨{key}, v{val}⟩: VID-map slot cleared but record kept"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -450,6 +831,7 @@ mod tests {
             wal: sias_storage::WalConfig::default(),
             trace_capacity: sias_storage::DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 0,
+            maint_pages_per_sec: sias_storage::DEFAULT_MAINT_PAGES_PER_SEC,
         };
         let db = SiasDb::open_with_policy(storage, FlushPolicy::T2);
         let rel = db.create_relation("t");
@@ -492,5 +874,127 @@ mod tests {
         assert_eq!(second.versions_discarded, 0, "second pass finds nothing: {second:?}");
         assert_eq!(second.versions_relocated, 0);
         assert_eq!(second.pages_reclaimed, 0);
+    }
+
+    /// Regression for the index-record leak: a *keyless* tombstone
+    /// (`delete_item` with `key: None`) carries no key in its payload,
+    /// so the old `items_cleared` path stranded the ⟨key, VID⟩ record
+    /// when it dropped the VID-map slot. The sweep fallback in
+    /// `drop_index_records` must find and drop it anyway.
+    #[test]
+    fn keyless_tombstones_leave_no_dangling_index_records() {
+        let (db, rel) = db();
+        let t = db.begin();
+        for k in 0..10u64 {
+            db.insert(&t, rel, k, &[7u8; 1500]).unwrap();
+        }
+        db.commit(t).unwrap();
+        let r = db.relation_handle(rel).unwrap();
+        let doomed: Vec<Vid> = (0..5u64).map(|k| Vid(r.index.lookup(k).unwrap()[0])).collect();
+        let t = db.begin();
+        for vid in &doomed {
+            // Key deliberately withheld: the tombstone payload is empty.
+            db.delete_item(&t, rel, *vid, None).unwrap();
+        }
+        db.commit(t).unwrap();
+        let s = db.vacuum_relation(rel).unwrap();
+        assert_eq!(s.items_cleared, 5, "stats: {s:?}");
+        db.debug_validate_index(rel).unwrap();
+        for k in 0..5u64 {
+            assert_eq!(r.index.lookup(k).unwrap(), Vec::<u64>::new(), "key {k} leaked");
+        }
+        let t = db.begin();
+        assert_eq!(db.scan_all(&t, rel).unwrap().len(), 5);
+        db.commit(t).unwrap();
+    }
+
+    /// Aborted-only chains erased by GC must also shed their index
+    /// records (the insert indexed the key before the abort).
+    #[test]
+    fn aborted_chains_shed_their_index_records() {
+        let (db, rel) = db();
+        let t = db.begin();
+        db.insert(&t, rel, 1, &[1u8; 3000]).unwrap();
+        db.abort(t);
+        let t = db.begin();
+        for k in 10..20u64 {
+            db.insert(&t, rel, k, &[2u8; 3000]).unwrap();
+        }
+        db.commit(t).unwrap();
+        let s = db.vacuum_relation(rel).unwrap();
+        assert!(s.items_cleared >= 1, "stats: {s:?}");
+        db.debug_validate_index(rel).unwrap();
+        let r = db.relation_handle(rel).unwrap();
+        assert_eq!(r.index.lookup(1).unwrap(), Vec::<u64>::new(), "aborted key leaked");
+    }
+
+    /// Incremental slices must defer the physical recycle while any
+    /// snapshot predates the relocation, and drain it afterwards.
+    #[test]
+    fn slice_defers_recycle_until_horizon_passes() {
+        let (db, rel) = db();
+        let t = db.begin();
+        let vid = db.insert_item(&t, rel, &[0u8; 512]).unwrap();
+        db.commit(t).unwrap();
+        for i in 0..120u8 {
+            let t = db.begin();
+            db.update_item(&t, rel, vid, &[i; 512]).unwrap();
+            db.commit(t).unwrap();
+        }
+        // A reader older than every relocation epoch pins the pages.
+        let reader = db.begin();
+        let mut cursor = 0;
+        let mut stats = GcStats::default();
+        let opts = GcSliceOpts::default();
+        for _ in 0..64 {
+            stats.merge(db.vacuum_slice(rel, &mut cursor, &opts).unwrap());
+        }
+        assert!(stats.pages_deferred > 0, "victims must be found: {stats:?}");
+        assert_eq!(stats.pages_reclaimed, 0, "recycle must wait for the reader: {stats:?}");
+        assert!(db.gc_backlog() > 0);
+        // The reader still sees the newest value through the new chain.
+        assert_eq!(db.read_item(&reader, rel, vid).unwrap().unwrap().as_ref(), &[119u8; 512]);
+        db.commit(reader).unwrap();
+        // With the horizon past the epochs, the next slice drains.
+        let drained = db.vacuum_slice(rel, &mut cursor, &opts).unwrap();
+        assert!(drained.pages_reclaimed > 0, "backlog must drain: {drained:?}");
+        assert_eq!(db.gc_backlog(), 0);
+        let t = db.begin();
+        assert_eq!(db.read_item(&t, rel, vid).unwrap().unwrap().as_ref(), &[119u8; 512]);
+        db.commit(t).unwrap();
+    }
+
+    /// A chain with an in-progress writer is skipped (counted
+    /// contended), never relocated or erased from under the writer.
+    #[test]
+    fn slice_skips_in_flight_chains() {
+        let (db, rel) = db();
+        let t = db.begin();
+        for k in 0..8u64 {
+            db.insert(&t, rel, k, &[3u8; 1500]).unwrap();
+        }
+        db.commit(t).unwrap();
+        for round in 0..6u8 {
+            let t = db.begin();
+            for k in 0..8u64 {
+                db.update(&t, rel, k, &[round; 1500]).unwrap();
+            }
+            db.commit(t).unwrap();
+        }
+        // An uncommitted writer holds key 0's tuple lock with an
+        // in-progress version at the head of its chain.
+        let writer = db.begin();
+        db.update(&writer, rel, 0, &[9u8; 1500]).unwrap();
+        let mut cursor = 0;
+        let mut stats = GcStats::default();
+        for _ in 0..64 {
+            stats.merge(db.vacuum_slice(rel, &mut cursor, &GcSliceOpts::default()).unwrap());
+        }
+        assert!(stats.items_contended > 0, "in-flight chain must be skipped: {stats:?}");
+        db.commit(writer).unwrap();
+        let t = db.begin();
+        assert_eq!(db.get(&t, rel, 0).unwrap().unwrap().as_ref(), &[9u8; 1500]);
+        db.commit(t).unwrap();
+        db.debug_validate_index(rel).unwrap();
     }
 }

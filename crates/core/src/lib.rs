@@ -19,9 +19,14 @@
 //!   thresholds (§1, §5.2);
 //! * [`engine`] — insert/update/delete/scan, first-updater-wins,
 //!   ⟨key, VID⟩ indexing, recovery (Algorithms 1–3, §4.2–4.3, §6);
-//! * [`gc`] — victim-page space reclamation (§6);
-//! * [`checkpoint`] — fuzzy checkpoints bounding restart work (§6);
-//! * [`scrub`] — integrity sweeps and WAL-history self-repair (§6).
+//! * [`gc`] — victim-page space reclamation (§6), both the quiescent
+//!   vacuum and horizon-based incremental slices that run concurrently
+//!   with foreground transactions;
+//! * [`checkpoint`] — fuzzy checkpoints bounding restart work (§6),
+//!   including WAL-volume-paced triggering;
+//! * [`scrub`] — integrity sweeps and WAL-history self-repair (§6);
+//! * [`maintenance`] — the background scheduler driving incremental GC,
+//!   throttled scrubbing and paced checkpoints under load.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +36,7 @@ pub mod chain;
 pub mod checkpoint;
 pub mod engine;
 pub mod gc;
+pub mod maintenance;
 pub mod recovery;
 pub mod scanpool;
 pub mod scrub;
@@ -40,7 +46,8 @@ pub mod vidmap;
 pub use append::{AppendRegion, FlushPolicy};
 pub use checkpoint::CheckpointStats;
 pub use engine::{SiasDb, SiasRelation};
-pub use gc::{GcStats, DEFAULT_VACUUM_THRESHOLD};
+pub use gc::{GcCrashPoint, GcSliceOpts, GcStats, DEFAULT_VACUUM_THRESHOLD};
+pub use maintenance::{MaintCursors, MaintenanceConfig, MaintenanceScheduler, MaintenanceTotals};
 pub use recovery::RecoveryStats;
 pub use scanpool::ScanPool;
 pub use scrub::{ScrubStats, Scrubber};

@@ -26,8 +26,15 @@
 //!    from quarantine, and handed back to the append region as free
 //!    space (`storage.scrub.repaired`).
 //!
-//! Like vacuum, scrubbing requires a quiescent system: chain rebuilds
-//! swing VID-map entrypoints, which in-flight walks must not observe.
+//! The whole-relation sweep ([`SiasDb::scrub_relation`]) requires a
+//! quiescent system, like the paper's deterministic GC. The incremental
+//! [`SiasDb::scrub_slice`] probes a bounded number of blocks per call
+//! and is safe under live traffic: repairs take the per-tuple lock
+//! non-blocking (contended chains stay quarantined and are retried on a
+//! later slice), entrypoints are swung with a CAS, and corrupt blocks
+//! are recycled through the same horizon-gated deferral incremental GC
+//! uses, so a reader still walking a pre-repair chain never sees a
+//! reused page.
 //!
 //! A note on garbage collection: vacuum relocations are not WAL-logged,
 //! so a rebuilt chain can be *longer* than the physical chain it
@@ -36,14 +43,20 @@
 //! reclaims them; correctness is unaffected.
 
 use sias_obs::SpanName;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use sias_common::{BlockId, RelId, SiasError, SiasResult, Tid, Vid, Xid};
 use sias_storage::WalRecord;
 
 use crate::chain::collect_chain;
-use crate::engine::SiasDb;
+use crate::engine::{SiasDb, SiasRelation};
+use crate::maintenance::DeferredPage;
 use crate::version::TupleVersion;
+
+/// Synthetic lock owner for concurrent scrub repairs (distinct from the
+/// GC slice owner so the two maintenance passes cannot shadow each
+/// other's locks).
+const SCRUB_SLICE_XID: Xid = Xid(u64::MAX - 2);
 
 /// Counters describing one scrub pass (or, via [`Scrubber`], the running
 /// totals of many).
@@ -59,6 +72,9 @@ pub struct ScrubStats {
     pub chains_rebuilt: u64,
     /// Version images re-appended during chain rebuilds.
     pub versions_reappended: u64,
+    /// Chains a concurrent slice left quarantined for a later retry
+    /// (writer contention or history not yet forced to the log).
+    pub chains_contended: u64,
 }
 
 impl ScrubStats {
@@ -69,6 +85,7 @@ impl ScrubStats {
         self.pages_repaired += other.pages_repaired;
         self.chains_rebuilt += other.chains_rebuilt;
         self.versions_reappended += other.versions_reappended;
+        self.chains_contended += other.chains_contended;
     }
 }
 
@@ -152,16 +169,96 @@ impl SiasDb {
         if corrupt.is_empty() {
             return Ok(stats);
         }
+        self.repair_corrupt_blocks(&r, rel, corrupt, &mut stats, false)?;
+        self.stack.obs.counter("storage.scrub.repaired").add(stats.pages_repaired);
+        Ok(stats)
+    }
+
+    /// Probes up to `max_blocks` sealed blocks of `rel` starting at
+    /// `cursor` (a caller-held sweep position, wrapped around the
+    /// relation) — one bounded slice of the media patrol. Safe under
+    /// live traffic; see the module docs for the concurrent-repair
+    /// protocol. Ticks `storage.scrub.slice_*`.
+    pub fn scrub_slice(
+        &self,
+        rel: RelId,
+        cursor: &mut BlockId,
+        max_blocks: usize,
+    ) -> SiasResult<ScrubStats> {
+        let mut span = self.metrics.tracer.span(SpanName::ScrubSlice);
+        let r = self.relation_handle(rel)?;
+        let mut stats = ScrubStats::default();
+        let nblocks = self.stack.space.relation_blocks(rel);
+        let obs = &self.stack.obs;
+        obs.counter("storage.scrub.slice_runs").inc();
+        if nblocks == 0 {
+            return Ok(stats);
+        }
+        // Pages parked for a deferred recycle are unreachable by
+        // construction: probing them would only re-quarantine garbage.
+        let parked: BTreeSet<BlockId> = {
+            let q = self.maint.deferred.lock();
+            q.iter().filter(|p| p.rel == rel).map(|p| p.block).collect()
+        };
+        let mut probed = 0usize;
+        let mut considered: BlockId = 0;
+        let mut corrupt: Vec<BlockId> = Vec::new();
+        while probed < max_blocks && considered < nblocks {
+            let block = *cursor % nblocks;
+            *cursor = (*cursor + 1) % nblocks;
+            considered += 1;
+            if r.append.open_block() == Some(block)
+                || r.append.is_free(block)
+                || parked.contains(&block)
+            {
+                continue;
+            }
+            probed += 1;
+            stats.pages_scanned += 1;
+            match self.stack.pool.with_page(rel, block, |_| ()) {
+                Ok(()) => {}
+                Err(SiasError::CorruptPage { .. }) => {
+                    stats.pages_corrupt += 1;
+                    corrupt.push(block);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        span.set_arg(stats.pages_scanned);
+        obs.counter("storage.scrub.slice_blocks").add(stats.pages_scanned);
+        obs.counter("storage.scrub.scanned").add(stats.pages_scanned);
+        obs.counter("storage.scrub.corrupt").add(stats.pages_corrupt);
+        if !corrupt.is_empty() {
+            self.repair_corrupt_blocks(&r, rel, corrupt, &mut stats, true)?;
+            obs.counter("storage.scrub.repaired").add(stats.pages_repaired);
+        }
+        Ok(stats)
+    }
+
+    /// Phases 2–4 of the scrub protocol: blast radius, WAL-history chain
+    /// rebuild, block reclaim. In `concurrent` mode each rebuild takes
+    /// the tuple lock non-blocking and publishes with a CAS (contended
+    /// chains stay quarantined for a later slice), and reclaimed blocks
+    /// go through the horizon-gated deferral instead of an immediate
+    /// recycle so stale readers can never observe page reuse.
+    fn repair_corrupt_blocks(
+        &self,
+        r: &SiasRelation,
+        rel: RelId,
+        corrupt: Vec<BlockId>,
+        stats: &mut ScrubStats,
+        concurrent: bool,
+    ) -> SiasResult<()> {
         // (2) Blast radius: an item is affected iff its chain walk
         // faults (pred pointers never leave the chain, so a clean walk
         // proves the item never touches a corrupt page).
         let mut entries: Vec<(Vid, Tid)> = Vec::new();
         r.vidmap.for_each(|vid, tid| entries.push((vid, tid)));
-        let mut affected: Vec<Vid> = Vec::new();
+        let mut affected: Vec<(Vid, Tid)> = Vec::new();
         for (vid, entry) in entries {
             match collect_chain(&self.stack.pool, rel, entry) {
                 Ok(_) => {}
-                Err(SiasError::CorruptPage { .. }) => affected.push(vid),
+                Err(SiasError::CorruptPage { .. }) => affected.push((vid, entry)),
                 Err(e) => return Err(e),
             }
         }
@@ -176,7 +273,7 @@ impl SiasDb {
                 committed.insert(*x);
             }
         }
-        let wanted: HashSet<Vid> = affected.iter().copied().collect();
+        let wanted: HashSet<Vid> = affected.iter().map(|(v, _)| *v).collect();
         let mut history: BTreeMap<Vid, Vec<TupleVersion>> = BTreeMap::new();
         for rec in &records {
             let WalRecord::Insert { xid, rel: r2, payload, .. } = rec else { continue };
@@ -197,14 +294,29 @@ impl SiasDb {
             }
             versions.push(v);
         }
-        for vid in &affected {
+        let mut all_repaired = true;
+        for (vid, entry) in &affected {
             let Some(versions) = history.get(vid) else {
+                if concurrent {
+                    // History may still be buffered behind an in-flight
+                    // group commit; the chain stays quarantined and a
+                    // later slice retries.
+                    stats.chains_contended += 1;
+                    all_repaired = false;
+                    continue;
+                }
                 return Err(SiasError::Wal(format!(
                     "scrub cannot repair {vid:?}: no committed history in the log"
                 )));
             };
+            if concurrent && !self.txm.locks.try_lock(rel, *vid, SCRUB_SLICE_XID) {
+                stats.chains_contended += 1;
+                all_repaired = false;
+                continue;
+            }
             let mut prev: Option<Tid> = None;
             let mut prev_create = Xid::INVALID;
+            let mut append_err = None;
             for v in versions {
                 let rebuilt = TupleVersion {
                     create: v.create,
@@ -214,24 +326,62 @@ impl SiasDb {
                     tombstone: v.tombstone,
                     payload: v.payload.clone(),
                 };
-                let tid = r.append.append(&rebuilt.encode())?;
-                prev = Some(tid);
-                prev_create = v.create;
-                stats.versions_reappended += 1;
+                match r.append.append(&rebuilt.encode()) {
+                    Ok(tid) => {
+                        prev = Some(tid);
+                        prev_create = v.create;
+                        stats.versions_reappended += 1;
+                    }
+                    Err(e) => {
+                        append_err = Some(e);
+                        break;
+                    }
+                }
             }
-            if let Some(head) = prev {
-                r.vidmap.set(*vid, head);
-                stats.chains_rebuilt += 1;
+            if concurrent {
+                let swung =
+                    prev.is_some_and(|head| r.vidmap.compare_and_set(*vid, Some(*entry), head));
+                self.txm.locks.release_all(SCRUB_SLICE_XID);
+                if let Some(e) = append_err {
+                    return Err(e);
+                }
+                if swung {
+                    stats.chains_rebuilt += 1;
+                } else {
+                    stats.chains_contended += 1;
+                    all_repaired = false;
+                }
+            } else {
+                if let Some(e) = append_err {
+                    return Err(e);
+                }
+                if let Some(head) = prev {
+                    r.vidmap.set(*vid, head);
+                    stats.chains_rebuilt += 1;
+                }
             }
         }
         // (4) Reclaim: TRIM the corrupt blocks, drop their quarantine
-        // state, and hand them back to the append region.
-        for block in corrupt {
-            r.append.recycle(block);
-            stats.pages_repaired += 1;
+        // state, and hand them back to the append region. A concurrent
+        // slice defers the recycle behind the snapshot horizon — and
+        // only once every affected chain really was rebuilt; otherwise
+        // the blocks stay quarantined for the retrying slice.
+        if concurrent {
+            if all_repaired {
+                let epoch = self.txm.relocation_epoch();
+                let mut q = self.maint.deferred.lock();
+                for block in corrupt {
+                    q.push(DeferredPage { rel, block, epoch });
+                    stats.pages_repaired += 1;
+                }
+            }
+        } else {
+            for block in corrupt {
+                r.append.recycle(block);
+                stats.pages_repaired += 1;
+            }
         }
-        self.stack.obs.counter("storage.scrub.repaired").add(stats.pages_repaired);
-        Ok(stats)
+        Ok(())
     }
 }
 

@@ -186,6 +186,16 @@ impl VidMap {
             .is_ok()
     }
 
+    /// Atomically clears a slot only while it still holds `expected`
+    /// (incremental GC erasing aged-out items under live traffic).
+    /// Returns `false` when the entrypoint moved concurrently.
+    pub fn compare_and_remove(&self, vid: Vid, expected: Tid) -> bool {
+        let (b, s) = Self::locate(vid);
+        self.ensure_bucket(b).slots[s]
+            .compare_exchange(expected.pack(), 0, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
     /// Clears a slot (GC of fully-dead data items).
     pub fn remove(&self, vid: Vid) {
         let (b, s) = Self::locate(vid);

@@ -53,10 +53,19 @@ pub enum SpanName {
     IoSubmit = 19,
     /// I/O queue completion reap; `arg` = completions reaped.
     IoReap = 20,
+    /// One incremental GC slice (concurrent with foreground traffic);
+    /// `arg` = pages examined.
+    GcSlice = 21,
+    /// One incremental scrub slice; `arg` = blocks probed.
+    ScrubSlice = 22,
+    /// WAL-volume-paced fuzzy checkpoint; `arg` = pages written.
+    CkptPaced = 23,
+    /// One maintenance-scheduler tick; `arg` = throttle tokens spent.
+    MaintTick = 24,
 }
 
 /// Number of distinct span names (table size for exporters).
-pub const SPAN_NAME_COUNT: u16 = 21;
+pub const SPAN_NAME_COUNT: u16 = 25;
 
 impl SpanName {
     /// The exported dotted name, shared by both engines.
@@ -83,6 +92,10 @@ impl SpanName {
             SpanName::AnomalyFlag => "anomaly.flag",
             SpanName::IoSubmit => "io.submit",
             SpanName::IoReap => "io.reap",
+            SpanName::GcSlice => "gc.slice",
+            SpanName::ScrubSlice => "scrub.slice",
+            SpanName::CkptPaced => "ckpt.paced",
+            SpanName::MaintTick => "maint.tick",
         }
     }
 
@@ -112,6 +125,10 @@ impl SpanName {
             18 => AnomalyFlag,
             19 => IoSubmit,
             20 => IoReap,
+            21 => GcSlice,
+            22 => ScrubSlice,
+            23 => CkptPaced,
+            24 => MaintTick,
             _ => return None,
         })
     }

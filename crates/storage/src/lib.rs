@@ -44,7 +44,7 @@ pub use device::{
 pub use fsm::FreeSpaceMap;
 pub use io_queue::{IoCompletion, IoOp, IoQueue};
 pub use page::Page;
-pub use stack::{Media, StorageConfig, StorageStack};
+pub use stack::{Media, StorageConfig, StorageStack, DEFAULT_MAINT_PAGES_PER_SEC};
 pub use tablespace::Tablespace;
 pub use trace::{IoDir, TraceCollector, TraceEvent, TraceSummary, DEFAULT_TRACE_CAPACITY};
 pub use wal::{Wal, WalConfig, WalRecord, WalStats};

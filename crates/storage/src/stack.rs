@@ -96,7 +96,17 @@ pub struct StorageConfig {
     /// queue; all I/O is synchronous). Matches per-device NCQ semantics:
     /// a 2-wide stripe at depth 8 keeps up to 16 operations in flight.
     pub io_queue_depth: usize,
+    /// Token-bucket refill rate for the background maintenance
+    /// scheduler, in pages (GC victims examined + scrub probes +
+    /// checkpoint flushes) per second of wall-clock time. `0` runs
+    /// maintenance unthrottled. Foreground transactions are never
+    /// throttled by this knob.
+    pub maint_pages_per_sec: u64,
 }
+
+/// Default maintenance throttle: generous enough to keep up with an
+/// 8-thread update-heavy driver, small enough that slices stay short.
+pub const DEFAULT_MAINT_PAGES_PER_SEC: u64 = 4096;
 
 impl StorageConfig {
     /// Zero-latency in-memory stack (unit tests, doctests).
@@ -110,6 +120,7 @@ impl StorageConfig {
             wal: WalConfig::default(),
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 0,
+            maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
         }
     }
 
@@ -130,6 +141,7 @@ impl StorageConfig {
             wal: WalConfig::default(),
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 0,
+            maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
         }
     }
 
@@ -151,6 +163,7 @@ impl StorageConfig {
             wal: WalConfig::default(),
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 8,
+            maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
         }
     }
 
@@ -168,6 +181,7 @@ impl StorageConfig {
             wal: WalConfig::default(),
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 8,
+            maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
         }
     }
 
@@ -182,6 +196,7 @@ impl StorageConfig {
             wal: WalConfig::default(),
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 0,
+            maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
         }
     }
 
@@ -224,6 +239,13 @@ impl StorageConfig {
     /// Overrides the per-member async I/O queue depth (0 = synchronous).
     pub fn with_io_queue_depth(mut self, depth: usize) -> Self {
         self.io_queue_depth = depth;
+        self
+    }
+
+    /// Overrides the maintenance-scheduler throttle (pages per second of
+    /// wall-clock time; 0 = unthrottled).
+    pub fn with_maint_pages_per_sec(mut self, pages: u64) -> Self {
+        self.maint_pages_per_sec = pages;
         self
     }
 }

@@ -90,7 +90,14 @@ impl LockTable {
     /// Blocks until the lock is acquired (Algorithm 3 lines 7/15) or the
     /// timeout elapses, in which case a [`SiasError::WriteConflict`] is
     /// returned.
+    ///
+    /// The timeout is a **deadline** over the whole acquisition, not per
+    /// condvar wait: a rapidly cycling owner (e.g. background GC taking
+    /// and dropping item locks slice after slice) wakes the waiter over
+    /// and over, and re-arming the full window on every wakeup would let
+    /// that traffic starve a writer indefinitely.
     pub fn lock(&self, rel: RelId, vid: Vid, xid: Xid) -> SiasResult<LockOutcome> {
+        let deadline = std::time::Instant::now() + self.timeout;
         let mut st = self.state.lock();
         let mut waited_for: Option<Xid> = None;
         loop {
@@ -103,8 +110,9 @@ impl LockTable {
                 }
                 Some(&owner) => {
                     waited_for = Some(owner);
-                    let timed_out = self.released.wait_for(&mut st, self.timeout).timed_out();
-                    if timed_out {
+                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() || self.released.wait_for(&mut st, remaining).timed_out()
+                    {
                         return Err(SiasError::WriteConflict { vid, winner: owner });
                     }
                 }
@@ -194,6 +202,42 @@ mod tests {
         t.try_lock(R, Vid(1), Xid(1));
         let err = t.lock(R, Vid(1), Xid(2)).unwrap_err();
         assert!(matches!(err, SiasError::WriteConflict { winner: Xid(1), .. }));
+    }
+
+    #[test]
+    fn lock_timeout_is_a_deadline_not_per_wakeup() {
+        // An owner that cycles the lock faster than the timeout wakes
+        // the waiter repeatedly; the waiter must still give up once the
+        // overall deadline passes instead of re-arming forever.
+        let t = Arc::new(LockTable::with_timeout(Duration::from_millis(200)));
+        t.try_lock(R, Vid(1), Xid(1));
+        let t2 = Arc::clone(&t);
+        let stop = Arc::new(Mutex::new(false));
+        let stop2 = Arc::clone(&stop);
+        let churner = std::thread::spawn(move || {
+            // Cycle ownership between two xids every few ms, always
+            // leaving the lock held when the waiter wakes.
+            let mut x = 1u64;
+            while !*stop2.lock() {
+                let next = Xid(if x == 1 { 2 } else { 1 });
+                t2.release_all(Xid(x));
+                if !t2.try_lock(R, Vid(1), next) {
+                    return; // the waiter squeezed into the gap — fine
+                }
+                x = next.0;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            t2.release_all(Xid(x));
+        });
+        let start = std::time::Instant::now();
+        let err = t.lock(R, Vid(1), Xid(9));
+        let waited = start.elapsed();
+        *stop.lock() = true;
+        churner.join().unwrap();
+        // The waiter either timed out near the deadline or squeezed in
+        // during a release gap — it must NOT have waited multiples of
+        // the timeout.
+        assert!(waited < Duration::from_millis(800), "starved for {waited:?}: {err:?}");
     }
 
     #[test]

@@ -245,6 +245,27 @@ impl TransactionManager {
         self.active.lock().len()
     }
 
+    /// Captures a relocation epoch for incremental GC: the xid
+    /// high-water mark at the moment a version chain is republished
+    /// under a new entry point. Every transaction active at capture
+    /// time has `xid < epoch` — those are the only transactions that
+    /// can still be walking the *old* physical chain, because any
+    /// snapshot taken after the CAS publication resolves the VID to the
+    /// relocated copy.
+    pub fn relocation_epoch(&self) -> Xid {
+        Xid(self.next_xid.load(Ordering::Relaxed))
+    }
+
+    /// True once every transaction that was active when `epoch` was
+    /// captured (via [`TransactionManager::relocation_epoch`]) has
+    /// finished. A snapshot's xmin never exceeds its own xid, so
+    /// `horizon() >= epoch` implies every still-active transaction was
+    /// born at-or-after the epoch — no reader can hold a pointer into a
+    /// page relocated before it. The page is then safe to recycle.
+    pub fn horizon_passed(&self, epoch: Xid) -> bool {
+        self.horizon() >= epoch
+    }
+
     /// (commits, aborts) so far.
     pub fn outcome_counts(&self) -> (u64, u64) {
         (self.commits.get(), self.aborts.get())

@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sias_common::{SiasError, Xid};
-use sias_core::{FlushPolicy, SiasDb, TupleVersion};
+use sias_core::{FlushPolicy, GcCrashPoint, GcSliceOpts, GcStats, SiasDb, TupleVersion};
 use sias_obs::{FlightRecorder, MetricsSnapshot, SpanName, TraceEvent};
 use sias_storage::{FaultConfig, FaultPlan, StorageConfig, Wal, WalRecord};
 use sias_txn::{MvccEngine, Txn};
@@ -756,6 +756,255 @@ pub fn scrub_scenario(cfg: &ChaosConfig, rot_pages: usize) -> ScrubReport {
         pages_corrupt: pass.pages_corrupt,
         pages_repaired: pass.pages_repaired,
         chains_rebuilt: pass.chains_rebuilt,
+        violations,
+    }
+}
+
+/// Verdict of one seeded mid-relocation crash: the process dies at a
+/// chosen [`GcCrashPoint`] inside an incremental GC slice, the WAL is
+/// recovered on a fresh stack, and both the recovered and the
+/// surviving live engine are black-box checked.
+#[derive(Clone, Debug)]
+pub struct GcCrashReport {
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// Where inside the slice the simulated crash fired.
+    pub crash_point: GcCrashPoint,
+    /// Transactions acknowledged by the workload.
+    pub committed_txns: u64,
+    /// Whether the target crash point was actually reached (a run with
+    /// no garbage can't relocate; the gate requires this to be true).
+    pub crash_fired: bool,
+    /// Live versions relocated before and after the crash.
+    pub versions_relocated: u64,
+    /// Victim pages physically recycled by the time GC went quiet.
+    pub pages_reclaimed: u64,
+    /// Committed keys whose newest tag was missing or wrong after WAL
+    /// recovery — must be zero ("no lost versions").
+    pub lost_keys: u64,
+    /// SI anomalies over the live engine's history *including* a
+    /// post-crash, post-GC probe of every key — must be empty.
+    pub violations: Vec<Violation>,
+}
+
+impl GcCrashReport {
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "seed {:>3} @ {:?}: {} committed, fired {}, {} relocated, {} reclaimed, \
+             {} lost keys, {} violations",
+            self.seed,
+            self.crash_point,
+            self.committed_txns,
+            self.crash_fired,
+            self.versions_relocated,
+            self.pages_reclaimed,
+            self.lost_keys,
+            self.violations.len()
+        )
+    }
+}
+
+/// Runs a seeded serial update-heavy workload (building version-chain
+/// garbage), then drives incremental GC slices with a crash injected at
+/// `crash_point` — after the relocation append, after the CAS publish,
+/// or just before a deferred page recycle. The "crashed" process's WAL
+/// is scanned and recovered on a fresh in-memory stack; every key the
+/// workload committed must read back with its newest tag there (no
+/// lost versions). The surviving live engine then finishes GC and is
+/// probed: its whole history, probe included, must show zero SI
+/// anomalies, and its ⟨key, VID⟩ index must pass validation.
+pub fn gc_crash_scenario(cfg: &ChaosConfig, crash_point: GcCrashPoint) -> GcCrashReport {
+    let db = SiasDb::open(StorageConfig::in_memory().with_pool_frames(48));
+    let seqs: Arc<Mutex<HashMap<Xid, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    {
+        let seqs = Arc::clone(&seqs);
+        db.txm().set_commit_hook(move |xid, seq| {
+            seqs.lock().insert(xid, seq);
+        });
+    }
+    let rel = db.create_relation("chaos");
+    let mut history = History::default();
+    let mut rng = Rng(cfg.seed ^ 0x6c_9c3d_11f7);
+    let mut committed = 0u64;
+    // Last committed tag per key — the "no lost versions" oracle.
+    let mut expected: BTreeMap<u64, WriteTag> = BTreeMap::new();
+
+    let ack = |xid: Xid, mut rec: TxnRecord| -> TxnRecord {
+        let seq = seqs.lock().remove(&xid).unwrap_or(0);
+        rec.outcome = HistOutcome::Committed {
+            commit_seq: seq,
+            acked_at_record: db.stack().wal.durable_record_count(),
+        };
+        rec
+    };
+
+    // Setup: every key exists.
+    {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for key in 0..cfg.keys {
+            let tag = WriteTag { xid, seq: key as u32 };
+            db.insert(&txn, rel, key, &tag.encode_payload(key)).expect("setup insert");
+            rec.ops.push(HistOp::Write { key, tag });
+            expected.insert(key, tag);
+        }
+        db.commit(txn).expect("setup commit");
+        history.txns.push(ack(xid, rec));
+        committed += 1;
+    }
+
+    // Serial read-modify-write rounds: each superseded version is
+    // GC garbage, so the slices below always have relocation work.
+    for _ in 0..cfg.txns {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        let mut writes: Vec<(u64, WriteTag)> = Vec::new();
+        for seq in 0..cfg.ops_per_txn as u32 {
+            let key = rng.next() % cfg.keys;
+            let observed = match db.get(&txn, rel, key).expect("live read") {
+                Some(bytes) => WriteTag::decode_payload(&bytes).map(|(_, tag)| tag),
+                None => None,
+            };
+            rec.ops.push(HistOp::Read { key, observed });
+            let tag = WriteTag { xid, seq };
+            match db.update(&txn, rel, key, &tag.encode_payload(key)) {
+                Ok(()) => {
+                    rec.ops.push(HistOp::Write { key, tag });
+                    writes.push((key, tag));
+                }
+                Err(_) => break, // serial workload: only duplicate-key self-conflicts
+            }
+        }
+        if rng.chance_ppm(cfg.abort_ppm) {
+            db.abort(txn);
+            history.txns.push(rec);
+        } else {
+            db.commit(txn).expect("serial commit");
+            history.txns.push(ack(xid, rec));
+            committed += 1;
+            for (key, tag) in writes {
+                expected.insert(key, tag);
+            }
+        }
+    }
+
+    // Churn phase: hammer only the upper half of the key space. The
+    // frozen lower half's newest versions are left stranded on pages
+    // that fill up with dead upper-half versions — exactly the
+    // mixed live/dead victim pages whose chains incremental GC must
+    // *relocate* (an all-dead page is parked without relocation, so
+    // without this phase the append/CAS crash points never fire).
+    let hot_lo = (cfg.keys / 2).max(1);
+    for round in 0..48u32 {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        let mut writes: Vec<(u64, WriteTag)> = Vec::new();
+        for (i, key) in (hot_lo..cfg.keys).enumerate() {
+            let tag = WriteTag { xid, seq: round * 1000 + i as u32 };
+            if db.update(&txn, rel, key, &tag.encode_payload(key)).is_ok() {
+                rec.ops.push(HistOp::Write { key, tag });
+                writes.push((key, tag));
+            }
+        }
+        db.commit(txn).expect("churn commit");
+        history.txns.push(ack(xid, rec));
+        committed += 1;
+        for (key, tag) in writes {
+            expected.insert(key, tag);
+        }
+    }
+
+    // Incremental GC with the seeded crash: the first time the slice
+    // passes `crash_point`, the hook "kills the process" — the slice
+    // abandons its work exactly there (locks die with the process; the
+    // harness releases them the same way).
+    let mut cursor = 0;
+    let mut stats = GcStats::default();
+    let mut fired = false;
+    let opts = GcSliceOpts::default();
+    for _ in 0..256 {
+        let s = db
+            .vacuum_slice_interruptible(rel, &mut cursor, &opts, &mut |p| {
+                if p == crash_point && !fired {
+                    fired = true;
+                    return true;
+                }
+                false
+            })
+            .expect("gc slice");
+        stats.merge(s);
+        if fired {
+            break;
+        }
+    }
+
+    // The crash: recover the WAL as a fresh process would. The live
+    // engine's in-memory state is gone; only the log survives.
+    let (records, _) = Wal::scan_device(db.stack().wal.device().as_ref());
+    let (recovered, _) =
+        SiasDb::recover_from_wal(&records, StorageConfig::in_memory(), FlushPolicy::T2)
+            .expect("mid-relocation recovery");
+    let mut lost_keys = 0u64;
+    if let Some(rrel) = recovered.relation("chaos") {
+        let txn = recovered.begin();
+        for (key, want) in &expected {
+            let got = recovered
+                .get(&txn, rrel, *key)
+                .expect("recovered read")
+                .and_then(|bytes| WriteTag::decode_payload(&bytes).map(|(_, tag)| tag));
+            if got != Some(*want) {
+                lost_keys += 1;
+            }
+        }
+        recovered.commit(txn).expect("recovered probe commit");
+    } else {
+        lost_keys = cfg.keys;
+    }
+
+    // The surviving engine carries on: GC runs to completion (the
+    // interrupted slice must have left no wedged locks or half-state),
+    // then every key is probed in a committed transaction appended to
+    // the history for the anomaly checker.
+    for _ in 0..256 {
+        let s = db.vacuum_slice(rel, &mut cursor, &opts).expect("post-crash gc slice");
+        let quiet = s.versions_relocated == 0 && s.pages_reclaimed == 0 && s.items_cleared == 0;
+        stats.merge(s);
+        if quiet && cursor == 0 {
+            break;
+        }
+    }
+    db.debug_validate_index(rel).expect("index consistent after interrupted GC");
+    {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for key in 0..cfg.keys {
+            let observed = db
+                .get(&txn, rel, key)
+                .expect("post-gc read must not fail")
+                .and_then(|bytes| WriteTag::decode_payload(&bytes).map(|(_, tag)| tag));
+            assert!(observed.is_some(), "post-gc read of key {key} lost its tag");
+            rec.ops.push(HistOp::Read { key, observed });
+        }
+        db.commit(txn).expect("probe commit");
+        history.txns.push(ack(xid, rec));
+        committed += 1;
+    }
+
+    history.version_order = extract_version_order(&db, "chaos", &history.committed());
+    let violations = check_anomalies(&history);
+    GcCrashReport {
+        seed: cfg.seed,
+        crash_point,
+        committed_txns: committed,
+        crash_fired: fired,
+        versions_relocated: stats.versions_relocated,
+        pages_reclaimed: stats.pages_reclaimed,
+        lost_keys,
         violations,
     }
 }

@@ -39,8 +39,8 @@ pub mod threaded;
 pub mod txns;
 
 pub use chaos::{
-    crash_matrix, run_chaos, scrub_scenario, write_skew_scenario, ChaosConfig, ChaosRun,
-    CrashMatrixReport, ScrubReport, WriteSkewReport,
+    crash_matrix, gc_crash_scenario, run_chaos, scrub_scenario, write_skew_scenario, ChaosConfig,
+    ChaosRun, CrashMatrixReport, GcCrashReport, ScrubReport, WriteSkewReport,
 };
 pub use check::{
     check_anomalies, check_consistency, check_durability, check_serializability, DurabilityInput,
@@ -49,5 +49,8 @@ pub use check::{
 pub use config::{Tables, TpccConfig};
 pub use driver::{run_benchmark, BenchResult, DriverConfig};
 pub use loader::load;
-pub use threaded::{drive_threaded, fill_sias_version_order, ThreadedConfig, ThreadedRun};
+pub use threaded::{
+    drive_threaded, drive_threaded_with_maintenance, fill_sias_version_order, ThreadedConfig,
+    ThreadedRun,
+};
 pub use txns::{run_txn, Outcome, TxnKind};

@@ -18,11 +18,11 @@
 //! key's committed order.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use sias_common::SiasError;
-use sias_core::SiasDb;
+use sias_core::{MaintenanceConfig, MaintenanceScheduler, MaintenanceTotals, SiasDb};
 use sias_txn::MvccEngine;
 
 use crate::check::{HistOp, HistOutcome, History, TxnRecord, WriteTag};
@@ -311,6 +311,23 @@ pub fn fill_sias_version_order(db: &SiasDb, history: &mut History) {
         crate::chaos::extract_version_order(db, "threaded", &history.committed());
 }
 
+/// [`drive_threaded`] with the online-maintenance scheduler running for
+/// the duration of the contended phase: incremental GC, scrub slices
+/// and WAL-paced checkpoints all compete with the foreground threads.
+/// Returns the run plus the maintenance work totals — the pairing the
+/// `maintbench` binary sweeps to price background maintenance in
+/// foreground tail latency.
+pub fn drive_threaded_with_maintenance(
+    db: &Arc<SiasDb>,
+    cfg: &ThreadedConfig,
+    maint: MaintenanceConfig,
+) -> (ThreadedRun, MaintenanceTotals) {
+    let sched = MaintenanceScheduler::spawn(Arc::clone(db), maint);
+    let run = drive_threaded(db.as_ref(), cfg);
+    let totals = sched.stop();
+    (run, totals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +384,26 @@ mod tests {
             run.history.txns.iter().map(|t| t.ops.len()).sum::<usize>()
         };
         assert_eq!(ops_of(7), ops_of(7));
+    }
+
+    #[test]
+    fn maintenance_under_threaded_load_is_anomaly_free() {
+        let db = Arc::new(SiasDb::open(StorageConfig::in_memory()));
+        let cfg = ThreadedConfig {
+            threads: 4,
+            txns_per_thread: 48,
+            update_pct: 80, // garbage-heavy so GC has real work
+            ..Default::default()
+        };
+        let maint = MaintenanceConfig::for_db(&db).with_pages_per_sec(0);
+        let (mut run, totals) = drive_threaded_with_maintenance(&db, &cfg, maint);
+        assert!(run.committed > 4, "commits under maintenance: {}", run.committed);
+        assert_eq!(totals.errors, 0, "maintenance slices must not fail: {totals:?}");
+        assert!(totals.ticks > 0, "scheduler must have run: {totals:?}");
+        fill_sias_version_order(&db, &mut run.history);
+        let v = check_anomalies(&run.history);
+        assert!(v.is_empty(), "maintenance must not perturb SI: {v:?}");
+        let rel = db.relation("threaded").unwrap();
+        db.debug_validate_index(rel).unwrap();
     }
 }
