@@ -12,7 +12,8 @@
 //! cargo run --release -p sias-bench --bin crashmatrix -- \
 //!     [--seeds 8] [--crash-every 16] [--txns 48] [--keys 12] \
 //!     [--terminals 4] [--hostile] [--plant-bug] [--ssi] \
-//!     [--scrub] [--rot-pages 3] [--skew] [--pairs 4] [--gc]
+//!     [--scrub] [--rot-pages 3] [--skew] [--pairs 4] [--gc] \
+//!     [--enospc] [--quota-pages 24] [--low-watermark 50]
 //! ```
 //!
 //! Exits non-zero if any violation is found — except under
@@ -42,6 +43,12 @@
 //! recovery lost no committed version and both the recovered and the
 //! surviving engine show zero anomalies.
 //!
+//! `--enospc` swaps the crash sweep for the log-exhaustion gate: per
+//! seed, the serial tagged workload fills a tiny WAL quota until the
+//! space accountant trips; the run fails unless the engine degraded to
+//! typed read-only, kept serving reads, reclaimed space and returned to
+//! healthy with zero SI anomalies over the whole history.
+//!
 //! `--ssi` runs the chaos workload under serializable snapshot
 //! isolation; the matrix then additionally gates the history on the
 //! serialization-graph checker (no G2 cycle may survive SSI).
@@ -56,7 +63,8 @@ use sias_core::GcCrashPoint;
 use sias_obs::export;
 use sias_storage::FaultConfig;
 use sias_workload::chaos::{
-    crash_matrix, gc_crash_scenario, scrub_scenario, write_skew_scenario, ChaosConfig,
+    crash_matrix, enospc_scenario, gc_crash_scenario, scrub_scenario, write_skew_scenario,
+    ChaosConfig,
 };
 
 use sias_bench::{arg_value, write_results, ObsArgs};
@@ -139,6 +147,54 @@ fn run_scrub_sweep(seeds: u64, rot_pages: usize, txns: usize, keys: u64) {
     println!("\nevery rotted page was detected, repaired and reclaimed; histories stayed clean");
 }
 
+/// The `--enospc` gate: fill the WAL quota under load, require a
+/// typed-degradation story. Per seed the serial tagged workload writes
+/// until the space accountant trips the hard watermark; the run fails
+/// unless the health machine observably entered ReadOnly, reads kept
+/// serving while degraded, every rejection was typed (the scenario
+/// panics on any untyped error or torn state), the emergency reclaim
+/// returned the engine to Healthy, and the whole history — rejections
+/// and post-reclaim writes included — shows zero SI anomalies.
+fn run_enospc_gate(seeds: u64, quota_pages: u64, low_watermark: u64) {
+    println!(
+        "ENOSPC gate: {seeds} seeds, {quota_pages}-page WAL quota, \
+         low watermark {low_watermark}%\n"
+    );
+    let mut failures = 0usize;
+    for seed in 1..=seeds {
+        let report = enospc_scenario(&ChaosConfig::with_seed(seed), quota_pages, low_watermark);
+        println!("{}", report.summary());
+        for v in &report.violations {
+            println!("    [{}] {}", v.condition, v.detail);
+        }
+        if !report.readonly_entered {
+            println!("    FAIL: the quota never forced ReadOnly — the gate proved nothing");
+            failures += 1;
+        }
+        if !report.reads_served_readonly {
+            println!("    FAIL: reads failed while the engine was read-only");
+            failures += 1;
+        }
+        if !report.recovered {
+            println!("    FAIL: engine did not return to Healthy after reclaim");
+            failures += 1;
+        }
+        if report.writes_rejected == 0 {
+            println!("    FAIL: no write was ever rejected — the quota never bound");
+            failures += 1;
+        }
+        failures += report.violations.len();
+    }
+    if failures > 0 {
+        println!("\nFAIL: {failures} ENOSPC gate failures");
+        std::process::exit(1);
+    }
+    println!(
+        "\nevery full-log run degraded to typed read-only, kept serving reads, \
+         reclaimed space and healed with zero anomalies"
+    );
+}
+
 /// The `--skew` gate: planted write skew under SI and under SSI.
 fn run_skew_gate(seeds: u64, pairs: u64) {
     println!("Write-skew gate: {seeds} seeds, {pairs} constraint pairs per run\n");
@@ -185,6 +241,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs_args = ObsArgs::parse(&args);
     let seeds: u64 = arg_value(&args, "--seeds").and_then(|v| v.parse().ok()).unwrap_or(8);
+    if args.iter().any(|a| a == "--enospc") {
+        let quota_pages: u64 =
+            arg_value(&args, "--quota-pages").and_then(|v| v.parse().ok()).unwrap_or(24);
+        let low_watermark: u64 =
+            arg_value(&args, "--low-watermark").and_then(|v| v.parse().ok()).unwrap_or(50);
+        run_enospc_gate(seeds, quota_pages, low_watermark);
+        return;
+    }
     if args.iter().any(|a| a == "--skew") {
         let pairs: u64 = arg_value(&args, "--pairs").and_then(|v| v.parse().ok()).unwrap_or(4);
         run_skew_gate(seeds, pairs);

@@ -187,9 +187,13 @@ pub fn backend_build(
 /// Builds an engine of `kind` over an explicit storage configuration.
 pub fn build_on(kind: EngineKind, storage: StorageConfig) -> AnyEngine {
     match kind {
-        EngineKind::Si => AnyEngine::Si(SiDb::open(storage)),
-        EngineKind::SiasT1 => AnyEngine::Sias(SiasDb::open_with_policy(storage, FlushPolicy::T1)),
-        EngineKind::SiasT2 => AnyEngine::Sias(SiasDb::open_with_policy(storage, FlushPolicy::T2)),
+        EngineKind::Si => AnyEngine::Si(Box::new(SiDb::open(storage))),
+        EngineKind::SiasT1 => {
+            AnyEngine::Sias(Box::new(SiasDb::open_with_policy(storage, FlushPolicy::T1)))
+        }
+        EngineKind::SiasT2 => {
+            AnyEngine::Sias(Box::new(SiasDb::open_with_policy(storage, FlushPolicy::T2)))
+        }
     }
 }
 
@@ -255,17 +259,17 @@ pub const EXPERIMENT_POOL_FRAMES: usize = 1024;
 /// generic without exposing concrete types.
 pub enum AnyEngine {
     /// SIAS engine.
-    Sias(SiasDb),
+    Sias(Box<SiasDb>),
     /// SI baseline.
-    Si(SiDb),
+    Si(Box<SiDb>),
 }
 
 impl AnyEngine {
     /// The engine as a trait object.
     pub fn engine(&self) -> &dyn MvccEngine {
         match self {
-            AnyEngine::Sias(db) => db,
-            AnyEngine::Si(db) => db,
+            AnyEngine::Sias(db) => db.as_ref(),
+            AnyEngine::Si(db) => db.as_ref(),
         }
     }
 

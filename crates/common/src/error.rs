@@ -73,6 +73,35 @@ pub enum SiasError {
     /// Serializable-SI (SSI) detected a dangerous structure; the
     /// transaction must abort and retry.
     SerializationFailure(Xid),
+    /// Admission control shed this request: the engine is over its
+    /// configured pressure limits (WAL backlog, dirty buffer ratio, or
+    /// active-transaction count). Retryable — the client should back
+    /// off for at least `retry_after_ms` before trying again.
+    Overloaded {
+        /// Suggested client back-off, scaled by how far over the limit
+        /// the hottest admission signal is.
+        retry_after_ms: u64,
+    },
+    /// The transaction's deadline expired while it was waiting (tuple
+    /// lock, WAL force, or a long scan). The transaction must abort;
+    /// its writes are rolled back like any other abort.
+    DeadlineExceeded {
+        /// Transaction whose deadline expired.
+        xid: Xid,
+    },
+    /// Out of storage space: the append (WAL or data) would exceed the
+    /// device's configured capacity or the log quota's hard watermark.
+    /// Never raised mid-append — multi-page appends are all-or-nothing.
+    DiskFull {
+        /// Pages the append needed.
+        needed_pages: u64,
+        /// Pages still free under the limit that was hit.
+        free_pages: u64,
+    },
+    /// The stack is in degraded read-only mode: reads keep serving but
+    /// writes fail fast until the operator (or emergency maintenance)
+    /// restores health.
+    ReadOnly(String),
 }
 
 impl fmt::Display for SiasError {
@@ -106,7 +135,35 @@ impl fmt::Display for SiasError {
             SiasError::SerializationFailure(xid) => {
                 write!(f, "serialization failure: transaction {xid} is a dangerous-structure pivot")
             }
+            SiasError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: admission shed this request, retry after {retry_after_ms}ms")
+            }
+            SiasError::DeadlineExceeded { xid } => {
+                write!(f, "deadline exceeded: transaction {xid} ran past its deadline")
+            }
+            SiasError::DiskFull { needed_pages, free_pages } => {
+                write!(f, "disk full: append needs {needed_pages} pages, {free_pages} free")
+            }
+            SiasError::ReadOnly(reason) => {
+                write!(f, "stack is read-only: {reason}")
+            }
         }
+    }
+}
+
+impl SiasError {
+    /// `true` for errors a client is expected to retry after backing
+    /// off (overload shedding and expired deadlines), as opposed to
+    /// hard conflicts or data errors.
+    pub fn is_retryable_overload(&self) -> bool {
+        matches!(self, SiasError::Overloaded { .. } | SiasError::DeadlineExceeded { .. })
+    }
+
+    /// `true` for resource-exhaustion errors (space or read-only mode):
+    /// the write path is unavailable until space is reclaimed or health
+    /// restored, so retrying without operator action is futile.
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, SiasError::DiskFull { .. } | SiasError::ReadOnly(_))
     }
 }
 
@@ -123,6 +180,18 @@ mod tests {
         assert!(e.to_string().contains("9"));
         let e = SiasError::TupleTooLarge { size: 9000, max: 8100 };
         assert!(e.to_string().contains("9000"));
+    }
+
+    #[test]
+    fn overload_errors_classify() {
+        assert!(SiasError::Overloaded { retry_after_ms: 10 }.is_retryable_overload());
+        assert!(SiasError::DeadlineExceeded { xid: Xid(3) }.is_retryable_overload());
+        assert!(!SiasError::KeyNotFound(1).is_retryable_overload());
+        assert!(SiasError::DiskFull { needed_pages: 2, free_pages: 0 }.is_resource_exhausted());
+        assert!(SiasError::ReadOnly("space".into()).is_resource_exhausted());
+        assert!(!SiasError::Overloaded { retry_after_ms: 10 }.is_resource_exhausted());
+        let e = SiasError::DiskFull { needed_pages: 3, free_pages: 1 };
+        assert!(e.to_string().contains("3 pages"));
     }
 
     #[test]

@@ -151,6 +151,24 @@ pub fn visible_versions_batch(
     snapshot: &Snapshot,
     clog: &Clog,
 ) -> SiasResult<(Vec<ResolvedCursor>, BatchStats)> {
+    visible_versions_batch_deadline(pool, rel, entries, snapshot, clog, None, Xid(0))
+}
+
+/// Deadline-honoring batched traversal: identical to
+/// [`visible_versions_batch`], but between rounds (the natural
+/// cancellation points — each round is one bounded sweep of pinned
+/// pages) an expired `deadline` aborts the scan with a typed
+/// [`SiasError::DeadlineExceeded`] for `xid`. No partial results leak:
+/// the caller sees only the error.
+pub fn visible_versions_batch_deadline(
+    pool: &BufferPool,
+    rel: RelId,
+    entries: &[(Vid, Tid)],
+    snapshot: &Snapshot,
+    clog: &Clog,
+    deadline: Option<std::time::Instant>,
+    xid: Xid,
+) -> SiasResult<(Vec<ResolvedCursor>, BatchStats)> {
     let mut out: Vec<ResolvedCursor> =
         entries.iter().map(|&(vid, _)| ResolvedCursor { vid, visible: None, depth: 0 }).collect();
     let mut stats = BatchStats::default();
@@ -160,6 +178,11 @@ pub fn visible_versions_batch(
     let mut next: Vec<(usize, Tid)> = Vec::new();
 
     while !pending.is_empty() {
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                return Err(sias_common::SiasError::DeadlineExceeded { xid });
+            }
+        }
         pending.sort_unstable_by_key(|&(_, tid)| tid.block);
         // With an async I/O queue attached, overlap this round's miss
         // fills: submit one batched read for every distinct block before

@@ -26,9 +26,10 @@ use sias_obs::{time, MetricsSnapshot, Registry, SpanName};
 use sias_storage::{StorageConfig, StorageStack, WalRecord};
 use sias_txn::{EngineMetrics, MvccEngine, TransactionManager, Txn};
 
+use crate::admission::{AdmissionGate, PressureSignals};
 use crate::append::{AppendRegion, FlushPolicy};
 use crate::chain::{
-    fetch_version, skipped_newer_writers, visible_version_depth, visible_versions_batch,
+    fetch_version, skipped_newer_writers, visible_version_depth, visible_versions_batch_deadline,
 };
 use crate::maintenance::MaintState;
 use crate::scanpool::ScanPool;
@@ -68,6 +69,9 @@ pub struct SiasDb {
     /// Shared state of the online-maintenance subsystems (deferred
     /// page recycles, checkpoint pacing watermark, sweep cursors).
     pub(crate) maint: MaintState,
+    /// Admission gate sized by WAL backlog, dirty ratio, and active
+    /// transactions; disabled by default (see [`AdmissionGate`]).
+    admission: AdmissionGate,
 }
 
 impl SiasDb {
@@ -83,6 +87,7 @@ impl SiasDb {
         let txm = Arc::new(TransactionManager::with_registry(&stack.obs));
         let metrics = EngineMetrics::register(&stack.obs);
         let scan_pool = ScanPool::with_registry(MAX_SCAN_WORKERS, &stack.obs);
+        let admission = AdmissionGate::with_registry(&stack.obs);
         SiasDb {
             stack,
             txm,
@@ -94,6 +99,23 @@ impl SiasDb {
             metrics,
             scan_pool,
             maint: MaintState::new(cfg.maint_pages_per_sec),
+            admission,
+        }
+    }
+
+    /// The admission gate; configure via [`AdmissionGate::set_config`]
+    /// to turn backpressure/shedding on (it is off by default).
+    pub fn admission(&self) -> &AdmissionGate {
+        &self.admission
+    }
+
+    /// Reads the three pressure signals the admission gate is sized by.
+    pub fn pressure_signals(&self) -> PressureSignals {
+        let nframes = self.stack.pool.nframes().max(1) as u64;
+        PressureSignals {
+            active_txns: self.txm.active_count() as u64,
+            wal_backlog_bytes: self.stack.wal.backlog_bytes(),
+            dirty_pct: self.stack.pool.dirty_count() as u64 * 100 / nframes,
         }
     }
 
@@ -185,6 +207,10 @@ impl SiasDb {
 
     // Body split out so the `time!` wrapper records even on `?` early exits.
     fn insert_item_inner(&self, txn: &Txn, rel: RelId, payload: &[u8]) -> SiasResult<Vid> {
+        // Fail fast, typed: no media write under ReadOnly health or past
+        // the hard space watermark, and none after the deadline passed.
+        self.stack.write_allowed()?;
+        txn.check_deadline()?;
         let r = self.relation_handle(rel)?;
         // A fresh VID is unreachable by any other transaction, so the
         // X-lock of Algorithm 2 line 2 can never block; we register it
@@ -224,6 +250,8 @@ impl SiasDb {
         payload: Option<&[u8]>,
         tombstone_key: Option<u64>,
     ) -> SiasResult<()> {
+        self.stack.write_allowed()?;
+        txn.check_deadline()?;
         let r = self.relation_handle(rel)?;
         // Algorithm 3 line 4: quick pre-lock validation against the
         // current entrypoint.
@@ -233,8 +261,9 @@ impl SiasDb {
             self.metrics.write_conflicts.inc();
             return Err(SiasError::WriteConflict { vid, winner: head.1.create });
         }
-        // Algorithm 3 line 7: request the tuple X-lock, waiting if needed.
-        self.txm.locks.lock(rel, vid, txn.xid)?;
+        // Algorithm 3 line 7: request the tuple X-lock, waiting if
+        // needed — but never past the transaction's deadline.
+        self.txm.locks.lock_with_deadline(rel, vid, txn.xid, txn.deadline)?;
         // Re-validate under the lock: the previous holder may have
         // committed a newer version while we waited (first-updater-wins).
         let entry_tid = r.vidmap.get(vid).ok_or(SiasError::UnknownVid(vid))?;
@@ -360,6 +389,7 @@ impl SiasDb {
         let entries = Self::vidmap_entries(&r);
         let mut out = Vec::new();
         for (vid, entry) in entries {
+            txn.check_deadline()?;
             let (found, depth) =
                 visible_version_depth(&self.stack.pool, rel, entry, &txn.snapshot, &self.txm.clog)?;
             self.metrics.chain_depth.record(depth);
@@ -384,8 +414,15 @@ impl SiasDb {
         let _span = self.metrics.tracer.span(SpanName::EngineScanAll).txn(txn.xid.0);
         let r = self.relation_handle(rel)?;
         let entries = Self::vidmap_entries(&r);
-        let (resolved, stats) =
-            visible_versions_batch(&self.stack.pool, rel, &entries, &txn.snapshot, &self.txm.clog)?;
+        let (resolved, stats) = visible_versions_batch_deadline(
+            &self.stack.pool,
+            rel,
+            &entries,
+            &txn.snapshot,
+            &self.txm.clog,
+            txn.deadline,
+            txn.xid,
+        )?;
         self.metrics.scan_page_visits.add(stats.page_visits);
         self.metrics.scan_versions_fetched.add(stats.versions_fetched);
         let mut out = Vec::with_capacity(resolved.len());
@@ -426,12 +463,14 @@ impl SiasDb {
         let pool = Arc::clone(&self.stack.pool);
         let txm = Arc::clone(&self.txm);
         let snapshot = txn.snapshot.clone();
+        let (deadline, xid) = (txn.deadline, txn.xid);
         let chain_depth = Arc::clone(&self.metrics.chain_depth);
         let page_visits = Arc::clone(&self.metrics.scan_page_visits);
         let versions_fetched = Arc::clone(&self.metrics.scan_versions_fetched);
         let results: Vec<SiasResult<Vec<(Vid, Bytes)>>> = self.scan_pool.run(chunks, move |part| {
-            let (resolved, stats) =
-                visible_versions_batch(&pool, rel, &part, &snapshot, &txm.clog)?;
+            let (resolved, stats) = visible_versions_batch_deadline(
+                &pool, rel, &part, &snapshot, &txm.clog, deadline, xid,
+            )?;
             page_visits.add(stats.page_visits);
             versions_fetched.add(stats.versions_fetched);
             let mut local = Vec::with_capacity(resolved.len());
@@ -687,12 +726,47 @@ impl SiasDb {
         let r = self.relation_handle(rel)?;
         let mut out = Vec::new();
         for (key, vid) in r.index.range(lo, hi)? {
+            txn.check_deadline()?;
             if let Some(payload) = self.read_item_inner(txn, rel, Vid(vid))? {
                 self.ssi_read(txn, rel, key)?;
                 out.push((key, payload));
             }
         }
         Ok(out)
+    }
+
+    /// Emergency space reclaim: a vacuum pass (frees dead versions so
+    /// the redo point can advance) followed by a full checkpoint (which
+    /// truncates the WAL to the new redo point), then a watermark
+    /// re-probe — crossing back under the low watermark is what heals
+    /// `ReadOnly(space)` health. Returns WAL bytes reclaimed.
+    ///
+    /// Called by the maintenance tick whenever the space status leaves
+    /// `Ok`; safe (if pointless) to call any time.
+    pub fn emergency_reclaim(&self) -> SiasResult<u64> {
+        let mut span = self.metrics.tracer.span(SpanName::EmergencyReclaim);
+        let before = self.stack.wal.live_bytes();
+        // Best-effort vacuum: reclaim failures must not block the
+        // checkpoint — truncating the log is the part that frees space.
+        let _ = self.vacuum_all();
+        self.checkpoint()?;
+        let after = self.stack.wal.live_bytes();
+        let reclaimed = before.saturating_sub(after);
+        span.set_arg(reclaimed);
+        // Republishes watermarks; marks the health machine reclaimed
+        // when the live log dropped back under the low watermark.
+        self.stack.space_status();
+        Ok(reclaimed)
+    }
+
+    /// Shared begin body: span, snapshot, Begin record. All three public
+    /// begin flavors funnel through here after admission.
+    fn begin_txn(&self, deadline: Option<std::time::Instant>) -> Txn {
+        let mut span = self.metrics.tracer.span(SpanName::TxnBegin);
+        let txn = self.txm.begin_with_deadline(deadline);
+        span.set_txn(txn.xid.0);
+        self.stack.wal.append(&WalRecord::Begin(txn.xid));
+        txn
     }
 
     /// Publishes the always-on VID map counters (summed over relations)
@@ -746,11 +820,20 @@ impl MvccEngine for SiasDb {
     }
 
     fn begin(&self) -> Txn {
-        let mut span = self.metrics.tracer.span(SpanName::TxnBegin);
-        let txn = self.txm.begin();
-        span.set_txn(txn.xid.0);
-        self.stack.wal.append(&WalRecord::Begin(txn.xid));
-        txn
+        // Backpressure, never refusal: under overload this parks for up
+        // to the gate's delay budget, then admits regardless.
+        self.admission.admit_blocking(&self.metrics.tracer, || self.pressure_signals());
+        self.begin_txn(None)
+    }
+
+    fn try_begin(&self) -> SiasResult<Txn> {
+        self.admission.try_admit(&self.metrics.tracer, || self.pressure_signals())?;
+        Ok(self.begin_txn(None))
+    }
+
+    fn begin_with_deadline(&self, deadline: Option<std::time::Instant>) -> Txn {
+        self.admission.admit_blocking(&self.metrics.tracer, || self.pressure_signals());
+        self.begin_txn(deadline)
     }
 
     fn commit(&self, txn: Txn) -> SiasResult<()> {
@@ -782,7 +865,12 @@ impl MvccEngine for SiasDb {
         // and must treat the result as unknown). The durability checker
         // only requires *acknowledged* commits to survive, and this path
         // never acknowledges.
-        if let Err(e) = self.stack.wal.force_through(lsn) {
+        // The force wait honors the transaction's deadline: a follower
+        // parked behind a slow leader wakes with `DeadlineExceeded`
+        // instead of waiting out the force (the record may still become
+        // durable later — same outcome-uncertainty contract as an I/O
+        // failure here).
+        if let Err(e) = self.stack.wal.force_through_deadline(lsn, txn.deadline, txn.xid) {
             self.txm.abort(txn);
             return Err(e);
         }
@@ -841,6 +929,12 @@ impl MvccEngine for SiasDb {
             // Best-effort: maintenance cannot propagate errors; a failed
             // checkpoint leaves the previous redo point in force.
             let _ = self.checkpoint();
+        }
+        // Past the low watermark the tick turns into an emergency
+        // reclaim regardless of policy: vacuum + checkpoint + WAL
+        // truncation, which is also the path that heals ReadOnly(space).
+        if self.stack.space_status() != sias_storage::SpaceStatus::Ok {
+            let _ = self.emergency_reclaim();
         }
     }
 

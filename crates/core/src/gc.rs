@@ -832,6 +832,7 @@ mod tests {
             trace_capacity: sias_storage::DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 0,
             maint_pages_per_sec: sias_storage::DEFAULT_MAINT_PAGES_PER_SEC,
+            space: sias_storage::SpaceConfig::default(),
         };
         let db = SiasDb::open_with_policy(storage, FlushPolicy::T2);
         let rel = db.create_relation("t");

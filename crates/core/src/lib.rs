@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod append;
 pub mod chain;
 pub mod checkpoint;
@@ -43,6 +44,7 @@ pub mod scrub;
 pub mod version;
 pub mod vidmap;
 
+pub use admission::{AdmissionConfig, AdmissionGate, PressureSignals};
 pub use append::{AppendRegion, FlushPolicy};
 pub use checkpoint::CheckpointStats;
 pub use engine::{SiasDb, SiasRelation};

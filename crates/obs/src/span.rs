@@ -62,10 +62,17 @@ pub enum SpanName {
     CkptPaced = 23,
     /// One maintenance-scheduler tick; `arg` = throttle tokens spent.
     MaintTick = 24,
+    /// Admission gate delaying a begin under pressure; `arg` = waits.
+    AdmissionDelay = 25,
+    /// Instant: admission gate shed a begin (typed Overloaded error).
+    AdmissionShed = 26,
+    /// Emergency space reclaim (checkpoint + GC slices past the low
+    /// watermark); `arg` = bytes reclaimed.
+    EmergencyReclaim = 27,
 }
 
 /// Number of distinct span names (table size for exporters).
-pub const SPAN_NAME_COUNT: u16 = 25;
+pub const SPAN_NAME_COUNT: u16 = 28;
 
 impl SpanName {
     /// The exported dotted name, shared by both engines.
@@ -96,6 +103,9 @@ impl SpanName {
             SpanName::ScrubSlice => "scrub.slice",
             SpanName::CkptPaced => "ckpt.paced",
             SpanName::MaintTick => "maint.tick",
+            SpanName::AdmissionDelay => "admission.delay",
+            SpanName::AdmissionShed => "admission.shed",
+            SpanName::EmergencyReclaim => "maint.emergency_reclaim",
         }
     }
 
@@ -129,6 +139,9 @@ impl SpanName {
             22 => ScrubSlice,
             23 => CkptPaced,
             24 => MaintTick,
+            25 => AdmissionDelay,
+            26 => AdmissionShed,
+            27 => EmergencyReclaim,
             _ => return None,
         })
     }

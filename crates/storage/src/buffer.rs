@@ -224,6 +224,7 @@ impl BufferPool {
                 retries: obs.counter("storage.buffer.io_retries"),
                 backoff_ticks: obs.histogram("storage.io.retry_backoff_ticks"),
                 clock: RetryClock::Disabled,
+                budget: None,
             },
             io: None,
             stats: StatCell::register(obs),
@@ -260,6 +261,13 @@ impl BufferPool {
     /// fills and queued checkpoint write-back run through it.
     pub fn with_io_queue(mut self, io: Arc<IoQueue>) -> Self {
         self.io = Some(io);
+        self
+    }
+
+    /// Draws retries from a shared [`RetryBudget`] instead of giving
+    /// every miss/write-back its full per-op allowance (builder style).
+    pub fn with_budget(mut self, budget: Arc<crate::device::RetryBudget>) -> Self {
+        self.retry_ctx.budget = Some(budget);
         self
     }
 
@@ -1197,7 +1205,9 @@ mod tests {
         img[last] ^= 0x40;
         d.write_page(lba, &img, true);
         // Evict the clean cached copy so the next access re-reads.
-        p.discard_block(rel, b).unwrap();
+        // (invalidate, not discard: a discard TRIMs the media, which
+        // would destroy the corrupt image we want the re-read to find.)
+        assert!(p.invalidate_block(rel, b));
         let err = p.with_page(rel, b, |_| ()).unwrap_err();
         assert!(
             matches!(err, SiasError::CorruptPage { rel: r, block, .. } if r == rel && block == b)

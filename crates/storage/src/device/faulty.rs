@@ -51,6 +51,21 @@ pub struct FaultConfig {
     pub transient_error_ppm: u32,
     /// Probability of a single-bit flip in a page read, in ppm.
     pub bitrot_ppm: u32,
+    /// Probability of an ENOSPC failure on a fallible write, in ppm.
+    /// Unlike transient errors these are **not** retried ([`retry_io`]
+    /// treats [`SiasError::DiskFull`] as permanent), so every append
+    /// site must handle the typed error cleanly — which is exactly what
+    /// the `crashmatrix --enospc` sweep exercises.
+    ///
+    /// [`retry_io`]: super::retry_io
+    pub enospc_ppm: u32,
+    /// Deterministic hard-full trigger: after this many fallible write
+    /// operations the device latches "full" and every further fallible
+    /// write fails with [`SiasError::DiskFull`] until
+    /// [`FaultyDevice::set_full`]`(false)`. `0` disables. This is the
+    /// boundary-sweep knob: setting it to *k* injects ENOSPC at exactly
+    /// the *k*-th write of a deterministic workload.
+    pub enospc_after_writes: u64,
     /// Maximum consecutive transient errors before the device recovers
     /// (keeps bounded retries sufficient).
     pub max_error_burst: u32,
@@ -74,6 +89,8 @@ impl FaultConfig {
             dropped_write_ppm: 0,
             transient_error_ppm: 0,
             bitrot_ppm: 0,
+            enospc_ppm: 0,
+            enospc_after_writes: 0,
             max_error_burst: 2,
             error_latency_us: 200,
         }
@@ -88,6 +105,8 @@ impl FaultConfig {
             dropped_write_ppm: 10_000,   // 1 %
             transient_error_ppm: 50_000, // 5 %
             bitrot_ppm: 5_000,           // 0.5 %
+            enospc_ppm: 0,
+            enospc_after_writes: 0,
             max_error_burst: 2,
             error_latency_us: 200,
         }
@@ -99,6 +118,8 @@ impl FaultConfig {
             || self.dropped_write_ppm != 0
             || self.transient_error_ppm != 0
             || self.bitrot_ppm != 0
+            || self.enospc_ppm != 0
+            || self.enospc_after_writes != 0
     }
 }
 
@@ -136,6 +157,7 @@ struct FaultCounters {
     dropped_writes: Arc<Counter>,
     transient_errors: Arc<Counter>,
     bitrot: Arc<Counter>,
+    enospc: Arc<Counter>,
 }
 
 impl FaultCounters {
@@ -146,6 +168,7 @@ impl FaultCounters {
             dropped_writes: obs.counter("storage.faults.dropped_writes"),
             transient_errors: obs.counter("storage.faults.transient_errors"),
             bitrot: obs.counter("storage.faults.bitrot"),
+            enospc: obs.counter("storage.faults.enospc"),
         }
     }
 }
@@ -161,6 +184,11 @@ pub struct FaultyDevice {
     consecutive_errors: AtomicU32,
     /// Power-cut switch: once frozen, every write is dropped silently.
     frozen: AtomicBool,
+    /// Fallible writes attempted so far (the `enospc_after_writes` key).
+    writes_attempted: AtomicU64,
+    /// Latched "device full" switch: while set, every fallible write
+    /// fails with [`SiasError::DiskFull`].
+    full: AtomicBool,
     counters: FaultCounters,
 }
 
@@ -180,8 +208,59 @@ impl FaultyDevice {
             ops: AtomicU64::new(0),
             consecutive_errors: AtomicU32::new(0),
             frozen: AtomicBool::new(false),
+            writes_attempted: AtomicU64::new(0),
+            full: AtomicBool::new(false),
             counters: FaultCounters::register(obs),
         }
+    }
+
+    /// Latches or clears the "device full" state. Clearing it models the
+    /// operator (or emergency maintenance) reclaiming space; the chaos
+    /// harness uses it to verify the ReadOnly → Healthy round-trip.
+    pub fn set_full(&self, full: bool) {
+        self.full.store(full, Ordering::SeqCst);
+        if !full {
+            // Reclaim grants another `enospc_after_writes` writes;
+            // without the reset every post-reclaim write would re-latch
+            // immediately.
+            self.writes_attempted.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// True while the device is latched full.
+    pub fn is_full(&self) -> bool {
+        self.full.load(Ordering::SeqCst)
+    }
+
+    /// ENOSPC gate for the fallible write path. Checked before the
+    /// transient-error roll: a full device is full regardless of the
+    /// random stream, and the deterministic `enospc_after_writes`
+    /// boundary knob must not be perturbed by ppm draws.
+    fn enospc_check(&self, lba: u64) -> SiasResult<()> {
+        let full = if self.full.load(Ordering::SeqCst) {
+            true
+        } else if self.cfg.enospc_after_writes > 0 {
+            let n = self.writes_attempted.fetch_add(1, Ordering::SeqCst) + 1;
+            if n >= self.cfg.enospc_after_writes {
+                self.full.store(true, Ordering::SeqCst);
+                true
+            } else {
+                false
+            }
+        } else if self.cfg.enospc_ppm != 0 {
+            // Only draw from the stream when the knob is on: a zero-ppm
+            // roll would still bump the op counter and perturb every
+            // other fault class's deterministic sequence.
+            Self::fires(self.roll(13, lba), self.cfg.enospc_ppm)
+        } else {
+            false
+        };
+        if full {
+            self.counters.injected.inc();
+            self.counters.enospc.inc();
+            return Err(SiasError::DiskFull { needed_pages: 1, free_pages: 0 });
+        }
+        Ok(())
     }
 
     /// The wrapped device.
@@ -285,6 +364,7 @@ impl Device for FaultyDevice {
     }
 
     fn try_write_page(&self, lba: u64, data: &[u8], sync: bool) -> SiasResult<()> {
+        self.enospc_check(lba)?;
         self.transient_error(self.roll(11, lba), lba, "write")?;
         self.do_write(lba, data, sync);
         Ok(())
@@ -450,6 +530,43 @@ mod tests {
         let mut buf = vec![0u8; PAGE_SIZE];
         d.read_page(0, &mut buf);
         assert_eq!(buf, page, "post-freeze writes must not reach the media");
+    }
+
+    #[test]
+    fn enospc_after_writes_latches_until_cleared() {
+        let cfg = FaultConfig { seed: 1, enospc_after_writes: 3, ..FaultConfig::none() };
+        let (d, obs) = faulty(cfg);
+        let page = vec![6u8; PAGE_SIZE];
+        d.try_write_page(0, &page, true).unwrap();
+        d.try_write_page(1, &page, true).unwrap();
+        let err = d.try_write_page(2, &page, true).unwrap_err();
+        assert!(matches!(err, SiasError::DiskFull { .. }), "{err:?}");
+        assert!(d.is_full(), "third write latches the device full");
+        // Latched: every further write fails, reads keep working.
+        assert!(d.try_write_page(3, &page, true).is_err());
+        let mut buf = vec![0u8; PAGE_SIZE];
+        d.try_read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, page);
+        assert_eq!(obs.snapshot().counter("storage.faults.enospc"), Some(2));
+        // Reclaim: writes flow again.
+        d.set_full(false);
+        d.try_write_page(2, &page, true).unwrap();
+    }
+
+    #[test]
+    fn enospc_ppm_is_deterministic() {
+        let cfg = FaultConfig { seed: 11, enospc_ppm: 300_000, ..FaultConfig::none() };
+        let outcomes = |cfg: FaultConfig| {
+            let (d, _) = faulty(cfg);
+            (0..100u64)
+                .map(|i| d.try_write_page(i % 16, &vec![1u8; PAGE_SIZE], true).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = outcomes(cfg);
+        let b = outcomes(cfg);
+        assert_eq!(a, b, "enospc stream must reproduce");
+        assert!(a.iter().any(|&e| e), "30% ppm must fire in 100 writes");
+        assert!(!a.iter().all(|&e| e), "and must not fire every time");
     }
 
     #[test]

@@ -282,6 +282,92 @@ impl RetryClock {
     }
 }
 
+/// Shared success-funded retry budget (Finagle/GFS style): every
+/// successful I/O earns a fraction of a token, every retry spends a
+/// whole one. Under healthy operation the bucket sits at its cap and
+/// retries are free; during an error storm successes dry up, the
+/// bucket drains, and further retries **fail fast** with the original
+/// error instead of multiplying the offered load by `max_attempts`.
+///
+/// One budget is shared by every retry site on a storage stack (WAL
+/// force, buffer-pool eviction/miss I/O), which is the point: the
+/// per-op [`RetryPolicy`] bounds a single op's attempts, the budget
+/// bounds the *aggregate* retry amplification. Fully deterministic —
+/// no clocks, only op counts — so seeded chaos runs stay reproducible.
+pub struct RetryBudget {
+    /// Current balance, in millitokens (1 token = 1000).
+    millitokens: std::sync::atomic::AtomicI64,
+    /// Bucket cap in millitokens.
+    cap: i64,
+    /// Millitokens earned per successful op.
+    earn: i64,
+    /// `storage.retry.budget_exhausted` — retries denied by an empty
+    /// bucket.
+    pub exhausted: Arc<Counter>,
+}
+
+impl RetryBudget {
+    /// A budget holding at most `cap_tokens` retries, refilled at
+    /// `earn_permille`/1000 of a token per successful I/O (so a steady
+    /// 10% error rate is sustainable at `earn_permille = 100`).
+    pub fn new(cap_tokens: u32, earn_permille: u32) -> Self {
+        let cap = i64::from(cap_tokens) * 1000;
+        RetryBudget {
+            millitokens: std::sync::atomic::AtomicI64::new(cap),
+            cap,
+            earn: i64::from(earn_permille),
+            exhausted: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Default production shape: 10 retries of burst, 10% earn ratio.
+    pub fn default_budget() -> Self {
+        RetryBudget::new(10, 100)
+    }
+
+    /// Replaces the exhaustion counter with a registry-backed one.
+    pub fn with_counter(mut self, exhausted: Arc<Counter>) -> Self {
+        self.exhausted = exhausted;
+        self
+    }
+
+    /// Credits one successful I/O.
+    pub fn record_success(&self) {
+        let prev = self.millitokens.fetch_add(self.earn, Ordering::Relaxed);
+        // Clamp back to the cap. Benign race: concurrent earns may
+        // overshoot by a few millitokens before the clamp lands.
+        if prev + self.earn > self.cap {
+            self.millitokens.store(self.cap, Ordering::Relaxed);
+        }
+    }
+
+    /// Tries to spend one retry token. `false` = budget exhausted; the
+    /// caller must give up and surface its error.
+    pub fn try_spend(&self) -> bool {
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            if cur < 1000 {
+                self.exhausted.inc();
+                return false;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                cur - 1000,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Whole tokens currently in the bucket (diagnostics).
+    pub fn tokens(&self) -> i64 {
+        self.millitokens.load(Ordering::Relaxed) / 1000
+    }
+}
+
 /// Clock and metrics context threaded through [`retry_io`]: the retry
 /// counter of the calling subsystem, the shared
 /// `storage.io.retry_backoff_ticks` histogram, and the clock source
@@ -297,6 +383,8 @@ pub struct RetryCtx {
     pub backoff_ticks: Arc<Histogram>,
     /// Clock source backoff waits are charged to.
     pub clock: RetryClock,
+    /// Stack-wide retry budget; `None` = unbudgeted (standalone tests).
+    pub budget: Option<Arc<RetryBudget>>,
 }
 
 impl RetryCtx {
@@ -308,14 +396,36 @@ impl RetryCtx {
             retries: Arc::new(Counter::new()),
             backoff_ticks: Arc::new(Histogram::new()),
             clock: RetryClock::Disabled,
+            budget: None,
         }
     }
+
+    /// Attaches a shared retry budget.
+    pub fn with_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// `true` for errors that retrying cannot fix: out of space and
+/// read-only mode are states, not transients, so [`retry_io`] surfaces
+/// them on the first attempt instead of burning the backoff schedule
+/// (and the shared budget) on a foregone conclusion.
+fn is_permanent(e: &sias_common::SiasError) -> bool {
+    e.is_resource_exhausted()
 }
 
 /// Runs `op` up to `policy.max_attempts` times, counting each retry in
 /// `ctx.retries` and charging the policy's backoff schedule to the
 /// context's clock source between attempts. Returns the last error if
-/// every attempt fails.
+/// every attempt fails. Retries beyond the first attempt each spend a
+/// token from the shared [`RetryBudget`] (when one is attached); an
+/// empty bucket fails the op fast with the first error. Permanent
+/// errors ([`SiasError::DiskFull`], [`SiasError::ReadOnly`]) are never
+/// retried.
+///
+/// [`SiasError::DiskFull`]: sias_common::SiasError::DiskFull
+/// [`SiasError::ReadOnly`]: sias_common::SiasError::ReadOnly
 pub fn retry_io<T>(
     policy: RetryPolicy,
     ctx: &RetryCtx,
@@ -325,14 +435,30 @@ pub fn retry_io<T>(
     let mut last = None;
     for attempt in 0..attempts {
         if attempt > 0 {
+            if let Some(budget) = &ctx.budget {
+                if !budget.try_spend() {
+                    break;
+                }
+            }
             ctx.retries.inc();
             let wait = policy.backoff_us(attempt);
             ctx.backoff_ticks.record(wait);
             ctx.clock.wait_us(wait);
         }
         match op() {
-            Ok(v) => return Ok(v),
-            Err(e) => last = Some(e),
+            Ok(v) => {
+                if let Some(budget) = &ctx.budget {
+                    budget.record_success();
+                }
+                return Ok(v);
+            }
+            Err(e) => {
+                let permanent = is_permanent(&e);
+                last = Some(e);
+                if permanent {
+                    break;
+                }
+            }
         }
     }
     Err(last.expect("at least one attempt ran"))
@@ -414,11 +540,8 @@ mod tests {
     #[test]
     fn retry_backoff_is_charged_on_the_virtual_clock() {
         let clock = VirtualClock::new();
-        let ctx = RetryCtx {
-            retries: Arc::new(Counter::new()),
-            backoff_ticks: Arc::new(Histogram::new()),
-            clock: RetryClock::Virtual(Arc::clone(&clock)),
-        };
+        let ctx =
+            RetryCtx { clock: RetryClock::Virtual(Arc::clone(&clock)), ..RetryCtx::detached() };
         let policy =
             RetryPolicy { max_attempts: 3, base_backoff_us: 100, ..RetryPolicy::default() };
         let before = clock.now_us();
@@ -448,6 +571,80 @@ mod tests {
         // Two retries: ≥ 2 + 4 ms of real sleep (jitter adds more).
         assert!(start.elapsed() >= std::time::Duration::from_micros(6_000));
         assert_eq!(ctx.backoff_ticks.count(), 2);
+    }
+
+    #[test]
+    fn retry_budget_fails_fast_when_exhausted() {
+        let budget = Arc::new(RetryBudget::new(2, 0)); // 2 retries, no earn
+        let ctx = RetryCtx::detached().with_budget(Arc::clone(&budget));
+        let mut calls = 0;
+        let policy = RetryPolicy { max_attempts: 10, base_backoff_us: 0, ..Default::default() };
+        let out: SiasResult<()> = retry_io(policy, &ctx, || {
+            calls += 1;
+            Err(sias_common::SiasError::Device("storm".into()))
+        });
+        assert!(out.is_err());
+        // First attempt is free; only 2 budgeted retries ran.
+        assert_eq!(calls, 3, "budget must cap the storm at first+2 attempts");
+        assert_eq!(budget.exhausted.get(), 1, "the denied retry is counted");
+        assert_eq!(ctx.retries.get(), 2);
+
+        // A second op under the same empty budget fails after its first
+        // attempt — the storm no longer amplifies.
+        let mut calls2 = 0;
+        let out2: SiasResult<()> = retry_io(policy, &ctx, || {
+            calls2 += 1;
+            Err(sias_common::SiasError::Device("storm".into()))
+        });
+        assert!(out2.is_err());
+        assert_eq!(calls2, 1);
+        assert_eq!(budget.exhausted.get(), 2);
+    }
+
+    #[test]
+    fn retry_budget_refills_from_successes() {
+        let budget = Arc::new(RetryBudget::new(1, 500)); // 0.5 token per success
+        let ctx = RetryCtx::detached().with_budget(Arc::clone(&budget));
+        let policy = RetryPolicy { max_attempts: 4, base_backoff_us: 0, ..Default::default() };
+        // Drain the single token.
+        let _ = retry_io::<()>(policy, &ctx, || Err(sias_common::SiasError::Device("x".into())));
+        assert_eq!(budget.tokens(), 0);
+        // Two successes earn a fresh token; it cannot exceed the cap.
+        for _ in 0..10 {
+            retry_io(policy, &ctx, || Ok(())).unwrap();
+        }
+        assert_eq!(budget.tokens(), 1, "earn is clamped at the cap");
+        let mut fails_left = 1;
+        let out = retry_io(policy, &ctx, || {
+            if fails_left > 0 {
+                fails_left -= 1;
+                Err(sias_common::SiasError::Device("t".into()))
+            } else {
+                Ok(3u8)
+            }
+        });
+        assert_eq!(out.unwrap(), 3, "refilled budget allows the retry");
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        let ctx = RetryCtx::detached();
+        let policy = RetryPolicy { max_attempts: 5, base_backoff_us: 0, ..Default::default() };
+        let mut calls = 0;
+        let out: SiasResult<()> = retry_io(policy, &ctx, || {
+            calls += 1;
+            Err(sias_common::SiasError::DiskFull { needed_pages: 1, free_pages: 0 })
+        });
+        assert!(matches!(out, Err(sias_common::SiasError::DiskFull { .. })));
+        assert_eq!(calls, 1, "DiskFull must not be retried");
+        assert_eq!(ctx.retries.get(), 0);
+        let mut calls2 = 0;
+        let out2: SiasResult<()> = retry_io(policy, &ctx, || {
+            calls2 += 1;
+            Err(sias_common::SiasError::ReadOnly("degraded".into()))
+        });
+        assert!(matches!(out2, Err(sias_common::SiasError::ReadOnly(_))));
+        assert_eq!(calls2, 1);
     }
 
     #[test]

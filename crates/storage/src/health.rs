@@ -1,0 +1,322 @@
+//! Stack-level health state machine: Healthy → Degraded → ReadOnly.
+//!
+//! Production storage fails by *running out* — of healthy devices and
+//! of space — long before it fails by crashing. This module is the
+//! single authority on what the stack is currently willing to do about
+//! it:
+//!
+//! * **Healthy** — everything allowed.
+//! * **Degraded** — writes still allowed, but the stack is visibly
+//!   unwell (an I/O error streak on a device, or space past the low
+//!   watermark). Emergency maintenance should be running; operators
+//!   should be paged.
+//! * **ReadOnly** — reads keep serving from the pool and healthy
+//!   devices, writes fail fast with [`SiasError::ReadOnly`]. Entered on
+//!   a sustained I/O error streak (a striped member that keeps
+//!   failing) or on space exhaustion past the hard watermark.
+//!
+//! Transitions are driven by the subsystems that observe the evidence:
+//! the WAL and buffer pool report force/write-back outcomes
+//! ([`Health::record_io_error`] / [`Health::record_io_success`]), the
+//! space accountant reports watermark crossings, and recovery back to
+//! Healthy happens only on positive evidence — a clean scrub pass
+//! ([`Health::mark_scrubbed`]) or reclaimed space
+//! ([`Health::mark_reclaimed`]); an isolated successful write clears a
+//! *Degraded* I/O streak but never clears *ReadOnly* on its own.
+//!
+//! Everything is lock-free on the hot path: `allow_writes` is one
+//! atomic load while Healthy.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sias_common::{SiasError, SiasResult};
+use sias_obs::{Counter, Gauge, Registry};
+
+/// The three operating states, ordered by severity. The numeric value
+/// is exported as the `storage.health.state` gauge (0/1/2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum HealthState {
+    /// Full service.
+    Healthy = 0,
+    /// Writes allowed, but the stack is under visible distress.
+    Degraded = 1,
+    /// Writes fail fast; reads keep serving.
+    ReadOnly = 2,
+}
+
+impl HealthState {
+    fn from_u8(v: u8) -> HealthState {
+        match v {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            _ => HealthState::ReadOnly,
+        }
+    }
+}
+
+/// What drove the last non-Healthy transition (recovery must match the
+/// cause: space trouble is cured by reclaim, I/O trouble by a scrub).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Cause {
+    None,
+    Io,
+    Space,
+}
+
+/// Streak thresholds for I/O-error-driven transitions.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Consecutive I/O failures before Healthy → Degraded.
+    pub degrade_after_io_errors: u32,
+    /// Consecutive I/O failures before → ReadOnly.
+    pub readonly_after_io_errors: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        // A retried write that still fails has already absorbed the
+        // per-op retry policy, so even small streaks mean a device is
+        // genuinely unwell.
+        HealthConfig { degrade_after_io_errors: 3, readonly_after_io_errors: 8 }
+    }
+}
+
+/// The shared health cell. One per [`StorageStack`]; cloned handles go
+/// to the WAL and anything else that observes I/O outcomes.
+///
+/// [`StorageStack`]: crate::stack::StorageStack
+pub struct Health {
+    state: AtomicU8,
+    io_error_streak: AtomicU32,
+    cfg: HealthConfig,
+    inner: Mutex<Inner>,
+    state_gauge: Arc<Gauge>,
+    /// `storage.health.transitions` — every state change.
+    pub transitions: Arc<Counter>,
+    /// `storage.health.readonly_entered` — entries into ReadOnly.
+    pub readonly_entered: Arc<Counter>,
+    /// `storage.health.recovered` — returns to Healthy.
+    pub recovered: Arc<Counter>,
+    /// `storage.health.writes_rejected` — writes refused in ReadOnly.
+    pub writes_rejected: Arc<Counter>,
+}
+
+struct Inner {
+    cause: Cause,
+    reason: String,
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Health::new(HealthConfig::default())
+    }
+}
+
+impl Health {
+    /// A detached health cell with private metrics (tests).
+    pub fn new(cfg: HealthConfig) -> Self {
+        Health {
+            state: AtomicU8::new(HealthState::Healthy as u8),
+            io_error_streak: AtomicU32::new(0),
+            cfg,
+            inner: Mutex::new(Inner { cause: Cause::None, reason: String::new() }),
+            state_gauge: Arc::new(Gauge::new()),
+            transitions: Arc::new(Counter::new()),
+            readonly_entered: Arc::new(Counter::new()),
+            recovered: Arc::new(Counter::new()),
+            writes_rejected: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Registers the `storage.health.*` metrics in `obs`.
+    pub fn with_registry(mut self, obs: &Registry) -> Self {
+        self.state_gauge = obs.gauge("storage.health.state");
+        self.transitions = obs.counter("storage.health.transitions");
+        self.readonly_entered = obs.counter("storage.health.readonly_entered");
+        self.recovered = obs.counter("storage.health.recovered");
+        self.writes_rejected = obs.counter("storage.health.writes_rejected");
+        self
+    }
+
+    /// Current state (one atomic load).
+    pub fn state(&self) -> HealthState {
+        HealthState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Human-readable reason for the current non-Healthy state.
+    pub fn reason(&self) -> String {
+        self.inner.lock().reason.clone()
+    }
+
+    /// Write gate: `Err(SiasError::ReadOnly)` while in ReadOnly mode.
+    /// Healthy/Degraded writes pass (Degraded is a warning, not a
+    /// refusal). One atomic load on the happy path.
+    pub fn allow_writes(&self) -> SiasResult<()> {
+        if self.state() != HealthState::ReadOnly {
+            return Ok(());
+        }
+        self.writes_rejected.inc();
+        Err(SiasError::ReadOnly(self.inner.lock().reason.clone()))
+    }
+
+    fn transition(&self, to: HealthState, cause: Cause, reason: &str) {
+        let mut inner = self.inner.lock();
+        let from = self.state();
+        if from == to {
+            return;
+        }
+        self.state.store(to as u8, Ordering::Release);
+        self.state_gauge.set(to as i64);
+        self.transitions.inc();
+        match to {
+            HealthState::ReadOnly => self.readonly_entered.inc(),
+            HealthState::Healthy => self.recovered.inc(),
+            HealthState::Degraded => {}
+        }
+        inner.cause = if to == HealthState::Healthy { Cause::None } else { cause };
+        inner.reason = if to == HealthState::Healthy { String::new() } else { reason.to_string() };
+    }
+
+    /// A retried I/O operation still failed. Streaks escalate Healthy →
+    /// Degraded → ReadOnly per the configured thresholds.
+    pub fn record_io_error(&self) {
+        let streak = self.io_error_streak.fetch_add(1, Ordering::AcqRel) + 1;
+        if streak >= self.cfg.readonly_after_io_errors {
+            self.transition(
+                HealthState::ReadOnly,
+                Cause::Io,
+                &format!("{streak} consecutive I/O failures"),
+            );
+        } else if streak >= self.cfg.degrade_after_io_errors && self.state() == HealthState::Healthy
+        {
+            self.transition(
+                HealthState::Degraded,
+                Cause::Io,
+                &format!("{streak} consecutive I/O failures"),
+            );
+        }
+    }
+
+    /// An I/O operation succeeded. Clears the error streak; an
+    /// *I/O-caused* Degraded state heals back to Healthy (the device
+    /// recovered), but ReadOnly stays — leaving ReadOnly requires the
+    /// positive evidence of [`Health::mark_scrubbed`].
+    pub fn record_io_success(&self) {
+        self.io_error_streak.store(0, Ordering::Release);
+        if self.state() == HealthState::Degraded && self.inner.lock().cause == Cause::Io {
+            self.transition(HealthState::Healthy, Cause::None, "");
+        }
+    }
+
+    /// Space crossed the low watermark: Degraded (unless already worse).
+    pub fn mark_space_low(&self, used_pct: u64) {
+        if self.state() == HealthState::Healthy {
+            self.transition(
+                HealthState::Degraded,
+                Cause::Space,
+                &format!("log space {used_pct}% past low watermark"),
+            );
+        }
+    }
+
+    /// Space crossed the hard watermark: ReadOnly.
+    pub fn mark_space_exhausted(&self, used_pct: u64) {
+        self.transition(
+            HealthState::ReadOnly,
+            Cause::Space,
+            &format!("log space exhausted ({used_pct}% of quota)"),
+        );
+    }
+
+    /// Space is back under the low watermark after checkpoint + GC:
+    /// cures *space-caused* distress (both Degraded and ReadOnly). An
+    /// I/O-caused ReadOnly is untouched — reclaiming space says nothing
+    /// about a failing device.
+    pub fn mark_reclaimed(&self) {
+        if self.state() != HealthState::Healthy && self.inner.lock().cause == Cause::Space {
+            self.transition(HealthState::Healthy, Cause::None, "");
+        }
+    }
+
+    /// A full scrub pass completed with every page verified (repairs
+    /// included): cures *I/O-caused* distress, including ReadOnly.
+    pub fn mark_scrubbed(&self) {
+        self.io_error_streak.store(0, Ordering::Release);
+        if self.state() != HealthState::Healthy && self.inner.lock().cause == Cause::Io {
+            self.transition(HealthState::Healthy, Cause::None, "");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_streaks_escalate_and_success_heals_degraded() {
+        let h =
+            Health::new(HealthConfig { degrade_after_io_errors: 2, readonly_after_io_errors: 4 });
+        assert_eq!(h.state(), HealthState::Healthy);
+        h.record_io_error();
+        assert_eq!(h.state(), HealthState::Healthy);
+        h.record_io_error();
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert!(h.allow_writes().is_ok(), "degraded still writes");
+        h.record_io_success();
+        assert_eq!(h.state(), HealthState::Healthy, "io-degraded heals on success");
+        for _ in 0..4 {
+            h.record_io_error();
+        }
+        assert_eq!(h.state(), HealthState::ReadOnly);
+        let err = h.allow_writes().unwrap_err();
+        assert!(matches!(err, SiasError::ReadOnly(_)));
+        assert_eq!(h.writes_rejected.get(), 1);
+        h.record_io_success();
+        assert_eq!(h.state(), HealthState::ReadOnly, "success alone must not clear ReadOnly");
+        h.mark_scrubbed();
+        assert_eq!(h.state(), HealthState::Healthy, "a clean scrub clears io ReadOnly");
+        assert_eq!(h.recovered.get(), 2);
+    }
+
+    #[test]
+    fn space_watermarks_drive_readonly_and_reclaim_cures() {
+        let h = Health::default();
+        h.mark_space_low(72);
+        assert_eq!(h.state(), HealthState::Degraded);
+        h.mark_space_exhausted(91);
+        assert_eq!(h.state(), HealthState::ReadOnly);
+        assert!(h.reason().contains("exhausted"));
+        h.mark_scrubbed();
+        assert_eq!(h.state(), HealthState::ReadOnly, "scrub does not cure space trouble");
+        h.mark_reclaimed();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert!(h.allow_writes().is_ok());
+    }
+
+    #[test]
+    fn reclaim_does_not_cure_io_readonly() {
+        let h =
+            Health::new(HealthConfig { degrade_after_io_errors: 1, readonly_after_io_errors: 2 });
+        h.record_io_error();
+        h.record_io_error();
+        assert_eq!(h.state(), HealthState::ReadOnly);
+        h.mark_reclaimed();
+        assert_eq!(h.state(), HealthState::ReadOnly);
+    }
+
+    #[test]
+    fn gauge_and_counters_track_transitions() {
+        let obs = Registry::new();
+        let h = Health::default().with_registry(&obs);
+        h.mark_space_exhausted(95);
+        h.mark_reclaimed();
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauge("storage.health.state"), Some(0));
+        assert_eq!(snap.counter("storage.health.transitions"), Some(2));
+        assert_eq!(snap.counter("storage.health.readonly_entered"), Some(1));
+        assert_eq!(snap.counter("storage.health.recovered"), Some(1));
+    }
+}

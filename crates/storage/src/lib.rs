@@ -29,6 +29,7 @@ pub mod buffer;
 mod checksum;
 pub mod device;
 pub mod fsm;
+pub mod health;
 pub mod io_queue;
 pub mod page;
 pub mod stack;
@@ -38,13 +39,16 @@ pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use device::{
-    Device, DeviceRef, DeviceStats, FaultConfig, FaultPlan, FaultyDevice, FileDevice, FlashConfig,
-    HddConfig, RetryClock, RetryCtx, RetryPolicy, StripedDevice,
+    retry_io, Device, DeviceRef, DeviceStats, FaultConfig, FaultPlan, FaultyDevice, FileDevice,
+    FlashConfig, HddConfig, RetryBudget, RetryClock, RetryCtx, RetryPolicy, StripedDevice,
 };
 pub use fsm::FreeSpaceMap;
+pub use health::{Health, HealthConfig, HealthState};
 pub use io_queue::{IoCompletion, IoOp, IoQueue};
 pub use page::Page;
-pub use stack::{Media, StorageConfig, StorageStack, DEFAULT_MAINT_PAGES_PER_SEC};
+pub use stack::{
+    Media, SpaceConfig, SpaceStatus, StorageConfig, StorageStack, DEFAULT_MAINT_PAGES_PER_SEC,
+};
 pub use tablespace::Tablespace;
 pub use trace::{IoDir, TraceCollector, TraceEvent, TraceSummary, DEFAULT_TRACE_CAPACITY};
 pub use wal::{Wal, WalConfig, WalRecord, WalStats};

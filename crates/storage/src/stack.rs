@@ -15,14 +15,15 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use sias_common::VirtualClock;
-use sias_obs::Registry;
+use sias_common::{SiasResult, VirtualClock, PAGE_SIZE};
+use sias_obs::{Gauge, Registry};
 
 use crate::buffer::BufferPool;
 use crate::device::{
     Device, DeviceEnv, FaultPlan, FaultyDevice, FileDevice, FlashConfig, FlashDevice, HddConfig,
-    HddDevice, MemDevice, Raid0, RetryClock, StripedDevice,
+    HddDevice, MemDevice, Raid0, RetryBudget, RetryClock, StripedDevice,
 };
+use crate::health::Health;
 use crate::io_queue::IoQueue;
 use crate::tablespace::Tablespace;
 use crate::trace::{TraceCollector, DEFAULT_TRACE_CAPACITY};
@@ -75,6 +76,59 @@ impl Media {
     }
 }
 
+/// Space accounting for the log device: a quota on *live* WAL bytes
+/// (appended minus checkpoint-truncated) with two watermarks.
+///
+/// Crossing the **low** watermark marks the stack Degraded and is the
+/// cue for emergency maintenance (paced checkpoint + GC slices) to
+/// reclaim log space; crossing the **hard** watermark flips the stack
+/// to ReadOnly — further writes fail fast with a typed error rather
+/// than running the device into the ground. The WAL's physical
+/// capacity check in `lead_force` remains the backstop underneath.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpaceConfig {
+    /// Physical size of the log device, in pages.
+    pub wal_device_pages: u64,
+    /// Quota on live WAL bytes, in pages. `0` = the whole device.
+    pub wal_quota_pages: u64,
+    /// Percent of quota at which the stack goes Degraded (emergency
+    /// reclaim starts).
+    pub low_watermark_pct: u64,
+    /// Percent of quota at which writes fail fast (ReadOnly).
+    pub hard_watermark_pct: u64,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        SpaceConfig {
+            wal_device_pages: 1 << 22,
+            wal_quota_pages: 0,
+            low_watermark_pct: 70,
+            hard_watermark_pct: 90,
+        }
+    }
+}
+
+impl SpaceConfig {
+    /// The quota in bytes (defaulting to the whole device).
+    pub fn quota_bytes(&self) -> u64 {
+        let pages =
+            if self.wal_quota_pages == 0 { self.wal_device_pages } else { self.wal_quota_pages };
+        pages * PAGE_SIZE as u64
+    }
+}
+
+/// Where the stack currently sits relative to its space watermarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpaceStatus {
+    /// Below the low watermark.
+    Ok,
+    /// Past the low watermark: reclaim urgently.
+    Low,
+    /// Past the hard watermark: writes fail fast.
+    Exhausted,
+}
+
 /// Configuration of a full storage stack.
 #[derive(Clone, Debug)]
 pub struct StorageConfig {
@@ -102,6 +156,8 @@ pub struct StorageConfig {
     /// maintenance unthrottled. Foreground transactions are never
     /// throttled by this knob.
     pub maint_pages_per_sec: u64,
+    /// Log-device size, live-byte quota and ENOSPC watermarks.
+    pub space: SpaceConfig,
 }
 
 /// Default maintenance throttle: generous enough to keep up with an
@@ -121,6 +177,7 @@ impl StorageConfig {
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 0,
             maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
+            space: SpaceConfig::default(),
         }
     }
 
@@ -142,6 +199,7 @@ impl StorageConfig {
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 0,
             maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
+            space: SpaceConfig::default(),
         }
     }
 
@@ -164,6 +222,7 @@ impl StorageConfig {
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 8,
             maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
+            space: SpaceConfig::default(),
         }
     }
 
@@ -182,6 +241,7 @@ impl StorageConfig {
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 8,
             maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
+            space: SpaceConfig::default(),
         }
     }
 
@@ -197,6 +257,7 @@ impl StorageConfig {
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             io_queue_depth: 0,
             maint_pages_per_sec: DEFAULT_MAINT_PAGES_PER_SEC,
+            space: SpaceConfig::default(),
         }
     }
 
@@ -248,6 +309,26 @@ impl StorageConfig {
         self.maint_pages_per_sec = pages;
         self
     }
+
+    /// Overrides the physical log-device size (pages).
+    pub fn with_wal_device_pages(mut self, pages: u64) -> Self {
+        self.space.wal_device_pages = pages;
+        self
+    }
+
+    /// Overrides the live-WAL-byte quota (pages; 0 = whole device).
+    pub fn with_wal_quota_pages(mut self, pages: u64) -> Self {
+        self.space.wal_quota_pages = pages;
+        self
+    }
+
+    /// Overrides the space watermarks (percent of quota).
+    pub fn with_space_watermarks(mut self, low_pct: u64, hard_pct: u64) -> Self {
+        assert!(low_pct <= hard_pct, "low watermark must not exceed hard");
+        self.space.low_watermark_pct = low_pct;
+        self.space.hard_watermark_pct = hard_pct;
+        self
+    }
 }
 
 /// A fully-assembled storage stack.
@@ -271,6 +352,14 @@ pub struct StorageStack {
     /// Async I/O queue over the data device (`io_queue_depth > 0`),
     /// shared by the buffer pool's prefetch and checkpoint paths.
     pub io: Option<Arc<IoQueue>>,
+    /// Stack-level health state machine (Healthy/Degraded/ReadOnly).
+    pub health: Arc<Health>,
+    /// Shared success-funded retry budget (WAL + pool retry sites).
+    pub budget: Arc<RetryBudget>,
+    /// Space watermarks the accountant evaluates against.
+    pub space_cfg: SpaceConfig,
+    /// `storage.space.wal_used_pct` — live WAL bytes as % of quota.
+    wal_used_pct_gauge: Arc<Gauge>,
 }
 
 impl StorageStack {
@@ -283,6 +372,11 @@ impl StorageStack {
     pub fn with_registry(cfg: &StorageConfig, obs: Arc<Registry>) -> Self {
         let clock = VirtualClock::new();
         let trace = TraceCollector::with_registry(cfg.trace_capacity, &obs);
+        let health = Arc::new(Health::default().with_registry(&obs));
+        let budget = Arc::new(
+            RetryBudget::default_budget()
+                .with_counter(obs.counter("storage.retry.budget_exhausted")),
+        );
         let data: Arc<dyn Device> = match &cfg.media {
             Media::Mem => Arc::new(MemDevice::new(
                 cfg.capacity_pages,
@@ -371,7 +465,8 @@ impl StorageStack {
             Arc::clone(&space),
             &obs,
         )
-        .with_retry_clock(retry_clock.clone());
+        .with_retry_clock(retry_clock.clone())
+        .with_budget(Arc::clone(&budget));
         if let Some(io) = &io {
             pool = pool.with_io_queue(Arc::clone(io));
         }
@@ -381,14 +476,15 @@ impl StorageStack {
         // media put the log in a sibling file at `<path>.wal`.
         let wal_env =
             DeviceEnv { clock: Arc::clone(&clock), trace: TraceCollector::new(), device_id: 0 };
+        let wal_pages = cfg.space.wal_device_pages;
         let wal_dev: Arc<dyn Device> = match &cfg.media {
-            Media::Mem => Arc::new(MemDevice::new(1 << 22, wal_env)),
+            Media::Mem => Arc::new(MemDevice::new(wal_pages, wal_env)),
             Media::SsdRaid { flash, .. } => Arc::new(FlashDevice::new(
-                FlashConfig { capacity_pages: 1 << 22, ..*flash },
+                FlashConfig { capacity_pages: wal_pages, ..*flash },
                 wal_env,
             )),
             Media::Hdd(h) => {
-                Arc::new(HddDevice::new(HddConfig { capacity_pages: 1 << 22, ..*h }, wal_env))
+                Arc::new(HddDevice::new(HddConfig { capacity_pages: wal_pages, ..*h }, wal_env))
             }
             Media::File { .. } | Media::Striped { .. } => {
                 let base = match &cfg.media {
@@ -399,7 +495,7 @@ impl StorageStack {
                 let mut wal_path = base.into_os_string();
                 wal_path.push(".wal");
                 Arc::new(
-                    FileDevice::open(PathBuf::from(wal_path), 1 << 22, wal_env)
+                    FileDevice::open(PathBuf::from(wal_path), wal_pages, wal_env)
                         .expect("open wal file"),
                 )
             }
@@ -411,7 +507,9 @@ impl StorageStack {
         };
         let mut wal = Wal::with_registry(Arc::clone(&wal_dev), &obs)
             .with_config(cfg.wal)
-            .with_retry_clock(retry_clock);
+            .with_retry_clock(retry_clock)
+            .with_budget(Arc::clone(&budget))
+            .with_health(Arc::clone(&health));
         if cfg.media.is_file_backed() && cfg.io_queue_depth > 0 {
             // The WAL gets its own small queue over its own device, so
             // multi-page group-commit forces overlap too. Simulated
@@ -419,7 +517,57 @@ impl StorageStack {
             wal = wal.with_io_queue(IoQueue::new(wal_dev, cfg.io_queue_depth.min(4), &obs));
         }
         let wal = Arc::new(wal);
-        StorageStack { clock, trace, data, space, pool, wal, obs, io }
+        let wal_used_pct_gauge = obs.gauge("storage.space.wal_used_pct");
+        StorageStack {
+            clock,
+            trace,
+            data,
+            space,
+            pool,
+            wal,
+            obs,
+            io,
+            health,
+            budget,
+            space_cfg: cfg.space,
+            wal_used_pct_gauge,
+        }
+    }
+
+    /// Live WAL bytes as a percentage of the configured quota.
+    pub fn wal_used_pct(&self) -> u64 {
+        self.wal.live_bytes() * 100 / self.space_cfg.quota_bytes().max(1)
+    }
+
+    /// Evaluates the space accountant: compares live WAL bytes against
+    /// the quota watermarks, updates the `storage.space.wal_used_pct`
+    /// gauge, and drives the health machine — past the hard watermark
+    /// the stack flips to ReadOnly; dropping back below the low
+    /// watermark (after checkpoint truncation) cures space-caused
+    /// distress. Called from the engine's append paths and the
+    /// maintenance loop; cheap enough for both.
+    pub fn space_status(&self) -> SpaceStatus {
+        let pct = self.wal_used_pct();
+        self.wal_used_pct_gauge.set(pct as i64);
+        if pct >= self.space_cfg.hard_watermark_pct {
+            self.health.mark_space_exhausted(pct);
+            SpaceStatus::Exhausted
+        } else if pct >= self.space_cfg.low_watermark_pct {
+            self.health.mark_space_low(pct);
+            SpaceStatus::Low
+        } else {
+            self.health.mark_reclaimed();
+            SpaceStatus::Ok
+        }
+    }
+
+    /// Write gate for the engine's append paths: re-evaluates the space
+    /// accountant, then asks the health machine. Fails with
+    /// [`sias_common::SiasError::ReadOnly`] while the stack is in
+    /// read-only mode.
+    pub fn write_allowed(&self) -> SiasResult<()> {
+        self.space_status();
+        self.health.allow_writes()
     }
 }
 
@@ -542,6 +690,51 @@ mod tests {
         drop(s2);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&wal_path);
+    }
+
+    #[test]
+    fn space_watermarks_round_trip_through_readonly() {
+        use crate::health::HealthState;
+        use crate::wal::WalRecord;
+        use sias_common::Xid;
+        // Tiny quota (4 pages) so a handful of records sweeps the
+        // watermarks; a big device underneath so the quota, not the
+        // physical backstop, is what fires.
+        let cfg = StorageConfig::in_memory().with_wal_quota_pages(4).with_space_watermarks(50, 75);
+        let s = StorageStack::new(&cfg);
+        assert_eq!(s.space_status(), SpaceStatus::Ok);
+        assert!(s.write_allowed().is_ok());
+        let payload = vec![0u8; PAGE_SIZE];
+        let rec = |x| WalRecord::Insert {
+            xid: Xid(x),
+            rel: sias_common::RelId(1),
+            tid: sias_common::Tid::new(0, 0),
+            vid: sias_common::Vid(0),
+            payload: payload.clone(),
+        };
+        s.wal.append(&rec(1));
+        s.wal.append(&rec(2));
+        assert_eq!(s.space_status(), SpaceStatus::Low, "2/4 pages past the 50% watermark");
+        assert_eq!(s.health.state(), HealthState::Degraded);
+        assert!(s.write_allowed().is_ok(), "degraded still admits writes");
+        s.wal.append(&rec(3));
+        assert_eq!(s.space_status(), SpaceStatus::Exhausted);
+        let err = s.write_allowed().unwrap_err();
+        assert!(matches!(err, sias_common::SiasError::ReadOnly(_)), "{err:?}");
+        // Reclaim: force + truncate everything (a checkpoint's effect).
+        s.wal.force().unwrap();
+        s.wal.truncate_before(s.wal.current_lsn());
+        assert_eq!(s.space_status(), SpaceStatus::Ok);
+        assert_eq!(s.health.state(), HealthState::Healthy, "reclaim cures space ReadOnly");
+        assert!(s.write_allowed().is_ok());
+        assert!(s.obs.snapshot().counter("storage.health.recovered").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn stack_shares_one_retry_budget() {
+        let s = StorageStack::new(&StorageConfig::in_memory());
+        assert!(s.budget.tokens() > 0);
+        assert!(s.budget.try_spend());
     }
 
     #[test]

@@ -39,7 +39,8 @@ use sias_obs::{Counter, FlightRecorder, Histogram, Registry, SpanName};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::device::{retry_io, Device, RetryClock, RetryCtx, RetryPolicy};
+use crate::device::{retry_io, Device, RetryBudget, RetryClock, RetryCtx, RetryPolicy};
+use crate::health::Health;
 use crate::io_queue::{IoOp, IoQueue};
 
 /// Logical WAL record.
@@ -365,6 +366,9 @@ pub struct Wal {
     /// overlapping the page writes on real files instead of paying a
     /// synchronous round-trip per page.
     io: Option<Arc<IoQueue>>,
+    /// Optional shared health cell: force outcomes feed its I/O streak,
+    /// and a capacity overflow marks space exhausted.
+    health: Option<Arc<Health>>,
     forces: Arc<Counter>,
     bytes_appended: Arc<Counter>,
     truncated_bytes: Arc<Counter>,
@@ -415,8 +419,10 @@ impl Wal {
                 retries: obs.counter("storage.wal.io_retries"),
                 backoff_ticks: obs.histogram("storage.io.retry_backoff_ticks"),
                 clock: RetryClock::Disabled,
+                budget: None,
             },
             io: None,
+            health: None,
             forces: obs.counter("storage.wal.forces"),
             bytes_appended: obs.counter("storage.wal.bytes_appended"),
             truncated_bytes: obs.counter("storage.wal.truncated_bytes"),
@@ -457,6 +463,21 @@ impl Wal {
     /// Overrides the group-commit knobs (builder style).
     pub fn with_config(mut self, cfg: WalConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Draws retries from a shared [`RetryBudget`] instead of giving
+    /// every force its full per-op retry allowance (builder style).
+    pub fn with_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.retry_ctx.budget = Some(budget);
+        self
+    }
+
+    /// Feeds force outcomes into a shared [`Health`] cell (builder
+    /// style): persistent I/O failures escalate the stack toward
+    /// ReadOnly, successes clear the streak.
+    pub fn with_health(mut self, health: Arc<Health>) -> Self {
+        self.health = Some(health);
         self
     }
 
@@ -507,7 +528,22 @@ impl Wal {
     /// and are usually covered by the next leader's batch without
     /// issuing any device I/O of their own.
     pub fn force_through(&self, lsn: u64) -> SiasResult<()> {
-        self.force_until(lsn + 1).map(|_| ())
+        self.force_until(lsn + 1, None, Xid(0)).map(|_| ())
+    }
+
+    /// Deadline-aware [`Wal::force_through`]: a follower parked behind a
+    /// slow leader gives up when `deadline` passes and returns
+    /// [`SiasError::DeadlineExceeded`] for `xid` instead of waiting the
+    /// full 50 ms re-check tick. The record stays appended — a later
+    /// force (or another committer's batch) still makes it durable; the
+    /// *transaction* is what stops waiting.
+    pub fn force_through_deadline(
+        &self,
+        lsn: u64,
+        deadline: Option<std::time::Instant>,
+        xid: Xid,
+    ) -> SiasResult<()> {
+        self.force_until(lsn + 1, deadline, xid).map(|_| ())
     }
 
     /// Forces all appended records to the log device. Synchronous: the
@@ -522,11 +558,19 @@ impl Wal {
     /// — the append-only layout makes the retry idempotent.
     pub fn force(&self) -> SiasResult<u64> {
         let target = self.append_watermark();
-        self.force_until(target)
+        self.force_until(target, None, Xid(0))
     }
 
-    /// Leader/follower protocol: returns once `durable_len >= target`.
-    fn force_until(&self, target: u64) -> SiasResult<u64> {
+    /// Leader/follower protocol: returns once `durable_len >= target`,
+    /// or with [`SiasError::DeadlineExceeded`] if `deadline` passes
+    /// while waiting (checked before every park and bounded by the wait
+    /// timeout, so no wait outlives the deadline by more than one tick).
+    fn force_until(
+        &self,
+        target: u64,
+        deadline: Option<std::time::Instant>,
+        xid: Xid,
+    ) -> SiasResult<u64> {
         let mut writes = 0u64;
         loop {
             {
@@ -539,7 +583,17 @@ impl Wal {
                     // its watermark. The timeout only guards against a
                     // missed wakeup; the loop re-checks either way.
                     let _span = self.tracer.span(SpanName::WalForceWait);
-                    let _ = self.group_cv.wait_for(&mut group, Duration::from_millis(50));
+                    let tick = match deadline {
+                        Some(d) => {
+                            let now = std::time::Instant::now();
+                            if now >= d {
+                                return Err(SiasError::DeadlineExceeded { xid });
+                            }
+                            (d - now).min(Duration::from_millis(50))
+                        }
+                        None => Duration::from_millis(50),
+                    };
+                    let _ = self.group_cv.wait_for(&mut group, tick);
                     continue;
                 }
                 group.leader_active = true;
@@ -601,7 +655,23 @@ impl Wal {
         }
         let mut writes = 0u64;
         let mut failure = None;
+        // Hard capacity backstop: if any page of the plan lies past the
+        // end of the log device, fail the whole force with a typed error
+        // *before* touching the media. No prefix of a multi-page batch
+        // is ever written, so a half-durable (torn) group commit cannot
+        // exist, and the splice-back below keeps the log contiguous for
+        // a retry once space is reclaimed.
+        if let Some(&(last_lba, _)) = plan.last() {
+            let cap = self.device.capacity_pages();
+            if last_lba >= cap {
+                failure = Some(SiasError::DiskFull {
+                    needed_pages: last_lba + 1 - cap,
+                    free_pages: cap.saturating_sub(plan[0].0),
+                });
+            }
+        }
         match &self.io {
+            _ if failure.is_some() => {}
             // Batched async force: submit every page unsynced, reap the
             // completions, then issue a single durability barrier. Safe
             // because the plan's LBAs are distinct and increasing and
@@ -644,6 +714,13 @@ impl Wal {
         }
         let mut inner = self.inner.lock();
         inner.in_flight_bytes = 0;
+        if let Some(health) = &self.health {
+            match &failure {
+                None => health.record_io_success(),
+                Some(SiasError::DiskFull { .. }) => health.mark_space_exhausted(100),
+                Some(_) => health.record_io_error(),
+            }
+        }
         match failure {
             None => {
                 inner.durable_len += buf.len() as u64;
@@ -707,6 +784,25 @@ impl Wal {
     /// Byte offset below which the log is logically truncated.
     pub fn truncated_lsn(&self) -> u64 {
         self.inner.lock().truncated_lsn
+    }
+
+    /// Bytes appended but not yet durable (pending + in-flight). The
+    /// admission gate reads this as its WAL-pressure signal: a growing
+    /// backlog means forces are not keeping up with commit traffic.
+    pub fn backlog_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.in_flight_bytes + inner.pending.len() as u64
+    }
+
+    /// Live log bytes: everything appended (durable, in-flight and
+    /// pending) minus what checkpoints have logically truncated. This is
+    /// the quantity the space accountant compares against the WAL quota
+    /// — truncation genuinely reclaims it, which is what makes the
+    /// ReadOnly → Healthy round-trip possible.
+    pub fn live_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        (inner.durable_len + inner.in_flight_bytes + inner.pending.len() as u64)
+            .saturating_sub(inner.truncated_lsn)
     }
 
     /// `(appended, durable)` record counts. `durable` reflects the last
@@ -926,6 +1022,98 @@ mod tests {
         let w = wal();
         assert_eq!(w.force().unwrap(), 0);
         assert_eq!(w.stats().forces, 0);
+    }
+
+    #[test]
+    fn capacity_overflow_fails_typed_before_any_write() {
+        // A 2-page log device: the second force's plan would spill past
+        // the end. It must fail with DiskFull, write nothing, and keep
+        // the log retryable (splice-back), with the durable prefix
+        // still scanning cleanly.
+        let dev = Arc::new(MemDevice::standalone(2));
+        let w = Wal::new(dev.clone());
+        let payload = vec![0xCDu8; 6000];
+        let rec = |x| WalRecord::Insert {
+            xid: Xid(x),
+            rel: RelId(1),
+            tid: Tid::new(0, 0),
+            vid: Vid(0),
+            payload: payload.clone(),
+        };
+        w.append(&rec(1));
+        w.force().unwrap();
+        let writes_before = dev.stats().host_write_pages;
+        w.append(&rec(2));
+        w.append(&rec(3));
+        let err = w.force().unwrap_err();
+        assert!(matches!(err, SiasError::DiskFull { .. }), "{err:?}");
+        assert_eq!(
+            dev.stats().host_write_pages,
+            writes_before,
+            "no page of the overflowing batch may touch the media"
+        );
+        // Durable prefix intact, pending records preserved for a retry.
+        let (records, _) = Wal::scan_device(dev.as_ref());
+        assert_eq!(records.len(), 1);
+        assert_eq!(w.record_counts(), (3, 1));
+        let err2 = w.force().unwrap_err();
+        assert!(matches!(err2, SiasError::DiskFull { .. }), "retry fails the same way");
+    }
+
+    #[test]
+    fn capacity_overflow_marks_health_space_exhausted() {
+        use crate::health::{Health, HealthState};
+        let health = Arc::new(Health::default());
+        let w = Wal::new(Arc::new(MemDevice::standalone(1))).with_health(Arc::clone(&health));
+        w.append(&WalRecord::Insert {
+            xid: Xid(1),
+            rel: RelId(1),
+            tid: Tid::new(0, 0),
+            vid: Vid(0),
+            payload: vec![0u8; 3 * PAGE_SIZE],
+        });
+        assert!(w.force().is_err());
+        assert_eq!(health.state(), HealthState::ReadOnly);
+    }
+
+    #[test]
+    fn backlog_and_live_bytes_track_force_and_truncate() {
+        let w = wal();
+        assert_eq!((w.backlog_bytes(), w.live_bytes()), (0, 0));
+        let lsn = w.append(&WalRecord::Begin(Xid(1)));
+        assert!(w.backlog_bytes() > 0);
+        assert_eq!(w.live_bytes(), w.backlog_bytes());
+        w.force().unwrap();
+        assert_eq!(w.backlog_bytes(), 0, "forced bytes leave the backlog");
+        let live = w.live_bytes();
+        assert!(live > 0);
+        let end = w.current_lsn();
+        w.truncate_before(end);
+        assert_eq!(w.live_bytes(), 0, "truncation reclaims live bytes");
+        let _ = lsn;
+    }
+
+    #[test]
+    fn follower_deadline_expires_with_typed_error() {
+        // Hold leadership by hand so a committer is forced to follow,
+        // then watch its deadline fire instead of the 50 ms park tick.
+        let w = Arc::new(wal());
+        {
+            w.group.lock().leader_active = true;
+        }
+        let lsn = w.append(&WalRecord::Commit(Xid(9)));
+        let deadline = std::time::Instant::now() + Duration::from_millis(20);
+        let started = std::time::Instant::now();
+        let err = w.force_through_deadline(lsn, Some(deadline), Xid(9)).unwrap_err();
+        let waited = started.elapsed();
+        assert!(matches!(err, SiasError::DeadlineExceeded { xid: Xid(9) }), "{err:?}");
+        assert!(waited >= Duration::from_millis(15), "must wait to (nearly) the deadline");
+        assert!(waited < Duration::from_millis(45), "must not wait a full extra 50 ms tick");
+        // Release leadership: the record is still appended and forces fine.
+        {
+            w.group.lock().leader_active = false;
+        }
+        w.force_through(lsn).unwrap();
     }
 
     #[test]

@@ -36,7 +36,30 @@ pub trait MvccEngine: Send + Sync {
     fn relation(&self, name: &str) -> Option<RelId>;
 
     /// Begins a transaction (takes an SI snapshot).
+    ///
+    /// Engines with admission control may **delay** the begin under
+    /// overload (backpressure), but this method always returns a
+    /// transaction; use [`MvccEngine::try_begin`] for load-shedding
+    /// semantics instead.
     fn begin(&self) -> Txn;
+
+    /// Begins a transaction, or sheds it under overload: engines with an
+    /// admission gate return [`SiasError::Overloaded`] (with a
+    /// suggested retry-after) instead of queueing the begin when the
+    /// stack is saturated. The default implementation never sheds.
+    ///
+    /// [`SiasError::Overloaded`]: sias_common::SiasError::Overloaded
+    fn try_begin(&self) -> SiasResult<Txn> {
+        Ok(self.begin())
+    }
+
+    /// Begins a transaction carrying a wall-clock deadline that every
+    /// blocking point honors (lock waits, commit-force parks, batched
+    /// scans). Engines without deadline support return a plain begin.
+    fn begin_with_deadline(&self, deadline: Option<std::time::Instant>) -> Txn {
+        let _ = deadline;
+        self.begin()
+    }
 
     /// Commits; forces the WAL.
     fn commit(&self, txn: Txn) -> SiasResult<()>;

@@ -97,7 +97,28 @@ impl LockTable {
     /// and over, and re-arming the full window on every wakeup would let
     /// that traffic starve a writer indefinitely.
     pub fn lock(&self, rel: RelId, vid: Vid, xid: Xid) -> SiasResult<LockOutcome> {
-        let deadline = std::time::Instant::now() + self.timeout;
+        self.lock_with_deadline(rel, vid, xid, None)
+    }
+
+    /// [`LockTable::lock`] bounded by the transaction's own deadline as
+    /// well: the wait ends at whichever of the table timeout and
+    /// `txn_deadline` comes first. A table-timeout expiry keeps its
+    /// [`SiasError::WriteConflict`] meaning (probable deadlock/starvation
+    /// — the conflict machinery handles it); a *transaction* deadline
+    /// expiry means the caller's latency contract ran out and surfaces
+    /// as [`SiasError::DeadlineExceeded`] for `xid`.
+    pub fn lock_with_deadline(
+        &self,
+        rel: RelId,
+        vid: Vid,
+        xid: Xid,
+        txn_deadline: Option<std::time::Instant>,
+    ) -> SiasResult<LockOutcome> {
+        let table_deadline = std::time::Instant::now() + self.timeout;
+        let (deadline, txn_bounded) = match txn_deadline {
+            Some(d) if d < table_deadline => (d, true),
+            _ => (table_deadline, false),
+        };
         let mut st = self.state.lock();
         let mut waited_for: Option<Xid> = None;
         loop {
@@ -113,7 +134,11 @@ impl LockTable {
                     let remaining = deadline.saturating_duration_since(std::time::Instant::now());
                     if remaining.is_zero() || self.released.wait_for(&mut st, remaining).timed_out()
                     {
-                        return Err(SiasError::WriteConflict { vid, winner: owner });
+                        return Err(if txn_bounded {
+                            SiasError::DeadlineExceeded { xid }
+                        } else {
+                            SiasError::WriteConflict { vid, winner: owner }
+                        });
                     }
                 }
                 None => {
@@ -238,6 +263,43 @@ mod tests {
         // during a release gap — it must NOT have waited multiples of
         // the timeout.
         assert!(waited < Duration::from_millis(800), "starved for {waited:?}: {err:?}");
+    }
+
+    #[test]
+    fn txn_deadline_beats_table_timeout_and_is_typed() {
+        // Table timeout generous, txn deadline tight: the wait must end
+        // at the txn deadline (within one tick) with DeadlineExceeded.
+        let t = LockTable::with_timeout(Duration::from_secs(5));
+        t.try_lock(R, Vid(1), Xid(1));
+        let deadline = std::time::Instant::now() + Duration::from_millis(30);
+        let start = std::time::Instant::now();
+        let err = t.lock_with_deadline(R, Vid(1), Xid(2), Some(deadline)).unwrap_err();
+        let waited = start.elapsed();
+        assert!(matches!(err, SiasError::DeadlineExceeded { xid: Xid(2) }), "{err:?}");
+        assert!(waited >= Duration::from_millis(25), "woke early: {waited:?}");
+        assert!(waited < Duration::from_millis(500), "overstayed the deadline: {waited:?}");
+    }
+
+    #[test]
+    fn far_txn_deadline_keeps_conflict_semantics() {
+        // Txn deadline beyond the table timeout: expiry still means
+        // probable deadlock, so the error stays WriteConflict.
+        let t = LockTable::with_timeout(Duration::from_millis(30));
+        t.try_lock(R, Vid(1), Xid(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let err = t.lock_with_deadline(R, Vid(1), Xid(2), Some(deadline)).unwrap_err();
+        assert!(matches!(err, SiasError::WriteConflict { winner: Xid(1), .. }), "{err:?}");
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_waiting() {
+        let t = LockTable::new();
+        t.try_lock(R, Vid(1), Xid(1));
+        let deadline = std::time::Instant::now() - Duration::from_millis(1);
+        let start = std::time::Instant::now();
+        let err = t.lock_with_deadline(R, Vid(1), Xid(2), Some(deadline)).unwrap_err();
+        assert!(matches!(err, SiasError::DeadlineExceeded { xid: Xid(2) }));
+        assert!(start.elapsed() < Duration::from_millis(50), "no wait on a dead deadline");
     }
 
     #[test]

@@ -23,6 +23,28 @@ pub struct Txn {
     pub xid: Xid,
     /// The snapshot taken at begin.
     pub snapshot: Snapshot,
+    /// Optional wall-clock deadline. Engines thread it into every
+    /// blocking point the transaction can reach — lock waits, group-
+    /// commit follower parks, batched chain scans — so an overloaded
+    /// system sheds the work instead of queueing it: past the deadline
+    /// those waits abort with [`SiasError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+}
+
+impl Txn {
+    /// True once the deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// `Err(DeadlineExceeded)` once the deadline has passed (engines
+    /// sprinkle this at batched-scan boundaries).
+    pub fn check_deadline(&self) -> SiasResult<()> {
+        if self.deadline_expired() {
+            return Err(SiasError::DeadlineExceeded { xid: self.xid });
+        }
+        Ok(())
+    }
 }
 
 /// Observer invoked right after a transaction commits, with the xid and
@@ -111,6 +133,14 @@ impl TransactionManager {
     /// Begins a transaction: allocates an xid and snapshots the active
     /// set (the `tx_concurrent` structure of Algorithm 1).
     pub fn begin(&self) -> Txn {
+        self.begin_with_deadline(None)
+    }
+
+    /// [`TransactionManager::begin`] with a wall-clock deadline attached:
+    /// every blocking point the engine threads the handle through (lock
+    /// waits, commit-force parks, batched scans) gives up with
+    /// [`SiasError::DeadlineExceeded`] once it passes.
+    pub fn begin_with_deadline(&self, deadline: Option<Instant>) -> Txn {
         let start = Instant::now();
         let mut active = self.active.lock();
         let xid = Xid(self.next_xid.fetch_add(1, Ordering::Relaxed));
@@ -120,7 +150,7 @@ impl TransactionManager {
         drop(active);
         self.active_gauge.add(1);
         self.begin_hist.record_duration(start.elapsed());
-        Txn { xid, snapshot: Snapshot::new(xid, concurrent) }
+        Txn { xid, snapshot: Snapshot::new(xid, concurrent), deadline }
     }
 
     /// Upgrades the manager (and every engine sharing it) to
@@ -276,6 +306,7 @@ impl TransactionManager {
 mod tests {
     use super::*;
     use crate::clog::TxnStatus;
+    use std::time::Duration;
 
     #[test]
     fn xids_are_monotonic() {
@@ -396,7 +427,7 @@ mod tests {
     fn double_commit_rejected() {
         let m = TransactionManager::new();
         let a = m.begin();
-        let fake = Txn { xid: a.xid, snapshot: a.snapshot.clone() };
+        let fake = Txn { xid: a.xid, snapshot: a.snapshot.clone(), deadline: None };
         m.commit(a).unwrap();
         assert!(matches!(m.commit(fake), Err(SiasError::TxnNotActive(_))));
     }
@@ -469,6 +500,24 @@ mod tests {
         let b = m.begin();
         assert_eq!(b.xid, Xid(100));
         m.abort(b);
+    }
+
+    #[test]
+    fn deadline_rides_the_txn_handle() {
+        let m = TransactionManager::new();
+        let plain = m.begin();
+        assert!(plain.deadline.is_none());
+        assert!(plain.check_deadline().is_ok());
+        m.commit(plain).unwrap();
+        let fut = m.begin_with_deadline(Some(Instant::now() + Duration::from_secs(60)));
+        assert!(!fut.deadline_expired());
+        assert!(fut.check_deadline().is_ok());
+        m.commit(fut).unwrap();
+        let past = m.begin_with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(past.deadline_expired());
+        let err = past.check_deadline().unwrap_err();
+        assert!(matches!(err, SiasError::DeadlineExceeded { xid } if xid == past.xid));
+        m.abort(past);
     }
 
     #[test]

@@ -1203,6 +1203,249 @@ pub fn write_skew_scenario(cfg: &ChaosConfig, pairs: u64) -> WriteSkewReport {
     }
 }
 
+/// Verdict of one seeded log-exhaustion run: the WAL quota is filled
+/// under load, the engine must degrade to read-only with typed
+/// rejections (never a panic, never a torn append), keep serving reads,
+/// reclaim space, and return to healthy — all black-box checked.
+#[derive(Clone, Debug)]
+pub struct EnospcReport {
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// Transactions acknowledged as committed.
+    pub committed_txns: u64,
+    /// Transactions aborted (client choice or typed space rejection).
+    pub aborted_txns: u64,
+    /// Writes rejected with a typed resource-exhaustion error.
+    pub writes_rejected: u64,
+    /// Peak `storage.space.wal_used_pct` observed.
+    pub peak_used_pct: u64,
+    /// Whether the health machine observably entered ReadOnly
+    /// (`storage.health.readonly_entered` and a live-state probe).
+    pub readonly_entered: bool,
+    /// Whether reads kept serving while the engine was read-only.
+    pub reads_served_readonly: bool,
+    /// Whether the engine returned to Healthy after reclaim.
+    pub recovered: bool,
+    /// WAL bytes freed by the emergency reclaim.
+    pub reclaimed_bytes: u64,
+    /// SI anomalies over the whole history, post-reclaim probe included
+    /// — must be empty.
+    pub violations: Vec<Violation>,
+}
+
+impl EnospcReport {
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "seed {:>3}: {} committed, {} aborted, {} rejected, peak {}%, \
+             readonly {}, reads-in-readonly {}, recovered {}, {} bytes reclaimed, {} violations",
+            self.seed,
+            self.committed_txns,
+            self.aborted_txns,
+            self.writes_rejected,
+            self.peak_used_pct,
+            self.readonly_entered,
+            self.reads_served_readonly,
+            self.recovered,
+            self.reclaimed_bytes,
+            self.violations.len()
+        )
+    }
+}
+
+/// Runs a seeded serial tagged workload against an engine whose WAL
+/// lives under a tiny logical quota (`wal_quota_pages` with the given
+/// low watermark; the hard watermark sits 20 points above it). The
+/// write storm fills the log past the hard watermark, at which point
+/// the health machine must enter ReadOnly and every further write must
+/// be rejected with a typed error. The scenario then verifies reads
+/// still serve, triggers the emergency reclaim (vacuum + checkpoint +
+/// WAL truncation via the engine's own maintenance path), and checks
+/// the return to Healthy. The whole history — rejections, read-only
+/// probe, and post-reclaim writes included — must show zero anomalies.
+pub fn enospc_scenario(
+    cfg: &ChaosConfig,
+    wal_quota_pages: u64,
+    low_watermark_pct: u64,
+) -> EnospcReport {
+    let low = low_watermark_pct.clamp(10, 75);
+    let hard = (low + 20).min(95);
+    let storage = StorageConfig::in_memory()
+        .with_pool_frames(48)
+        .with_wal_quota_pages(wal_quota_pages)
+        .with_space_watermarks(low, hard);
+    let db = SiasDb::open(storage);
+    let seqs: Arc<Mutex<HashMap<Xid, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    {
+        let seqs = Arc::clone(&seqs);
+        db.txm().set_commit_hook(move |xid, seq| {
+            seqs.lock().insert(xid, seq);
+        });
+    }
+    let rel = db.create_relation("chaos");
+    let mut history = History::default();
+    let mut rng = Rng(cfg.seed ^ 0xe05_0e05);
+    let (mut committed, mut aborted, mut rejected) = (0u64, 0u64, 0u64);
+    let mut peak_used_pct = 0u64;
+
+    let ack = |xid: Xid, mut rec: TxnRecord| -> TxnRecord {
+        let seq = seqs.lock().remove(&xid).unwrap_or(0);
+        rec.outcome = HistOutcome::Committed {
+            commit_seq: seq,
+            acked_at_record: db.stack().wal.durable_record_count(),
+        };
+        rec
+    };
+
+    // Setup: every key exists (the quota is sized to survive setup).
+    {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for key in 0..cfg.keys {
+            let tag = WriteTag { xid, seq: key as u32 };
+            db.insert(&txn, rel, key, &tag.encode_payload(key)).expect("setup insert");
+            rec.ops.push(HistOp::Write { key, tag });
+        }
+        db.commit(txn).expect("setup commit");
+        history.txns.push(ack(xid, rec));
+        committed += 1;
+    }
+
+    // Write storm: serial read-modify-write rounds until the quota
+    // rejects us (bounded in case the quota is too generous to fill).
+    let mut storm_rounds = 0u32;
+    'storm: while db.stack().health.state() != sias_storage::HealthState::ReadOnly {
+        storm_rounds += 1;
+        if storm_rounds > 50_000 {
+            break; // quota never filled; the gate below will fail loudly
+        }
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for seq in 0..cfg.ops_per_txn as u32 {
+            let key = rng.next() % cfg.keys;
+            let observed = match db.get(&txn, rel, key) {
+                Ok(Some(bytes)) => WriteTag::decode_payload(&bytes).map(|(_, tag)| tag),
+                Ok(None) => None,
+                Err(e) => panic!("reads must never fail under space pressure: {e:?}"),
+            };
+            rec.ops.push(HistOp::Read { key, observed });
+            let tag = WriteTag { xid, seq };
+            match db.update(&txn, rel, key, &tag.encode_payload(key)) {
+                Ok(()) => rec.ops.push(HistOp::Write { key, tag }),
+                Err(e) => {
+                    assert!(
+                        e.is_resource_exhausted(),
+                        "space pressure must reject with a typed error, got {e:?}"
+                    );
+                    rejected += 1;
+                    db.abort(txn);
+                    aborted += 1;
+                    history.txns.push(rec);
+                    peak_used_pct = peak_used_pct.max(db.stack().wal_used_pct());
+                    continue 'storm;
+                }
+            }
+        }
+        peak_used_pct = peak_used_pct.max(db.stack().wal_used_pct());
+        match db.commit(txn) {
+            Ok(()) => {
+                history.txns.push(ack(xid, rec));
+                committed += 1;
+            }
+            Err(e) => {
+                assert!(
+                    e.is_resource_exhausted(),
+                    "commit under space pressure must fail typed, got {e:?}"
+                );
+                rejected += 1;
+                aborted += 1;
+                // Outcome uncertain (the record may become durable).
+                rec.outcome = HistOutcome::Unacked;
+                history.txns.push(rec);
+            }
+        }
+    }
+    let readonly_entered = db.stack().health.state() == sias_storage::HealthState::ReadOnly
+        && db.stack().obs.counter("storage.health.readonly_entered").get() > 0;
+
+    // Degraded contract, probed while read-only: reads serve, writes
+    // fail fast with a typed error.
+    let mut reads_served_readonly = readonly_entered;
+    if readonly_entered {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for key in 0..cfg.keys {
+            match db.get(&txn, rel, key) {
+                Ok(observed) => rec.ops.push(HistOp::Read {
+                    key,
+                    observed: observed
+                        .and_then(|b| WriteTag::decode_payload(&b))
+                        .map(|(_, tag)| tag),
+                }),
+                Err(_) => reads_served_readonly = false,
+            }
+        }
+        let tag = WriteTag { xid, seq: 0 };
+        match db.update(&txn, rel, 0, &tag.encode_payload(0)) {
+            Err(e) if e.is_resource_exhausted() => rejected += 1,
+            other => panic!("read-only mode must reject writes typed, got {other:?}"),
+        }
+        db.abort(txn);
+        aborted += 1;
+        history.txns.push(rec);
+    }
+
+    // Emergency reclaim through the engine's own maintenance path:
+    // vacuum + checkpoint + WAL truncation, healing the health machine.
+    let live_before = db.stack().wal.live_bytes();
+    db.maintenance(true);
+    let reclaimed_bytes = live_before.saturating_sub(db.stack().wal.live_bytes());
+    let recovered = db.stack().health.state() == sias_storage::HealthState::Healthy
+        && db.stack().obs.counter("storage.health.recovered").get() > 0;
+
+    // Post-reclaim probe: the engine is writable again, and the new
+    // commits join the same checked history.
+    if recovered {
+        let txn = db.begin();
+        let xid = txn.xid;
+        let mut rec = TxnRecord { xid, ops: Vec::new(), outcome: HistOutcome::Aborted };
+        for seq in 0..cfg.keys.min(4) as u32 {
+            let key = u64::from(seq);
+            let observed = db
+                .get(&txn, rel, key)
+                .expect("post-reclaim read")
+                .and_then(|b| WriteTag::decode_payload(&b))
+                .map(|(_, tag)| tag);
+            rec.ops.push(HistOp::Read { key, observed });
+            let tag = WriteTag { xid, seq };
+            db.update(&txn, rel, key, &tag.encode_payload(key))
+                .expect("post-reclaim write must succeed");
+            rec.ops.push(HistOp::Write { key, tag });
+        }
+        db.commit(txn).expect("post-reclaim commit");
+        history.txns.push(ack(xid, rec));
+        committed += 1;
+    }
+
+    history.version_order = extract_version_order(&db, "chaos", &history.committed());
+    let violations = check_anomalies(&history);
+    EnospcReport {
+        seed: cfg.seed,
+        committed_txns: committed,
+        aborted_txns: aborted,
+        writes_rejected: rejected,
+        peak_used_pct,
+        readonly_entered,
+        reads_served_readonly,
+        recovered,
+        reclaimed_bytes,
+        violations,
+    }
+}
+
 /// Deterministic digest over the log, the history and the verdicts.
 fn fingerprint(cfg: &ChaosConfig, run: &ChaosRun, violations: &[(u64, Violation)]) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -1308,6 +1551,27 @@ mod tests {
         assert_eq!(a.committed_txns, b.committed_txns);
         assert_eq!(a.pages_corrupt, b.pages_corrupt);
         assert_eq!(a.chains_rebuilt, b.chains_rebuilt);
+    }
+
+    #[test]
+    fn enospc_scenario_degrades_and_recovers_cleanly() {
+        let report = enospc_scenario(&ChaosConfig::with_seed(11), 24, 50);
+        assert!(report.readonly_entered, "quota must fill: {}", report.summary());
+        assert!(report.reads_served_readonly, "{}", report.summary());
+        assert!(report.recovered, "{}", report.summary());
+        assert!(report.writes_rejected > 0, "{}", report.summary());
+        assert!(report.reclaimed_bytes > 0, "{}", report.summary());
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn enospc_scenario_is_deterministic() {
+        let a = enospc_scenario(&ChaosConfig::with_seed(17), 24, 50);
+        let b = enospc_scenario(&ChaosConfig::with_seed(17), 24, 50);
+        assert_eq!(a.committed_txns, b.committed_txns);
+        assert_eq!(a.aborted_txns, b.aborted_txns);
+        assert_eq!(a.writes_rejected, b.writes_rejected);
+        assert_eq!(a.peak_used_pct, b.peak_used_pct);
     }
 
     #[test]

@@ -39,8 +39,9 @@ pub mod threaded;
 pub mod txns;
 
 pub use chaos::{
-    crash_matrix, gc_crash_scenario, run_chaos, scrub_scenario, write_skew_scenario, ChaosConfig,
-    ChaosRun, CrashMatrixReport, GcCrashReport, ScrubReport, WriteSkewReport,
+    crash_matrix, enospc_scenario, gc_crash_scenario, run_chaos, scrub_scenario,
+    write_skew_scenario, ChaosConfig, ChaosRun, CrashMatrixReport, EnospcReport, GcCrashReport,
+    ScrubReport, WriteSkewReport,
 };
 pub use check::{
     check_anomalies, check_consistency, check_durability, check_serializability, DurabilityInput,
